@@ -1,0 +1,60 @@
+//! Criterion: exact (rank-ordered) vs ring allreduce across threads.
+
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chimera_collectives::{exact_group, ring_group};
+
+fn run_exact(n: usize, len: usize) {
+    let members = exact_group(n);
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|m| {
+            thread::spawn(move || {
+                let mut buf = vec![m.rank() as f32; len];
+                for _ in 0..4 {
+                    m.allreduce_sum(&mut buf);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn run_ring(n: usize, len: usize) {
+    let members = ring_group(n);
+    let handles: Vec<_> = members
+        .into_iter()
+        .map(|m| {
+            thread::spawn(move || {
+                let mut buf = vec![m.rank() as f32; len];
+                for _ in 0..4 {
+                    m.allreduce_sum(&mut buf);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_4ranks");
+    g.sample_size(20);
+    for len in [1usize << 10, 1 << 16, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("exact", len), &len, |b, &len| {
+            b.iter(|| run_exact(4, len))
+        });
+        g.bench_with_input(BenchmarkId::new("ring", len), &len, |b, &len| {
+            b.iter(|| run_ring(4, len))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: schedule-generation throughput for Chimera and the baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chimera_core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady};
+use chimera_core::chimera::{chimera, ChimeraConfig, ScaleMethod};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_generation");
+    for d in [4u32, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("chimera_n_eq_d", d), &d, |b, &d| {
+            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, d))).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("chimera_n_4d_direct", d), &d, |b, &d| {
+            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, 4 * d))).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("dapple", d), &d, |b, &d| {
+            b.iter(|| dapple(black_box(d), black_box(4 * d)))
+        });
+        g.bench_with_input(BenchmarkId::new("gpipe", d), &d, |b, &d| {
+            b.iter(|| gpipe(black_box(d), black_box(4 * d)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("schedule_generation_variants");
+    g.bench_function("chimera_f2_d16", |b| {
+        b.iter(|| {
+            chimera(&ChimeraConfig {
+                d: 16,
+                n: 16,
+                f: 2,
+                scale: ScaleMethod::Direct,
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("chimera_fwd_doubling_d8_n32", |b| {
+        b.iter(|| {
+            chimera(&ChimeraConfig {
+                d: 8,
+                n: 32,
+                f: 1,
+                scale: ScaleMethod::ForwardDoubling { recompute: true },
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("gems_d8_n16", |b| b.iter(|| gems(8, 16)));
+    g.bench_function("pipedream_2bw_steady_d8_n8x6", |b| {
+        b.iter(|| pipedream_2bw_steady(8, 8, 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: discrete-event simulator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_core::schedule::SyncStrategy;
+use chimera_core::sync::place_sync;
+use chimera_core::unit_time::UnitCosts;
+use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
+use chimera_sim::simulate;
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_iteration");
+    for (d, n) in [(4u32, 4u32), (8, 32), (16, 64), (32, 32)] {
+        let sched = place_sync(
+            chimera(&ChimeraConfig::new(d, n)).unwrap(),
+            SyncStrategy::EagerOpt,
+            UnitCosts::practical(),
+        );
+        let cost = TrainConfig {
+            model: ModelSpec::bert48(),
+            cluster: ClusterSpec::piz_daint(),
+            d,
+            w: 512 / d,
+            b: 4,
+            stage_replicas: 2,
+        }
+        .cost_model();
+        g.bench_with_input(
+            BenchmarkId::new("chimera", format!("d{d}_n{n}")),
+            &(sched, cost),
+            |bench, (sched, cost)| bench.iter(|| simulate(black_box(sched), black_box(cost)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_unit_executor(c: &mut Criterion) {
+    use chimera_core::unit_time::execute;
+    let mut g = c.benchmark_group("unit_executor");
+    for d in [8u32, 32] {
+        let sched = chimera(&ChimeraConfig::new(d, 4 * d)).unwrap();
+        g.bench_with_input(BenchmarkId::new("practical", d), &sched, |b, sched| {
+            b.iter(|| execute(black_box(sched), UnitCosts::practical()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_unit_executor);
+criterion_main!(benches);

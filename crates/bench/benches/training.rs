@@ -1,0 +1,51 @@
+//! Criterion: real threaded pipeline-training step time, Chimera vs the
+//! synchronous baselines — the laptop-scale analogue of the paper's
+//! throughput comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chimera_core::baselines::{dapple, gems, gpipe};
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_core::schedule::Schedule;
+use chimera_nn::ModelConfig;
+use chimera_runtime::{train, TrainOptions};
+
+fn opts() -> TrainOptions {
+    TrainOptions {
+        micro_batch: 2,
+        iterations: 2,
+        lr: 0.05,
+        momentum: 0.9,
+        data_seed: 7,
+        optimizer: None,
+        lr_schedule: None,
+    }
+}
+
+fn train_once(sched: &Schedule) {
+    let cfg = ModelConfig {
+        layers: 4,
+        ..ModelConfig::tiny()
+    };
+    let result = train(sched, cfg, opts());
+    assert!(result.iteration_losses[0].is_finite());
+}
+
+fn bench_training(c: &mut Criterion) {
+    let d = 4;
+    let n = 4;
+    let mut g = c.benchmark_group("pipeline_training_d4_n4");
+    g.sample_size(10);
+    let chim = chimera(&ChimeraConfig::new(d, n)).unwrap();
+    g.bench_function("chimera", |b| b.iter(|| train_once(&chim)));
+    let dap = dapple(d, n);
+    g.bench_function("dapple", |b| b.iter(|| train_once(&dap)));
+    let gp = gpipe(d, n);
+    g.bench_function("gpipe", |b| b.iter(|| train_once(&gp)));
+    let gm = gems(d, n);
+    g.bench_function("gems", |b| b.iter(|| train_once(&gm)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: the paper assumes Rabenseifner's allreduce because it is
+//! bandwidth-optimal for large gradients (§3.4). How much does the
+//! collective algorithm matter for end-to-end Chimera throughput?
+
+use chimera_bench::{print_table, save_json};
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_core::schedule::SyncStrategy;
+use chimera_core::sync::place_sync;
+use chimera_core::unit_time::UnitCosts;
+use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
+use chimera_sim::{simulate, AllReduceAlgo};
+
+fn main() {
+    let model = ModelSpec::bert48();
+    let cluster = ClusterSpec::piz_daint();
+    let d = 4u32;
+    let b = 8u32;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (p, b_hat) in [(16u32, 256u64), (64, 1024), (256, 4096)] {
+        let w = p / d;
+        let n = (b_hat / (w as u64 * b as u64)) as u32;
+        let sched = place_sync(
+            chimera(&ChimeraConfig::new(d, n)).unwrap(),
+            SyncStrategy::EagerOpt,
+            UnitCosts::practical(),
+        );
+        let mut per_algo = Vec::new();
+        for algo in [
+            AllReduceAlgo::Rabenseifner,
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::FlatTree,
+        ] {
+            let mut cost = TrainConfig {
+                model,
+                cluster,
+                d,
+                w,
+                b,
+                stage_replicas: 2,
+            }
+            .cost_model();
+            cost.allreduce_algo = algo;
+            let rep = simulate(&sched, &cost).expect("simulates");
+            per_algo.push(rep.throughput(b_hat));
+        }
+        rows.push(vec![
+            p.to_string(),
+            format!("{}", 2 * w),
+            format!("{:.1}", per_algo[0]),
+            format!("{:.1}", per_algo[1]),
+            format!("{:.1}", per_algo[2]),
+            format!("{:.3}x", per_algo[0] / per_algo[2]),
+        ]);
+        json.push(serde_json::json!({
+            "p": p,
+            "participants": 2 * w,
+            "rabenseifner": per_algo[0],
+            "ring": per_algo[1],
+            "flat_tree": per_algo[2],
+        }));
+    }
+    print_table(
+        "Ablation: allreduce algorithm, Chimera Bert-48, D=4, B=8 (samples/s)",
+        &["P", "ranks", "Rabenseifner", "Ring", "FlatTree", "raben/tree"],
+        &rows,
+    );
+    println!(
+        "\nRabenseifner's bandwidth term saturates at 2βL while the flat tree\n\
+         pays βL·log2(r) — the gap widens with the allreduce group size, which\n\
+         is why the paper's model assumes it (§3.4)."
+    );
+    save_json("ablation_allreduce", serde_json::json!(json));
+}

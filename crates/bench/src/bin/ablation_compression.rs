@@ -1,0 +1,84 @@
+//! Ablation of the paper's future work (§5): gradient quantization and
+//! sparsification. Measures the *real* wire ratios of the implemented
+//! compressors (`chimera-collectives::compress`) on a synthetic transformer
+//! gradient, then applies those ratios to the simulated gradient allreduce
+//! to estimate end-to-end Chimera throughput gains at scale.
+//!
+//! Convergence impact is NOT modeled — QSGD is unbiased and top-k uses
+//! error feedback, but their effect on training quality is outside the
+//! simulator's scope.
+
+use chimera_bench::{print_table, save_json};
+use chimera_collectives::{quantize, top_k};
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_core::schedule::SyncStrategy;
+use chimera_core::sync::place_sync;
+use chimera_core::unit_time::UnitCosts;
+use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
+use chimera_sim::simulate;
+use chimera_tensor::Rng;
+
+fn main() {
+    // Measure real wire ratios on a gradient-shaped vector.
+    let mut rng = Rng::new(9);
+    let grad: Vec<f32> = (0..200_000).map(|_| rng.normal() * 1e-3).collect();
+    let q4 = quantize(&grad, 7, 1); // 15 levels -> 4 bits/value
+    let q8 = quantize(&grad, 127, 1); // 255 levels -> 8 bits/value
+    let (sp, _) = top_k(&grad, grad.len() / 100); // top 1%
+    let variants = [
+        ("dense fp32", 1.0),
+        ("QSGD 8-bit", q8.ratio()),
+        ("QSGD 4-bit", q4.ratio()),
+        ("top-1% + EF", sp.ratio()),
+    ];
+
+    let model = ModelSpec::gpt2();
+    let cluster = ClusterSpec::piz_daint();
+    let (d, w, b) = (16u32, 128u32, 1u32);
+    let b_hat = (w as u64) * (b as u64) * 16;
+    let n = 16u32;
+    let sched = place_sync(
+        chimera(&ChimeraConfig::new(d, n)).unwrap(),
+        SyncStrategy::EagerOpt,
+        UnitCosts::practical(),
+    );
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, ratio) in variants {
+        let mut cost = TrainConfig {
+            model,
+            cluster,
+            d,
+            w,
+            b,
+            stage_replicas: 2,
+        }
+        .cost_model();
+        cost.grad_compression = ratio;
+        let rep = simulate(&sched, &cost).expect("simulates");
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", ratio),
+            format!("{:.1}", rep.throughput(b_hat)),
+            format!("{:.4}", rep.iter_time_s),
+        ]);
+        json.push(serde_json::json!({
+            "variant": name,
+            "wire_ratio": ratio,
+            "throughput": rep.throughput(b_hat),
+            "iter_time_s": rep.iter_time_s,
+        }));
+    }
+    print_table(
+        &format!("Ablation: gradient compression, Chimera GPT-2, D={d} W={w} P=2048"),
+        &["compressor", "wire ratio", "samples/s", "iter s"],
+        &rows,
+    );
+    println!(
+        "\nWire ratios measured from the real compressors on a 200k-element\n\
+         gradient. With eager-opt sync most of the allreduce already hides in\n\
+         bubbles, so the end-to-end gain is modest at this scale — compression\n\
+         pays off as W (and the exposed tail sync) grows."
+    );
+    save_json("ablation_compression", serde_json::json!(json));
+}

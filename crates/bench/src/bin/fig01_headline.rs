@@ -1,0 +1,53 @@
+//! Figure 1: the headline comparison — GPT-2 on 2,048 GPU nodes with
+//! B̂ = 2,048: bubble ratio, memory cost (R = needs activation
+//! recomputation), and best throughput per approach. Paper: Chimera improves
+//! 1.16x–2.34x over the state of the art.
+
+use chimera_bench::scaling::{best_per_scheme, chimera_speedups};
+use chimera_bench::{candidate_json, print_table, save_json};
+use chimera_core::chimera::ScaleMethod;
+use chimera_perf::{ClusterSpec, ModelSpec};
+
+fn main() {
+    let model = ModelSpec::gpt2();
+    let cluster = ClusterSpec::piz_daint();
+    let p = 2048u32;
+    let b_hat = 2048u64;
+    let results = best_per_scheme(model, cluster, p, b_hat, ScaleMethod::Direct);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, c) in &results {
+        if let Some(c) = c {
+            rows.push(vec![
+                name.clone(),
+                format!("D={} W={} B={}", c.d, c.w, c.b),
+                format!("{:.3}", c.bubble_ratio),
+                format!("{:.2} GiB", c.peak_mem as f64 / (1u64 << 30) as f64),
+                if c.recompute { "R" } else { "-" }.to_string(),
+                format!("{:.0}", c.throughput),
+            ]);
+            let mut j = candidate_json(c);
+            j["label"] = serde_json::json!(name);
+            json.push(j);
+        } else {
+            rows.push(vec![
+                name.clone(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "OOM".into(),
+                "0".into(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 1: GPT-2 on 2,048 nodes, B̂=2,048 — best configuration per approach",
+        &["approach", "best config", "bubble", "peak mem", "recompute", "samples/s"],
+        &rows,
+    );
+    println!();
+    for (name, speedup) in chimera_speedups(&results) {
+        println!("Chimera speedup over {name}: {speedup:.2}x (paper range: 1.16x-2.34x)");
+    }
+    save_json("fig01_headline", serde_json::json!(json));
+}

@@ -1,0 +1,41 @@
+//! Figure 10: performance-tuning space of the baselines for Bert-48 on 32
+//! GPU nodes (B̂ = 512; PipeDream uses the largest mini-batch that fits).
+//! Prints every valid (W, D, B) point per scheme with the best starred.
+
+use chimera_bench::{candidate_headers, candidate_json, candidate_row, print_table, save_json};
+use chimera_core::chimera::ScaleMethod;
+use chimera_perf::planner::{sweep, PlanScheme};
+use chimera_perf::{ClusterSpec, ModelSpec};
+
+fn main() {
+    let model = ModelSpec::bert48();
+    let cluster = ClusterSpec::piz_daint();
+    let p = 32;
+    let b_hat = 512;
+    let schemes = [
+        PlanScheme::GPipe,
+        PlanScheme::Dapple,
+        PlanScheme::Gems,
+        PlanScheme::PipeDream,
+        PlanScheme::PipeDream2Bw,
+        PlanScheme::Chimera {
+            f: 1,
+            scale: ScaleMethod::Direct,
+        },
+    ];
+    let mut json = Vec::new();
+    for scheme in schemes {
+        let cands = sweep(scheme, model, cluster, p, b_hat);
+        let mut rows: Vec<Vec<String>> = cands.iter().map(candidate_row).collect();
+        if let Some(first) = rows.first_mut() {
+            first[0] = format!("* {}", first[0]);
+        }
+        print_table(
+            &format!("Fig. 10: {} tuning space (Bert-48, P=32, B̂=512)", scheme.label()),
+            &candidate_headers(),
+            &rows,
+        );
+        json.extend(cands.iter().map(candidate_json));
+    }
+    save_json("fig10_tuning_bert", serde_json::json!(json));
+}

@@ -1,0 +1,96 @@
+//! Figure 19: Chimera with more than two pipelines — a 32-layer GPT-2 with
+//! B̂ = 64 on 64 GPU nodes. "1 pipeline" is 1F1B with flushes (= DAPPLE);
+//! 2f ∈ {2, 4, 8, 16} pipelines use the §3.6 generalization. Paper shape:
+//! with D=32 four pipelines win (bubble/allreduce sweet spot); with coarser
+//! D=16 four pipelines lose to two because allreduce overhead grows.
+
+use chimera_bench::{print_table, save_json};
+use chimera_core::baselines::dapple;
+use chimera_core::chimera::{chimera, ChimeraConfig, ScaleMethod};
+use chimera_core::schedule::SyncStrategy;
+use chimera_core::sync::place_sync;
+use chimera_core::unit_time::UnitCosts;
+use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
+use chimera_sim::simulate;
+
+fn main() {
+    let model = ModelSpec::gpt2_32();
+    let cluster = ClusterSpec::piz_daint();
+    let p = 64u32;
+    let b_hat = 64u64;
+    let b = 1u32;
+    let mut json = Vec::new();
+    for d in [16u32, 32] {
+        let w = p / d;
+        let n = (b_hat / (w as u64 * b as u64)) as u32;
+        let mut rows = Vec::new();
+        // One pipeline: 1F1B with flushes.
+        {
+            let sched = place_sync(dapple(d, n), SyncStrategy::EagerOpt, UnitCosts::practical());
+            let cost = TrainConfig {
+                model,
+                cluster,
+                d,
+                w,
+                b,
+                stage_replicas: 1,
+            }
+            .cost_model();
+            let rep = simulate(&sched, &cost).expect("simulates");
+            rows.push(vec![
+                "1".to_string(),
+                d.to_string(),
+                w.to_string(),
+                n.to_string(),
+                format!("{:.1}", rep.throughput(b_hat)),
+                format!("{:.3}", rep.bubble_ratio),
+            ]);
+            json.push(serde_json::json!({
+                "pipelines": 1, "d": d, "w": w,
+                "throughput": rep.throughput(b_hat),
+                "bubble": rep.bubble_ratio,
+            }));
+        }
+        let mut f = 1u32;
+        while (d / 2) % f == 0 && 2 * f <= d {
+            let sched = chimera(&ChimeraConfig {
+                d,
+                n,
+                f,
+                scale: ScaleMethod::Direct,
+            })
+            .expect("valid config");
+            let sched = place_sync(sched, SyncStrategy::EagerOpt, UnitCosts::practical());
+            let cost = TrainConfig {
+                model,
+                cluster,
+                d,
+                w,
+                b,
+                stage_replicas: 2 * f,
+            }
+            .cost_model();
+            let rep = simulate(&sched, &cost).expect("simulates");
+            rows.push(vec![
+                format!("{}", 2 * f),
+                d.to_string(),
+                w.to_string(),
+                n.to_string(),
+                format!("{:.1}", rep.throughput(b_hat)),
+                format!("{:.3}", rep.bubble_ratio),
+            ]);
+            json.push(serde_json::json!({
+                "pipelines": 2 * f, "d": d, "w": w,
+                "throughput": rep.throughput(b_hat),
+                "bubble": rep.bubble_ratio,
+            }));
+            f *= 2;
+        }
+        print_table(
+            &format!("Fig. 19: GPT-2-32L, B̂=64, P=64, D={d} (samples/s)"),
+            &["pipelines", "D", "W", "N", "samples/s", "bubble"],
+            &rows,
+        );
+    }
+    save_json("fig19_multi_pipeline", serde_json::json!(json));
+}

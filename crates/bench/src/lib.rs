@@ -1,0 +1,133 @@
+//! # chimera-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§4). Each `src/bin/figNN_*.rs` / `src/bin/tableN.rs` binary
+//! prints the paper-style rows and writes machine-readable JSON under
+//! `results/`. Criterion micro-benchmarks live in `benches/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use chimera_perf::planner::Candidate;
+
+pub mod scaling;
+
+/// Pretty-print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            s.push_str(&format!("{c:>w$}  "));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Write a JSON value to `results/<name>.json` (relative to the workspace
+/// root when run via `cargo run`, else the current directory).
+pub fn save_json(name: &str, value: serde_json::Value) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(&value).expect("serialize"))
+        .expect("write results file");
+    println!("[saved {}]", path.display());
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live at the workspace root.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Candidate → display row used by the tuning/scaling figures.
+pub fn candidate_row(c: &Candidate) -> Vec<String> {
+    vec![
+        c.scheme.label(),
+        c.w.to_string(),
+        c.d.to_string(),
+        c.b.to_string(),
+        c.n.to_string(),
+        if c.recompute { "R" } else { "-" }.to_string(),
+        format!("{:.1}", c.throughput),
+        format!("{:.3}", c.bubble_ratio),
+        format!("{:.2}", c.peak_mem as f64 / (1u64 << 30) as f64),
+    ]
+}
+
+/// Headers matching [`candidate_row`].
+pub fn candidate_headers() -> Vec<&'static str> {
+    vec![
+        "scheme", "W", "D", "B", "N", "rec", "samples/s", "bubble", "peakGiB",
+    ]
+}
+
+/// Candidate → JSON.
+pub fn candidate_json(c: &Candidate) -> serde_json::Value {
+    serde_json::json!({
+        "scheme": c.scheme.label(),
+        "w": c.w,
+        "d": c.d,
+        "b": c.b,
+        "n": c.n,
+        "recompute": c.recompute,
+        "fits": c.fits,
+        "iter_time_s": c.iter_time_s,
+        "throughput": c.throughput,
+        "peak_mem_bytes": c.peak_mem,
+        "bubble_ratio": c.bubble_ratio,
+        "predicted_s": c.predicted_s,
+        "b_hat": c.b_hat,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn headers_match_row_arity() {
+        use chimera_perf::planner::{evaluate, PlanScheme};
+        use chimera_perf::{ClusterSpec, ModelSpec};
+        let c = evaluate(
+            PlanScheme::Dapple,
+            ModelSpec::bert48(),
+            ClusterSpec::piz_daint(),
+            8,
+            64,
+            2,
+            4,
+            4,
+        )
+        .unwrap();
+        assert_eq!(candidate_row(&c).len(), candidate_headers().len());
+        let j = candidate_json(&c);
+        assert!(j.get("throughput").is_some());
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared logic for the weak-scaling and large-mini-batch figures.
+
+use chimera_core::chimera::ScaleMethod;
+use chimera_perf::planner::{best, plan_chimera, Candidate, PlanScheme};
+use chimera_perf::{ClusterSpec, ModelSpec};
+
+/// The baseline schemes in the paper's legend order.
+pub fn baseline_schemes() -> Vec<PlanScheme> {
+    vec![
+        PlanScheme::PipeDream,
+        PlanScheme::PipeDream2Bw,
+        PlanScheme::GPipe,
+        PlanScheme::Gems,
+        PlanScheme::Dapple,
+    ]
+}
+
+/// Best candidate per scheme at `(p, b_hat)`: baselines via full grid
+/// search; Chimera via Eq. 1 planning (§4.2.2), empirically picking the best
+/// of its three §3.5 scaling methods — "to select the best of the three
+/// methods is not a priori, which we rely on empirical results".
+pub fn best_per_scheme(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    p: u32,
+    b_hat: u64,
+    _chimera_scale: ScaleMethod,
+) -> Vec<(String, Option<Candidate>)> {
+    let mut out: Vec<(String, Option<Candidate>)> = baseline_schemes()
+        .into_iter()
+        .map(|s| (s.label(), best(s, model, cluster, p, b_hat)))
+        .collect();
+    let mut chim: Option<Candidate> = None;
+    for scale in [
+        ScaleMethod::Direct,
+        ScaleMethod::ForwardDoubling { recompute: true },
+        ScaleMethod::BackwardHalving,
+    ] {
+        if let Some(c) = plan_chimera(1, scale, model, cluster, p, b_hat) {
+            if chim.as_ref().is_none_or(|b| c.throughput > b.throughput) {
+                chim = Some(c);
+            }
+        }
+    }
+    let label = chim
+        .as_ref()
+        .map(|c| c.scheme.label())
+        .unwrap_or_else(|| "Chimera".to_string());
+    out.push((label, chim));
+    out
+}
+
+/// Speedup of the last entry (Chimera) over every other entry that produced
+/// a candidate.
+pub fn chimera_speedups(results: &[(String, Option<Candidate>)]) -> Vec<(String, f64)> {
+    let chim = results
+        .last()
+        .and_then(|(_, c)| c.as_ref())
+        .map(|c| c.throughput)
+        .unwrap_or(0.0);
+    results[..results.len() - 1]
+        .iter()
+        .filter_map(|(name, c)| {
+            c.as_ref()
+                .map(|c| (name.clone(), chim / c.throughput))
+        })
+        .collect()
+}

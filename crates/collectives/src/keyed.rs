@@ -1,0 +1,296 @@
+//! Keyed-ordered allreduce with non-blocking launch.
+//!
+//! Gradient synchronization across pipeline replicas must reproduce the
+//! sequential reference's accumulation order to stay bit-exact: the
+//! reference sums per-micro-batch gradients in micro-batch order. Each
+//! member therefore contributes `(key, vector)` pairs (key = micro id); the
+//! reduction gathers all pairs, sorts by key, and sums in key order.
+//!
+//! The API is split like a non-blocking collective (§3.2 of the paper):
+//! [`KeyedMember::deposit`] never blocks (the launch), and
+//! [`KeyedMember::fetch`] blocks until the matching round's result is ready
+//! (the wait). Rounds are matched by per-member call order, so different
+//! members may interleave launches of several stages in different orders
+//! without deadlocking. [`KeyedMember::reduce`] is the blocking convenience
+//! combination.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+type Contribution = Vec<(u64, Vec<f32>)>;
+
+struct Round {
+    contributions: Vec<Option<Contribution>>,
+    arrived: usize,
+    result: Option<Arc<Vec<f32>>>,
+    fetched: usize,
+}
+
+impl Round {
+    fn new(n: usize) -> Self {
+        Round {
+            contributions: (0..n).map(|_| None).collect(),
+            arrived: 0,
+            result: None,
+            fetched: 0,
+        }
+    }
+}
+
+struct State {
+    rounds: VecDeque<Round>,
+    /// Global index of `rounds[0]`.
+    base: u64,
+    deposit_round: Vec<u64>,
+    fetch_round: Vec<u64>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    n: usize,
+}
+
+/// One member of a keyed-reduce group.
+pub struct KeyedMember {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+/// Create a keyed-reduce group of `n` members.
+pub fn keyed_group(n: usize) -> Vec<KeyedMember> {
+    assert!(n >= 1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            rounds: VecDeque::new(),
+            base: 0,
+            deposit_round: vec![0; n],
+            fetch_round: vec![0; n],
+        }),
+        cv: Condvar::new(),
+        n,
+    });
+    (0..n)
+        .map(|rank| KeyedMember {
+            rank,
+            shared: shared.clone(),
+        })
+        .collect()
+}
+
+impl KeyedMember {
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Non-blocking launch: contribute this member's `(key, vec)` pairs to
+    /// its next round. The member whose deposit completes a round performs
+    /// the reduction inline.
+    pub fn deposit(&self, contribution: Contribution) {
+        let n = self.shared.n;
+        let mut st = self.shared.state.lock();
+        let round_idx = st.deposit_round[self.rank];
+        st.deposit_round[self.rank] += 1;
+        let slot = (round_idx - st.base) as usize;
+        while st.rounds.len() <= slot {
+            st.rounds.push_back(Round::new(n));
+        }
+        let round = &mut st.rounds[slot];
+        round.contributions[self.rank] = Some(contribution);
+        round.arrived += 1;
+        if round.arrived == n {
+            let mut all: Vec<(u64, usize, Vec<f32>)> = Vec::new();
+            for r in 0..n {
+                let c = round.contributions[r].take().expect("rank contributed");
+                all.extend(c.into_iter().map(|(k, v)| (k, r, v)));
+            }
+            round.result = Some(Arc::new(sum_in_key_order(all)));
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Blocking wait: returns the reduced vector of this member's next
+    /// un-fetched round (in deposit order).
+    pub fn fetch(&self) -> Vec<f32> {
+        let n = self.shared.n;
+        let mut st = self.shared.state.lock();
+        let round_idx = st.fetch_round[self.rank];
+        st.fetch_round[self.rank] += 1;
+        loop {
+            let slot = (round_idx - st.base) as usize;
+            if let Some(round) = st.rounds.get(slot) {
+                if let Some(result) = &round.result {
+                    let out = (**result).clone();
+                    let round = &mut st.rounds[slot];
+                    round.fetched += 1;
+                    // Retire fully-fetched rounds from the front.
+                    while st
+                        .rounds
+                        .front()
+                        .is_some_and(|r| r.fetched == n)
+                    {
+                        st.rounds.pop_front();
+                        st.base += 1;
+                    }
+                    return out;
+                }
+            }
+            self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Blocking allreduce: [`Self::deposit`] + [`Self::fetch`].
+    pub fn reduce(&self, contribution: Contribution) -> Vec<f32> {
+        self.deposit(contribution);
+        self.fetch()
+    }
+}
+
+fn sum_in_key_order(items: impl IntoIterator<Item = (u64, usize, Vec<f32>)>) -> Vec<f32> {
+    let mut all: Vec<(u64, usize, Vec<f32>)> = items.into_iter().collect();
+    all.sort_by_key(|&(k, r, _)| (k, r));
+    let mut iter = all.into_iter();
+    let Some((_, _, mut acc)) = iter.next() else {
+        return Vec::new();
+    };
+    for (_, _, v) in iter {
+        assert_eq!(v.len(), acc.len(), "keyed reduce length mismatch");
+        for (a, b) in acc.iter_mut().zip(&v) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn sums_in_key_order_exactly() {
+        // Values chosen so summation order changes the f32 result.
+        let g0 = vec![(0u64, vec![1e8f32]), (1, vec![1.0])];
+        let g1 = vec![(2u64, vec![-1e8f32]), (3, vec![1.0])];
+        let expect = (((1e8f32 + 1.0) + -1e8) + 1.0).to_bits();
+
+        let members = keyed_group(2);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                let c = if m.rank() == 0 { g0.clone() } else { g1.clone() };
+                thread::spawn(move || m.reduce(c)[0].to_bits())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn key_order_independent_of_rank_assignment() {
+        // Swap which rank holds which micros: result identical.
+        let run = |swap: bool| {
+            let g_even = vec![(0u64, vec![0.1f32, 7.0]), (2, vec![0.2, -3.0])];
+            let g_odd = vec![(1u64, vec![0.4f32, 0.5]), (3, vec![0.8, 0.25])];
+            let members = keyed_group(2);
+            let handles: Vec<_> = members
+                .into_iter()
+                .map(|m| {
+                    let mine = if (m.rank() == 0) ^ swap {
+                        g_even.clone()
+                    } else {
+                        g_odd.clone()
+                    };
+                    thread::spawn(move || m.reduce(mine))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).next().unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn single_member_sums_locally() {
+        let mut g = keyed_group(1);
+        let m = g.pop().unwrap();
+        let out = m.reduce(vec![(1, vec![2.0]), (0, vec![3.0])]);
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn repeated_rounds() {
+        let members = keyed_group(3);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                thread::spawn(move || {
+                    let mut outs = Vec::new();
+                    for round in 0..5u64 {
+                        let c = vec![(m.rank() as u64, vec![round as f32])];
+                        outs.push(m.reduce(c));
+                    }
+                    outs
+                })
+            })
+            .collect();
+        for h in handles {
+            for (round, out) in h.join().unwrap().into_iter().enumerate() {
+                assert_eq!(out, vec![3.0 * round as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_contributions_allowed() {
+        let members = keyed_group(2);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                thread::spawn(move || {
+                    let c = if m.rank() == 0 {
+                        vec![(0u64, vec![1.0f32])]
+                    } else {
+                        Vec::new()
+                    };
+                    m.reduce(c)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![1.0]);
+        }
+    }
+
+    /// Two overlapping outstanding rounds: launch round 0 and round 1 before
+    /// waiting on either (non-blocking collective semantics).
+    #[test]
+    fn overlapping_outstanding_rounds() {
+        let members = keyed_group(2);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                thread::spawn(move || {
+                    m.deposit(vec![(m.rank() as u64, vec![1.0f32])]);
+                    m.deposit(vec![(m.rank() as u64, vec![10.0f32])]);
+                    let a = m.fetch();
+                    let b = m.fetch();
+                    (a, b)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            assert_eq!(a, vec![2.0]);
+            assert_eq!(b, vec![20.0]);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # chimera-collectives
+//!
+//! Real shared-memory collective operations across threads, used by the
+//! pipeline training runtime for gradient synchronization (the role GLOO's
+//! allreduce plays in the paper's implementation):
+//!
+//! * [`exact`] — gather → rank-ordered sum → broadcast: bitwise
+//!   deterministic regardless of thread timing, enabling the bit-exact
+//!   pipelined-vs-sequential equivalence tests;
+//! * [`ring`] — bandwidth-optimal ring reduce-scatter + allgather over
+//!   crossbeam channels, benchmarked against the exact variant;
+//! * [`compress`] — QSGD quantization and top-k sparsification with error
+//!   feedback (the paper's stated future work, §5).
+
+pub mod compress;
+pub mod exact;
+pub mod keyed;
+pub mod ring;
+
+pub use compress::{dequantize, quantize, top_k, Quantized, Sparse};
+pub use exact::{exact_group, ExactMember};
+pub use keyed::{keyed_group, KeyedMember};
+pub use ring::{ring_group, RingMember};

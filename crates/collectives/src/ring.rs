@@ -1,0 +1,176 @@
+//! Ring allreduce (reduce-scatter + allgather) over crossbeam channels —
+//! the bandwidth-optimal algorithm class the paper's cost model assumes
+//! (§3.4), implemented for real across threads.
+//!
+//! Unlike [`crate::exact`], the reduction order depends on ring position, so
+//! results are deterministic across runs but not bitwise equal to a
+//! rank-ordered sum; training runtimes that need bit-exactness use the exact
+//! group, benches compare both.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// One member of a ring allreduce group.
+pub struct RingMember {
+    rank: usize,
+    n: usize,
+    to_next: Sender<Vec<f32>>,
+    from_prev: Receiver<Vec<f32>>,
+}
+
+/// Create a ring allreduce group of `n` members.
+pub fn ring_group(n: usize) -> Vec<RingMember> {
+    assert!(n >= 1);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = bounded(2);
+        senders.push(Some(s));
+        receivers.push(Some(r));
+    }
+    (0..n)
+        .map(|rank| RingMember {
+            rank,
+            n,
+            // rank sends to rank+1, so it owns sender slot (rank+1) % n's
+            // inbox... i.e. channel i is the inbox of rank i.
+            to_next: senders[(rank + 1) % n].take().expect("sender"),
+            from_prev: receivers[rank].take().expect("receiver"),
+        })
+        .collect()
+}
+
+impl RingMember {
+    /// This member's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Ring allreduce: after the call every member's `buf` holds the
+    /// element-wise sum.
+    pub fn allreduce_sum(&self, buf: &mut [f32]) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        let chunks = chunk_ranges(buf.len(), n);
+        // Reduce-scatter: step t, send chunk (rank - t), receive and
+        // accumulate chunk (rank - t - 1).
+        for t in 0..n - 1 {
+            let send_idx = (self.rank + n - t) % n;
+            let r = &chunks[send_idx];
+            self.to_next
+                .send(buf[r.clone()].to_vec())
+                .expect("ring peer alive");
+            let recv = self.from_prev.recv().expect("ring peer alive");
+            let recv_idx = (self.rank + n - t - 1) % n;
+            let rr = &chunks[recv_idx];
+            for (a, b) in buf[rr.clone()].iter_mut().zip(&recv) {
+                *a += b;
+            }
+        }
+        // Allgather: step t, send fully-reduced chunk (rank + 1 - t),
+        // receive chunk (rank - t).
+        for t in 0..n - 1 {
+            let send_idx = (self.rank + 1 + n - t) % n;
+            let r = &chunks[send_idx];
+            self.to_next
+                .send(buf[r.clone()].to_vec())
+                .expect("ring peer alive");
+            let recv = self.from_prev.recv().expect("ring peer alive");
+            let recv_idx = (self.rank + n - t) % n;
+            let rr = &chunks[recv_idx];
+            buf[rr.clone()].copy_from_slice(&recv);
+        }
+    }
+}
+
+/// Split `len` elements into `n` contiguous ranges (first `len % n` ranges
+/// one element longer).
+fn chunk_ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let base = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_ring(n: usize, len: usize) -> Vec<Vec<f32>> {
+        let members = ring_group(n);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                thread::spawn(move || {
+                    let mut buf: Vec<f32> =
+                        (0..len).map(|i| (m.rank() * len + i) as f32).collect();
+                    m.allreduce_sum(&mut buf);
+                    buf
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn matches_expected_sum() {
+        for (n, len) in [(2usize, 8usize), (3, 7), (4, 16), (5, 3)] {
+            let results = run_ring(n, len);
+            let expect: Vec<f32> = (0..len)
+                .map(|i| (0..n).map(|r| (r * len + i) as f32).sum())
+                .collect();
+            for (rank, r) in results.iter().enumerate() {
+                for (a, b) in r.iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-4, "n={n} len={len} rank={rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_members_agree() {
+        let results = run_ring(4, 10);
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn chunking_covers_everything() {
+        for (len, n) in [(10usize, 3usize), (7, 7), (5, 8), (0, 2)] {
+            let ranges = chunk_ranges(len, n);
+            assert_eq!(ranges.len(), n);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+            // Contiguous.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn short_buffers_with_empty_chunks() {
+        // len < n leaves some chunks empty — must still work.
+        let results = run_ring(6, 2);
+        let expect: Vec<f32> = (0..2).map(|i| (0..6).map(|r| (r * 2 + i) as f32).sum()).collect();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests over the thread collectives: every algorithm computes the
+//! same sum, for any group size, vector length, and values.
+
+use std::thread;
+
+use proptest::prelude::*;
+
+use chimera_collectives::{exact_group, keyed_group, ring_group};
+
+fn scatter(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|r| {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add((r * len + i) as u64);
+                    ((x >> 33) as i32 % 1000) as f32 / 100.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn expected_sum(parts: &[Vec<f32>]) -> Vec<f32> {
+    let len = parts[0].len();
+    (0..len).map(|i| parts.iter().map(|p| p[i]).sum()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exact and ring allreduce agree with the reference sum within fp
+    /// tolerance, and all members receive identical vectors.
+    #[test]
+    fn allreduce_algorithms_agree(n in 1usize..7, len in 0usize..40, seed in 0u64..10_000) {
+        let parts = scatter(n, len, seed);
+        let expect = expected_sum(&parts);
+
+        for ring in [false, true] {
+            let outs: Vec<Vec<f32>> = if ring {
+                let members = ring_group(n);
+                let handles: Vec<_> = members
+                    .into_iter()
+                    .map(|m| {
+                        let mut buf = parts[m.rank()].clone();
+                        thread::spawn(move || {
+                            m.allreduce_sum(&mut buf);
+                            buf
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            } else {
+                let members = exact_group(n);
+                let handles: Vec<_> = members
+                    .into_iter()
+                    .map(|m| {
+                        let mut buf = parts[m.rank()].clone();
+                        thread::spawn(move || {
+                            m.allreduce_sum(&mut buf);
+                            buf
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            };
+            for out in &outs[1..] {
+                prop_assert_eq!(out.clone(), outs[0].clone(), "members disagree (ring={})", ring);
+            }
+            for (a, b) in outs[0].iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "ring={}", ring);
+            }
+        }
+    }
+
+    /// Keyed reduction equals summing all contributions in global key order,
+    /// regardless of how keys are distributed among ranks.
+    #[test]
+    fn keyed_reduce_matches_sequential(n in 1usize..5, items in 1usize..10, len in 1usize..8, seed in 0u64..10_000) {
+        // Build `items` keyed vectors, assign them round-robin to ranks.
+        let parts = scatter(items, len, seed);
+        let expect = {
+            let mut acc = parts[0].clone();
+            for p in &parts[1..] {
+                for (a, b) in acc.iter_mut().zip(p) {
+                    *a += b;
+                }
+            }
+            acc
+        };
+        let members = keyed_group(n);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                let mine: Vec<(u64, Vec<f32>)> = parts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % n == m.rank())
+                    .map(|(i, v)| (i as u64, v.clone()))
+                    .collect();
+                thread::spawn(move || m.reduce(mine))
+            })
+            .collect();
+        let outs: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for out in &outs {
+            // Key-ordered summation == sequential left fold: bitwise equal.
+            prop_assert_eq!(out.clone(), expect.clone());
+        }
+    }
+}

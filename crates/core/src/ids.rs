@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers used throughout the schedule IR.
+//!
+//! The paper's symbol table (Table 1) maps onto these types as follows:
+//! `D` = number of [`StageId`]s, `P`/`W*D` workers are [`WorkerId`]s within a
+//! pipeline group, `N` micro-batches are [`MicroId`]s, and each of the `2f`
+//! directional pipelines of Chimera (or the single pipeline of the baselines)
+//! is a [`ReplicaId`].
+
+use std::fmt;
+
+/// Index of a pipeline stage, `0..D`. Stage `0` holds the input layers
+/// (including the embedding for language models), stage `D-1` the output
+/// layers and the loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub u32);
+
+/// Index of a worker within one pipeline-parallel group, `0..D`.
+///
+/// Data parallelism replicates the whole group `W` times; the schedule is
+/// identical in every group, so the IR only ever talks about one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+/// Index of a micro-batch within one training iteration, `0..N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MicroId(pub u32);
+
+/// Index of a model replica / directional pipeline.
+///
+/// Chimera with `f` pipeline pairs has `2f` replicas: even ids are *down*
+/// pipelines, odd ids are *up* pipelines (§3.1, §3.6). GEMS has two replicas
+/// (one per direction). All other baselines have a single replica `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl StageId {
+    /// The raw index as `usize`, for container indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl WorkerId {
+    /// The raw index as `usize`, for container indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MicroId {
+    /// The raw index as `usize`, for container indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ReplicaId {
+    /// The raw index as `usize`, for container indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this replica is a *down* pipeline (stages mapped to workers in
+    /// ascending order).
+    #[inline]
+    pub fn is_down(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// Whether this replica is an *up* pipeline (stages mapped to workers in
+    /// descending order).
+    #[inline]
+    pub fn is_up(self) -> bool {
+        !self.is_down()
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for MicroId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_direction() {
+        assert!(ReplicaId(0).is_down());
+        assert!(ReplicaId(1).is_up());
+        assert!(ReplicaId(2).is_down());
+        assert!(ReplicaId(3).is_up());
+        assert!(!ReplicaId(0).is_up());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StageId(3).to_string(), "s3");
+        assert_eq!(WorkerId(0).to_string(), "P0");
+        assert_eq!(MicroId(7).to_string(), "m7");
+        assert_eq!(ReplicaId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(StageId(5).idx(), 5);
+        assert_eq!(WorkerId(2).idx(), 2);
+        assert_eq!(MicroId(9).idx(), 9);
+        assert_eq!(ReplicaId(3).idx(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Stage → worker placement for each model replica.
+
+use crate::ids::{ReplicaId, StageId, WorkerId};
+
+/// Maps every `(replica, stage)` pair to the worker that holds that stage's
+/// layers for that replica.
+///
+/// Chimera's *down* pipeline `i` (replica `2i`) maps stage `j` to worker
+/// `(i * D/f + j) mod D`; the matching *up* pipeline (replica `2i+1`) maps
+/// stages in the completely reverse order (§3.1, §3.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// `map[replica][stage] = worker`.
+    map: Vec<Vec<WorkerId>>,
+    /// Number of pipeline stages `D` (== number of workers in the group).
+    d: u32,
+}
+
+impl Placement {
+    /// Build a placement from an explicit map. Panics if rows are not all of
+    /// length `d` or reference workers `>= d`.
+    pub fn new(d: u32, map: Vec<Vec<WorkerId>>) -> Self {
+        assert!(!map.is_empty(), "placement needs at least one replica");
+        for row in &map {
+            assert_eq!(row.len(), d as usize, "each replica must place all D stages");
+            for w in row {
+                assert!(w.0 < d, "worker id out of range");
+            }
+        }
+        Placement { map, d }
+    }
+
+    /// The single linear placement used by GPipe / DAPPLE / PipeDream(-2BW):
+    /// stage `j` on worker `j`.
+    pub fn linear(d: u32) -> Self {
+        Placement::new(d, vec![(0..d).map(WorkerId).collect()])
+    }
+
+    /// Chimera / GEMS placement with `f` down/up pipeline pairs: replica `2i`
+    /// is the down pipeline starting at worker `i * D/f`, replica `2i+1` the
+    /// reversed up pipeline (§3.6). `d` must be divisible by `f` and `f` must
+    /// divide `d/2`.
+    pub fn bidirectional(d: u32, f: u32) -> Self {
+        assert!(f >= 1 && d.is_multiple_of(2), "Chimera requires an even D");
+        assert!(
+            (d / 2).is_multiple_of(f),
+            "f must divide D/2 (f in divisors of Q = D/2, §3.6)"
+        );
+        let mut map = Vec::with_capacity(2 * f as usize);
+        for i in 0..f {
+            let base = i * (d / f);
+            let down: Vec<WorkerId> = (0..d).map(|j| WorkerId((base + j) % d)).collect();
+            let up: Vec<WorkerId> = (0..d)
+                .map(|j| WorkerId((base + (d - 1 - j)) % d))
+                .collect();
+            map.push(down);
+            map.push(up);
+        }
+        Placement::new(d, map)
+    }
+
+    /// Number of stages / workers `D`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of model replicas (`2f` for Chimera, 2 for GEMS, 1 otherwise).
+    #[inline]
+    pub fn replicas(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    /// Worker holding `stage` of `replica`.
+    #[inline]
+    pub fn worker(&self, replica: ReplicaId, stage: StageId) -> WorkerId {
+        self.map[replica.idx()][stage.idx()]
+    }
+
+    /// All `(replica, stage)` pairs held by `worker`.
+    pub fn held_by(&self, worker: WorkerId) -> Vec<(ReplicaId, StageId)> {
+        let mut held = Vec::new();
+        for (r, row) in self.map.iter().enumerate() {
+            for (s, w) in row.iter().enumerate() {
+                if *w == worker {
+                    held.push((ReplicaId(r as u32), StageId(s as u32)));
+                }
+            }
+        }
+        held
+    }
+
+    /// Workers holding a replica of `stage` (the allreduce group for that
+    /// stage within one pipeline group), deduplicated and sorted.
+    pub fn stage_holders(&self, stage: StageId) -> Vec<WorkerId> {
+        let mut holders: Vec<WorkerId> = self
+            .map
+            .iter()
+            .map(|row| row[stage.idx()])
+            .collect();
+        holders.sort_unstable();
+        holders.dedup();
+        holders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_places_stage_on_same_worker() {
+        let p = Placement::linear(4);
+        assert_eq!(p.replicas(), 1);
+        for s in 0..4 {
+            assert_eq!(p.worker(ReplicaId(0), StageId(s)), WorkerId(s));
+        }
+    }
+
+    #[test]
+    fn bidirectional_f1_matches_figure3() {
+        // Figure 3: D=4, down = identity, up = reversed.
+        let p = Placement::bidirectional(4, 1);
+        assert_eq!(p.replicas(), 2);
+        for s in 0..4 {
+            assert_eq!(p.worker(ReplicaId(0), StageId(s)), WorkerId(s));
+            assert_eq!(p.worker(ReplicaId(1), StageId(s)), WorkerId(3 - s));
+        }
+        // Every worker holds exactly two stage replicas, and their ids sum to D-1.
+        for w in 0..4 {
+            let held = p.held_by(WorkerId(w));
+            assert_eq!(held.len(), 2);
+            assert_eq!(held[0].1 .0 + held[1].1 .0, 3);
+        }
+    }
+
+    #[test]
+    fn bidirectional_f2_matches_figure8() {
+        // Figure 8: D=8, f=2. Down pipeline1 maps stages [0..8] to workers
+        // [4,5,6,7,0,1,2,3].
+        let p = Placement::bidirectional(8, 2);
+        assert_eq!(p.replicas(), 4);
+        let down1: Vec<u32> = (0..8)
+            .map(|s| p.worker(ReplicaId(2), StageId(s)).0)
+            .collect();
+        assert_eq!(down1, vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        let up1: Vec<u32> = (0..8)
+            .map(|s| p.worker(ReplicaId(3), StageId(s)).0)
+            .collect();
+        assert_eq!(up1, vec![3, 2, 1, 0, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn stage_holders_are_allreduce_groups() {
+        let p = Placement::bidirectional(4, 1);
+        assert_eq!(p.stage_holders(StageId(0)), vec![WorkerId(0), WorkerId(3)]);
+        assert_eq!(p.stage_holders(StageId(1)), vec![WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even D")]
+    fn odd_d_rejected() {
+        Placement::bidirectional(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "f must divide")]
+    fn bad_f_rejected() {
+        Placement::bidirectional(8, 3);
+    }
+
+    #[test]
+    fn every_worker_load_is_balanced_bidirectional() {
+        for (d, f) in [(4u32, 1u32), (8, 1), (8, 2), (8, 4), (16, 2), (32, 4)] {
+            let p = Placement::bidirectional(d, f);
+            for w in 0..d {
+                assert_eq!(
+                    p.held_by(WorkerId(w)).len(),
+                    2 * f as usize,
+                    "D={d} f={f} worker {w}"
+                );
+            }
+        }
+    }
+}

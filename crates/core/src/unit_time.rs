@@ -1,0 +1,548 @@
+//! Dependency-driven execution of a schedule under abstract integer costs.
+//!
+//! Schedules only fix each worker's op *order*; this module derives the
+//! resulting timeline: every worker executes its ops strictly in order, each
+//! op starting when the worker is free *and* its data dependencies have
+//! arrived. Bubbles, overlap, and the "practical" shapes of Fig. 3/7 (where a
+//! backward pass costs about twice a forward pass) all emerge from this
+//! execution, exactly as they do in a real pipeline runtime.
+//!
+//! Costs are integer "ticks". Using `fwd = 2` keeps all derived costs (e.g.
+//! half-micro backward chunks) integral.
+
+use crate::dep::DepTracker;
+use crate::ids::{ReplicaId, StageId, WorkerId};
+use crate::op::{Chunk, Op, OpKind};
+use crate::schedule::Schedule;
+
+/// A cost model for dependency-driven execution.
+///
+/// Times are integer *ticks*; what a tick means is up to the provider
+/// ([`UnitCosts`] uses abstract slots, the `chimera-sim` crate uses
+/// nanoseconds).
+pub trait CostProvider {
+    /// Execution time of `op` on its worker.
+    fn op_cost(&self, op: &Op) -> u64;
+    /// Transfer delay for `op`'s input arriving from `from` on `to`
+    /// (activation for forwards, output gradient for backwards). Called only
+    /// when `from != to` never holds — providers should return 0 when
+    /// `from == to`.
+    fn p2p_delay(&self, from: WorkerId, to: WorkerId, op: &Op) -> u64;
+    /// Duration of the gradient allreduce for `stage`, measured from the
+    /// last participant's launch.
+    fn allreduce_duration(&self, stage: StageId) -> u64;
+    /// Stash units a forward of `op` allocates (freed by the backward).
+    /// [`UnitCosts`] counts micro-batches (`Ma` units); the simulator counts
+    /// bytes.
+    fn full_stash(&self, op: &Op) -> f64;
+    /// Stash units a forward allocates when the matching backward will
+    /// recompute (only the stage-boundary input is kept).
+    fn boundary_stash(&self, op: &Op) -> f64;
+}
+
+/// Abstract op costs in ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitCosts {
+    /// Ticks for a full-micro forward pass.
+    pub fwd: u64,
+    /// Ticks for a full-micro backward pass (≈ `2 * fwd` in practice, §2).
+    pub bwd: u64,
+    /// Extra ticks a backward pays for activation recomputation (≈ one
+    /// forward, [11]).
+    pub recompute_extra: u64,
+    /// Point-to-point transfer delay between dependent ops on different
+    /// workers.
+    pub p2p: u64,
+    /// Duration of a gradient allreduce, measured from the last launch.
+    pub allreduce: u64,
+    /// Compute-time overhead a worker pays to launch a non-blocking
+    /// allreduce (initialization/threading overheads of §3.2).
+    pub launch_overhead: u64,
+    /// Fraction of one micro-batch's activation memory that remains stashed
+    /// when a stage will recompute (the stage-boundary input). `0.0` ignores
+    /// it; the byte-accurate simulator models it properly.
+    pub recompute_stash_fraction: f64,
+}
+
+impl UnitCosts {
+    /// Idealized equal forward/backward workloads (upper-right of Fig. 3).
+    pub fn equal() -> Self {
+        UnitCosts {
+            fwd: 2,
+            bwd: 2,
+            recompute_extra: 2,
+            p2p: 0,
+            allreduce: 0,
+            launch_overhead: 0,
+            recompute_stash_fraction: 0.0,
+        }
+    }
+
+    /// Practical workloads: backward ≈ 2× forward (bottom-right of Fig. 3).
+    pub fn practical() -> Self {
+        UnitCosts {
+            bwd: 4,
+            ..UnitCosts::equal()
+        }
+    }
+
+    /// Ticks for one op.
+    pub fn cost(&self, op: &Op) -> u64 {
+        match op.kind {
+            OpKind::Forward => match op.chunk {
+                Chunk::Full => self.fwd,
+                Chunk::Pair => 2 * self.fwd,
+                Chunk::Half(_) => self.fwd / 2,
+            },
+            OpKind::Backward { recompute } => {
+                let full = self.bwd + if recompute { self.recompute_extra } else { 0 };
+                match op.chunk {
+                    Chunk::Full => full,
+                    Chunk::Pair => 2 * full,
+                    Chunk::Half(_) => full / 2,
+                }
+            }
+            OpKind::AllReduceLaunch => self.launch_overhead,
+            OpKind::AllReduceWait => 0,
+        }
+    }
+}
+
+impl CostProvider for UnitCosts {
+    fn op_cost(&self, op: &Op) -> u64 {
+        self.cost(op)
+    }
+
+    fn p2p_delay(&self, from: WorkerId, to: WorkerId, _op: &Op) -> u64 {
+        if from == to {
+            0
+        } else {
+            self.p2p
+        }
+    }
+
+    fn allreduce_duration(&self, _stage: StageId) -> u64 {
+        self.allreduce
+    }
+
+    fn full_stash(&self, op: &Op) -> f64 {
+        chunk_units(op)
+    }
+
+    fn boundary_stash(&self, op: &Op) -> f64 {
+        chunk_units(op) * self.recompute_stash_fraction
+    }
+}
+
+/// Micro-batch coverage of an op as a fraction of one full micro-batch.
+fn chunk_units(op: &Op) -> f64 {
+    match op.chunk {
+        Chunk::Full => 1.0,
+        Chunk::Pair => 2.0,
+        Chunk::Half(_) => 0.5,
+    }
+}
+
+/// Start/finish of one executed op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// The op.
+    pub op: Op,
+    /// Tick at which execution started.
+    pub start: u64,
+    /// Tick at which execution finished (`start + cost`).
+    pub finish: u64,
+}
+
+/// Result of executing a schedule.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Per worker, per op (in schedule order): its span.
+    pub spans: Vec<Vec<OpSpan>>,
+    /// Completion time of the whole iteration.
+    pub makespan: u64,
+    /// Compute ticks per worker (forward + backward, incl. recompute and
+    /// launch overhead; excludes waiting).
+    pub busy: Vec<u64>,
+    /// Peak concurrently-stashed activations per worker, in units of `Ma`
+    /// (one stage's activations for one full micro-batch).
+    pub peak_activations: Vec<f64>,
+}
+
+impl Timeline {
+    /// `bubble overhead / overall runtime` (paper §2), averaged over workers.
+    pub fn bubble_ratio(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let total_idle: u64 = self
+            .busy
+            .iter()
+            .map(|&b| self.makespan - b)
+            .sum();
+        total_idle as f64 / (self.makespan as f64 * self.busy.len() as f64)
+    }
+
+    /// Idle ticks within the makespan, per worker.
+    pub fn per_worker_bubbles(&self) -> Vec<u64> {
+        self.busy.iter().map(|&b| self.makespan - b).collect()
+    }
+
+    /// Finish tick of the last backward op of `(replica, stage)` on `worker`,
+    /// if any.
+    pub fn last_backward_finish(
+        &self,
+        worker: WorkerId,
+        replica: ReplicaId,
+        stage: StageId,
+    ) -> Option<u64> {
+        self.spans[worker.idx()]
+            .iter()
+            .filter(|s| s.op.is_backward() && s.op.replica == replica && s.op.stage == stage)
+            .map(|s| s.finish)
+            .max()
+    }
+
+    /// Finish tick of the last *compute* op on `worker`.
+    pub fn last_compute_finish(&self, worker: WorkerId) -> u64 {
+        self.spans[worker.idx()]
+            .iter()
+            .filter(|s| s.op.is_compute())
+            .map(|s| s.finish)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Why execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// No worker could make progress: a dependency is missing from the
+    /// schedule or the per-worker orders form a cross-worker cycle.
+    Deadlock {
+        /// Worker that is stuck (the first one found).
+        worker: WorkerId,
+        /// Index of the stuck op in the worker's sequence.
+        op_index: usize,
+        /// Textual rendering of the stuck op.
+        op: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Deadlock { worker, op_index, op } => write!(
+                f,
+                "schedule deadlock: {worker} cannot execute op #{op_index} ({op}); \
+                 missing dependency or cyclic worker orders"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute `schedule` under [`UnitCosts`]; returns the timeline or a
+/// deadlock error.
+pub fn execute(schedule: &Schedule, costs: UnitCosts) -> Result<Timeline, ExecError> {
+    execute_with(schedule, &costs)
+}
+
+/// Execute `schedule` under any [`CostProvider`].
+pub fn execute_with<C: CostProvider>(schedule: &Schedule, costs: &C) -> Result<Timeline, ExecError> {
+    let nw = schedule.num_workers();
+    let mut next = vec![0usize; nw];
+    let mut free = vec![0u64; nw];
+    let mut busy = vec![0u64; nw];
+    let mut spans: Vec<Vec<OpSpan>> = vec![Vec::new(); nw];
+    // Activation deltas (tick, delta) per worker.
+    let mut act_events: Vec<Vec<(u64, f64)>> = vec![Vec::new(); nw];
+    let mut st = DepTracker::new(
+        schedule.d,
+        &schedule.placement,
+        schedule.iter_ops().map(|(_, _, op)| op),
+    );
+
+    let total: usize = schedule.workers.iter().map(Vec::len).sum();
+    let mut done = 0usize;
+    while done < total {
+        let mut progressed = false;
+        #[allow(clippy::needless_range_loop)] // w indexes several parallel arrays
+        for w in 0..nw {
+            while next[w] < schedule.workers[w].len() {
+                let op = schedule.workers[w][next[w]];
+                let Some(dep_t) = st.ready_time(costs, WorkerId(w as u32), &op) else {
+                    break;
+                };
+                let start = free[w].max(dep_t);
+                let cost = costs.op_cost(&op);
+                let finish = start + cost;
+                st.record(costs, WorkerId(w as u32), &op, finish);
+                spans[w].push(OpSpan { op, start, finish });
+                match op.kind {
+                    OpKind::Forward => {
+                        let amount = if st.stashes_boundary_only(&op) {
+                            costs.boundary_stash(&op)
+                        } else {
+                            costs.full_stash(&op)
+                        };
+                        act_events[w].push((finish, amount));
+                    }
+                    OpKind::Backward { recompute } => {
+                        let held = costs.full_stash(&op);
+                        if recompute {
+                            // Rematerialized activations live for the span of
+                            // the backward.
+                            let stashed = costs.boundary_stash(&op);
+                            act_events[w].push((start, held - stashed));
+                            act_events[w].push((finish, -held));
+                        } else {
+                            act_events[w].push((finish, -held));
+                        }
+                    }
+                    _ => {}
+                }
+                if op.is_compute() || matches!(op.kind, OpKind::AllReduceLaunch) {
+                    busy[w] += cost;
+                }
+                free[w] = finish;
+                next[w] += 1;
+                done += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Find the first stuck worker for diagnostics.
+            #[allow(clippy::needless_range_loop)] // w indexes two parallel arrays
+            for w in 0..nw {
+                if next[w] < schedule.workers[w].len() {
+                    let op = schedule.workers[w][next[w]];
+                    return Err(ExecError::Deadlock {
+                        worker: WorkerId(w as u32),
+                        op_index: next[w],
+                        op: op.to_string(),
+                    });
+                }
+            }
+            unreachable!("no progress but all workers done");
+        }
+    }
+
+    let makespan = free.iter().copied().max().unwrap_or(0);
+    let peak_activations = act_events
+        .into_iter()
+        .map(|mut ev| {
+            // Frees (negative deltas) apply before allocations at the same tick.
+            ev.sort_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then_with(|| a.1.partial_cmp(&b.1).unwrap())
+            });
+            let mut cur = 0.0f64;
+            let mut peak = 0.0f64;
+            for (_, delta) in ev {
+                cur += delta;
+                peak = peak.max(cur);
+            }
+            peak
+        })
+        .collect();
+
+    Ok(Timeline {
+        spans,
+        makespan,
+        busy,
+        peak_activations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MicroId;
+    use crate::placement::Placement;
+    use crate::schedule::{Scheme, SyncStrategy};
+
+    /// D=2 GPipe-style schedule used across tests.
+    fn gpipe2(n: u32) -> Schedule {
+        let mut workers = vec![Vec::new(), Vec::new()];
+        for s in 0..2u32 {
+            for m in 0..n {
+                workers[s as usize].push(Op::forward(MicroId(m), StageId(s), ReplicaId(0)));
+            }
+            for m in 0..n {
+                workers[s as usize].push(Op::backward(MicroId(m), StageId(s), ReplicaId(0)));
+            }
+        }
+        Schedule {
+            scheme: Scheme::GPipe,
+            d: 2,
+            n,
+            placement: Placement::linear(2),
+            workers,
+            flushes: true,
+            sync: SyncStrategy::None,
+        }
+    }
+
+    #[test]
+    fn gpipe_makespan_equal_costs() {
+        // D=2, N=2, fwd=bwd=2 ticks. Stage 1 runs F0@2, F1@4, B0@6, B1@8;
+        // stage 0's B0 waits for stage 1's B0 => B0@8, B1@10 -> makespan 12.
+        let t = execute(&gpipe2(2), UnitCosts::equal()).unwrap();
+        assert_eq!(t.makespan, 12);
+        // Each worker does 4 ops of 2 ticks.
+        assert_eq!(t.busy, vec![8, 8]);
+        // 2(D-1) = 2 bubble slots (4 ticks) per worker.
+        assert_eq!(t.per_worker_bubbles(), vec![4, 4]);
+    }
+
+    #[test]
+    fn gpipe_bubble_ratio_matches_table2() {
+        // Table 2: GPipe bubble ratio (D-1)/(N+D-1) with bwd = 2 fwd.
+        for n in [2u32, 4, 8, 16] {
+            let t = execute(&gpipe2(n), UnitCosts::practical()).unwrap();
+            let expected = (2.0 - 1.0) / (n as f64 + 2.0 - 1.0);
+            assert!(
+                (t.bubble_ratio() - expected).abs() < 1e-9,
+                "n={n}: {} vs {}",
+                t.bubble_ratio(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_for_reversed_order() {
+        // Stage-1 forward scheduled before stage-0 produced anything on a
+        // worker that also waits on itself -> cross dependency unsatisfied.
+        let placement = Placement::linear(2);
+        let workers = vec![
+            vec![Op::backward(MicroId(0), StageId(0), ReplicaId(0))], // B before F
+            vec![],
+        ];
+        let s = Schedule {
+            scheme: Scheme::GPipe,
+            d: 2,
+            n: 1,
+            placement,
+            workers,
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        let err = execute(&s, UnitCosts::equal()).unwrap_err();
+        assert!(matches!(err, ExecError::Deadlock { .. }));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn p2p_latency_shifts_start() {
+        let mut c = UnitCosts::equal();
+        c.p2p = 3;
+        let t = execute(&gpipe2(1), c).unwrap();
+        // F at stage1 starts at 2 (fwd) + 3 (p2p) = 5.
+        let f1 = t.spans[1][0];
+        assert_eq!(f1.start, 5);
+    }
+
+    #[test]
+    fn activation_peak_gpipe_is_n() {
+        // GPipe stashes all N micros (Table 2: N * Ma).
+        for n in [2u32, 4, 8] {
+            let t = execute(&gpipe2(n), UnitCosts::practical()).unwrap();
+            assert_eq!(t.peak_activations[0], n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn recompute_costs_extra_and_stashes_nothing() {
+        let mut s = gpipe2(2);
+        for ops in &mut s.workers {
+            for op in ops.iter_mut() {
+                if op.is_backward() {
+                    *op = Op {
+                        kind: OpKind::Backward { recompute: true },
+                        ..*op
+                    };
+                }
+            }
+        }
+        let t = execute(&s, UnitCosts::practical()).unwrap();
+        // Peak = rematerialized single micro during backward.
+        assert_eq!(t.peak_activations[0], 1.0);
+        // Backward cost = 4 + 2 recompute ticks.
+        let b = t.spans[0].iter().find(|sp| sp.op.is_backward()).unwrap();
+        assert_eq!(b.finish - b.start, 6);
+    }
+
+    #[test]
+    fn allreduce_wait_joins_all_participants() {
+        // Two workers, each holding one replica of stage 0 (contrived
+        // placement with D=2, replicas on both), synchronizing at the end.
+        let placement = Placement::new(
+            2,
+            vec![
+                vec![WorkerId(0), WorkerId(1)],
+                vec![WorkerId(1), WorkerId(0)],
+            ],
+        );
+        let mk = |m: u32, s: u32, r: u32| {
+            (
+                Op::forward(MicroId(m), StageId(s), ReplicaId(r)),
+                Op::backward(MicroId(m), StageId(s), ReplicaId(r)),
+            )
+        };
+        let (f00, b00) = mk(0, 0, 0);
+        let (f01, b01) = mk(0, 1, 0);
+        let (f10, b10) = mk(1, 0, 1);
+        let (f11, b11) = mk(1, 1, 1);
+        let workers = vec![
+            vec![
+                f00,
+                b00,
+                f11, // stage1 of replica 1 is on worker 0
+                b11,
+                Op::allreduce_launch(StageId(0), ReplicaId(0)),
+                Op::allreduce_wait(StageId(0), ReplicaId(0)),
+            ],
+            vec![
+                f10,
+                f01,
+                b01,
+                b10,
+                Op::allreduce_launch(StageId(0), ReplicaId(1)),
+                Op::allreduce_wait(StageId(0), ReplicaId(1)),
+            ],
+        ];
+        let s = Schedule {
+            scheme: Scheme::Chimera,
+            d: 2,
+            n: 2,
+            placement,
+            workers,
+            flushes: true,
+            sync: SyncStrategy::PostHoc,
+        };
+        let mut c = UnitCosts::equal();
+        c.allreduce = 5;
+        let t = execute(&s, c).unwrap();
+        // Both waits end at the same tick: max(launches) + 5.
+        let w0 = t.spans[0].last().unwrap();
+        let w1 = t.spans[1].last().unwrap();
+        assert_eq!(w0.finish, w1.finish);
+        assert!(w0.finish >= 5);
+    }
+
+    #[test]
+    fn last_backward_finish_lookup() {
+        let t = execute(&gpipe2(2), UnitCosts::equal()).unwrap();
+        let lb = t
+            .last_backward_finish(WorkerId(0), ReplicaId(0), StageId(0))
+            .unwrap();
+        assert_eq!(lb, t.makespan);
+        assert_eq!(
+            t.last_backward_finish(WorkerId(0), ReplicaId(0), StageId(1)),
+            None
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Binary model checkpoints.
+//!
+//! Long pipeline-parallel training runs checkpoint their model state; this
+//! module serializes a stage-partitioned model to a compact little-endian
+//! binary format and restores it bit-exactly. Restoring can re-partition:
+//! a checkpoint written from a `D=4` partition can be loaded as `D=8`
+//! stages (parameters are partition-independent, see [`crate::stage`]).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::stage::{ModelConfig, Stage};
+
+/// Format magic ("CHIM") + version.
+const MAGIC: u32 = 0x4348_494D;
+const VERSION: u32 = 1;
+
+/// Checkpoint decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not a chimera checkpoint (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The byte stream ended early or has trailing garbage.
+    Truncated,
+    /// The stored parameter count does not match the configuration.
+    ShapeMismatch {
+        /// Parameters expected from the stored config.
+        expected: usize,
+        /// Parameters present in the stream.
+        got: usize,
+    },
+    /// The requested partition depth does not divide the layer count.
+    BadDepth(u32),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a chimera checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated or has trailing bytes"),
+            CheckpointError::ShapeMismatch { expected, got } => {
+                write!(f, "parameter count mismatch: expected {expected}, got {got}")
+            }
+            CheckpointError::BadDepth(d) => {
+                write!(f, "layers do not divide evenly into {d} stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialize a full model (its stages must form a complete chain built for
+/// the same [`ModelConfig`]).
+pub fn save(stages: &[Stage]) -> Bytes {
+    assert!(!stages.is_empty(), "cannot checkpoint an empty model");
+    let cfg = *stages[0].config();
+    let total: usize = stages.iter().map(Stage::num_params).sum();
+    let mut buf = BytesMut::with_capacity(64 + total * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(cfg.vocab as u64);
+    buf.put_u64_le(cfg.hidden as u64);
+    buf.put_u64_le(cfg.seq as u64);
+    buf.put_u64_le(cfg.layers as u64);
+    buf.put_u64_le(cfg.heads as u64);
+    buf.put_u8(u8::from(cfg.causal));
+    buf.put_u64_le(cfg.seed);
+    buf.put_u64_le(total as u64);
+    for stage in stages {
+        for v in stage.params() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore a model from `bytes`, re-partitioned into `depth` stages.
+pub fn load(bytes: &[u8], depth: u32) -> Result<Vec<Stage>, CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if buf.remaining() < 5 * 8 + 1 + 8 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let cfg = ModelConfig {
+        vocab: buf.get_u64_le() as usize,
+        hidden: buf.get_u64_le() as usize,
+        seq: buf.get_u64_le() as usize,
+        layers: buf.get_u64_le() as usize,
+        heads: buf.get_u64_le() as usize,
+        causal: buf.get_u8() != 0,
+        seed: buf.get_u64_le(),
+    };
+    if !cfg.layers.is_multiple_of(depth as usize) || depth == 0 {
+        return Err(CheckpointError::BadDepth(depth));
+    }
+    let total = buf.get_u64_le() as usize;
+    if buf.remaining() != total * 4 {
+        return Err(CheckpointError::ShapeMismatch {
+            expected: total,
+            got: buf.remaining() / 4,
+        });
+    }
+    let mut stages = Stage::build_all(cfg, depth);
+    let expected: usize = stages.iter().map(Stage::num_params).sum();
+    if expected != total {
+        return Err(CheckpointError::ShapeMismatch {
+            expected,
+            got: total,
+        });
+    }
+    for stage in &mut stages {
+        let mut flat = vec![0.0f32; stage.num_params()];
+        for v in &mut flat {
+            *v = buf.get_f32_le();
+        }
+        stage.set_params(&flat);
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticData;
+    use crate::reference::ReferenceTrainer;
+
+    fn trained_model() -> Vec<Stage> {
+        let cfg = ModelConfig::tiny();
+        let mut t = ReferenceTrainer::new(
+            Stage::build_all(cfg, 2),
+            SyntheticData::new(cfg, 1),
+            2,
+            0.05,
+            0.9,
+        );
+        t.train_iteration(0, 4);
+        t.stages
+    }
+
+    #[test]
+    fn roundtrip_is_bitexact() {
+        let stages = trained_model();
+        let bytes = save(&stages);
+        let restored = load(&bytes, 2).unwrap();
+        let a: Vec<f32> = stages.iter().flat_map(Stage::params).collect();
+        let b: Vec<f32> = restored.iter().flat_map(Stage::params).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repartition_on_load() {
+        let stages = trained_model(); // trained as D=2
+        let bytes = save(&stages);
+        for depth in [1u32, 2, 4] {
+            let restored = load(&bytes, depth).unwrap();
+            assert_eq!(restored.len(), depth as usize);
+            let a: Vec<f32> = stages.iter().flat_map(Stage::params).collect();
+            let b: Vec<f32> = restored.iter().flat_map(Stage::params).collect();
+            assert_eq!(a, b, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(load(b"nope", 2).unwrap_err(), CheckpointError::Truncated);
+        let mut bytes = save(&trained_model()).to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(load(&bytes, 2).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = save(&trained_model());
+        let cut = &bytes[..bytes.len() - 4];
+        assert!(matches!(
+            load(cut, 2),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_depth_rejected() {
+        let bytes = save(&trained_model());
+        assert_eq!(load(&bytes, 3).unwrap_err(), CheckpointError::BadDepth(3));
+        assert_eq!(load(&bytes, 0).unwrap_err(), CheckpointError::BadDepth(0));
+    }
+
+    #[test]
+    fn version_checked() {
+        let mut bytes = save(&trained_model()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(load(&bytes, 2).unwrap_err(), CheckpointError::BadVersion(99));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # chimera-nn
+//!
+//! A from-scratch transformer implementation with *explicit* forward and
+//! backward passes — the model substrate the pipeline runtime trains.
+//!
+//! Key properties for reproducing the paper's claims:
+//!
+//! * **Partition-independent initialization**: every layer's parameters are
+//!   derived from `(seed, layer_index)`, so a model split into any number of
+//!   pipeline stages starts bit-identical ([`stage::Stage::build`]).
+//! * **Exact gradients**: every layer is gradient-checked against central
+//!   differences.
+//! * **Deterministic accumulation**: per-micro-batch gradients are summed in
+//!   micro-batch order, so synchronous pipeline schedules can be compared
+//!   bit-for-bit against the sequential reference
+//!   ([`reference::ReferenceTrainer`]).
+//! * **Activation recomputation**: stashes can be dropped to the stage
+//!   boundary and rebuilt ([`stage::MicroStash::drop_to_boundary`]),
+//!   matching the "R" configurations of §4.
+
+pub mod attention;
+pub mod checkpoint;
+pub mod block;
+pub mod data;
+pub mod embedding;
+pub mod head;
+pub mod linear;
+pub mod optim;
+pub mod reference;
+pub mod stage;
+
+pub use attention::Attention;
+pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
+pub use block::{LayerNorm, TransformerBlock};
+pub use data::SyntheticData;
+pub use embedding::Embedding;
+pub use head::OutputHead;
+pub use linear::Linear;
+pub use optim::{LrSchedule, Optimizer, OptimizerKind, Sgd};
+pub use reference::ReferenceTrainer;
+pub use stage::{MicroStash, ModelConfig, Stage, StageOutput};

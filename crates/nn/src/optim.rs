@@ -1,0 +1,272 @@
+//! Optimizers (SGD with momentum, Adam) and learning-rate schedules over
+//! flat parameter vectors.
+//!
+//! The paper's evaluation trains Bert/GPT-2, which in practice use Adam
+//! with LR warmup; the equivalence harness therefore supports both update
+//! rules. Every operation is elementwise and deterministic, so pipelined
+//! and sequential training stay bit-identical for any optimizer choice.
+
+/// Which update rule to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// `v ← μ v + g`, `p ← p − η v`.
+    Sgd {
+        /// Momentum μ.
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// First-moment decay β₁.
+        beta1: f32,
+        /// Second-moment decay β₂.
+        beta2: f32,
+        /// Numerical-stability term ε.
+        eps: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Standard Adam hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn adam() -> Self {
+        OptimizerKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// Linear warmup to `base` over `warmup` steps, then cosine decay to
+    /// `min` at `total` steps (the common transformer recipe).
+    WarmupCosine {
+        /// Peak learning rate.
+        base: f32,
+        /// Warmup steps.
+        warmup: u64,
+        /// Total steps for the cosine phase.
+        total: u64,
+        /// Final learning rate.
+        min: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at (0-indexed) update step `t`.
+    pub fn at(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::WarmupCosine {
+                base,
+                warmup,
+                total,
+                min,
+            } => {
+                if warmup > 0 && t < warmup {
+                    base * (t + 1) as f32 / warmup as f32
+                } else if t >= total {
+                    min
+                } else {
+                    let progress =
+                        (t - warmup) as f64 / (total - warmup).max(1) as f64;
+                    let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                    min + (base - min) * cos as f32
+                }
+            }
+        }
+    }
+}
+
+/// Optimizer state for one flat parameter vector.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    /// First-moment / momentum buffer.
+    m: Vec<f32>,
+    /// Second-moment buffer (Adam only).
+    v: Vec<f32>,
+    /// Update steps taken.
+    t: u64,
+}
+
+impl Optimizer {
+    /// New optimizer for `num_params` parameters.
+    pub fn new(kind: OptimizerKind, num_params: usize) -> Self {
+        let v = match kind {
+            OptimizerKind::Adam { .. } => vec![0.0; num_params],
+            OptimizerKind::Sgd { .. } => Vec::new(),
+        };
+        Optimizer {
+            kind,
+            m: vec![0.0; num_params],
+            v,
+            t: 0,
+        }
+    }
+
+    /// Apply one update with learning rate `lr`.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32], lr: f32) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(params.len(), grad.len());
+        self.t += 1;
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                for ((p, m), &g) in params.iter_mut().zip(&mut self.m).zip(grad) {
+                    *m = momentum * *m + g;
+                    *p -= lr * *m;
+                }
+            }
+            OptimizerKind::Adam { beta1, beta2, eps } => {
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for (((p, m), v), &g) in params
+                    .iter_mut()
+                    .zip(&mut self.m)
+                    .zip(&mut self.v)
+                    .zip(grad)
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let mhat = *m / bc1;
+                    let vhat = *v / bc2;
+                    *p -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+    }
+
+    /// Update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of parameters managed.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// True when managing zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty()
+    }
+}
+
+/// Momentum SGD over a flat parameter vector (kept as the simple default;
+/// a thin wrapper over [`Optimizer`]).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate η.
+    pub lr: f32,
+    /// Momentum μ.
+    pub momentum: f32,
+    inner: Optimizer,
+}
+
+impl Sgd {
+    /// New optimizer for `num_params` parameters.
+    pub fn new(lr: f32, momentum: f32, num_params: usize) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            inner: Optimizer::new(OptimizerKind::Sgd { momentum }, num_params),
+        }
+    }
+
+    /// Apply one update.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        self.inner.step(params, grad, self.lr);
+    }
+
+    /// Number of parameters managed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when managing zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(0.1, 0.0, 2);
+        let mut p = vec![1.0, 2.0];
+        opt.step(&mut p, &[1.0, -1.0]);
+        assert_eq!(p, vec![0.9, 2.1]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(0.1, 0.9, 1);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[1.0]); // v=1, p=-0.1
+        opt.step(&mut p, &[1.0]); // v=1.9, p=-0.29
+        assert!((p[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_signed() {
+        // With bias correction, the first Adam step is ≈ lr·sign(g).
+        let mut opt = Optimizer::new(OptimizerKind::adam(), 2);
+        let mut p = vec![0.0, 0.0];
+        opt.step(&mut p, &[0.5, -3.0], 0.01);
+        assert!((p[0] + 0.01).abs() < 1e-4, "{}", p[0]);
+        assert!((p[1] - 0.01).abs() < 1e-4, "{}", p[1]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x-3)².
+        let mut opt = Optimizer::new(OptimizerKind::adam(), 1);
+        let mut p = vec![0.0f32];
+        for _ in 0..2000 {
+            let g = 2.0 * (p[0] - 3.0);
+            opt.step(&mut p, &[g], 0.05);
+        }
+        assert!((p[0] - 3.0).abs() < 0.05, "{}", p[0]);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine {
+            base: 1.0,
+            warmup: 10,
+            total: 110,
+            min: 0.1,
+        };
+        // Warmup is linear.
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        // Peak at end of warmup, decays after.
+        assert!(s.at(10) <= 1.0 + 1e-6);
+        assert!(s.at(60) < s.at(10));
+        assert!(s.at(60) > s.at(100));
+        // Floor at min.
+        assert!((s.at(110) - 0.1).abs() < 1e-6);
+        assert!((s.at(10_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_schedule() {
+        assert_eq!(LrSchedule::Constant(0.3).at(0), 0.3);
+        assert_eq!(LrSchedule::Constant(0.3).at(999), 0.3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Sgd::new(0.1, 0.0, 5).len(), 5);
+        assert!(Sgd::new(0.1, 0.0, 0).is_empty());
+        let o = Optimizer::new(OptimizerKind::adam(), 3);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.steps(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # chimera-perf
+//!
+//! Performance modelling and configuration planning for pipeline-parallel
+//! training (§3.4, §4.2 of the paper):
+//!
+//! * [`device`] — P100/V100 profiles with saturating batch-efficiency curves;
+//! * [`model`] — the Table-4 model zoo (Bert-48, GPT-2) with per-stage
+//!   parameter/FLOP/activation accounting;
+//! * [`costs`] — builds the simulator cost model for a concrete
+//!   `(model, cluster, D, W, B)` configuration;
+//! * [`eq1`] — the paper's Equation 1 performance model with critical-path
+//!   extraction and gradient-sync overlap analysis;
+//! * [`planner`] — the (W, D, B) grid search used by the baselines and
+//!   Chimera's greedy-B + model-driven planning.
+
+pub mod costs;
+pub mod device;
+pub mod eq1;
+pub mod model;
+pub mod planner;
+
+pub use costs::{ClusterSpec, TrainConfig};
+pub use device::DeviceProfile;
+pub use eq1::{predict, PerfPrediction};
+pub use model::ModelSpec;
+pub use planner::{best, evaluate, plan_chimera, sweep, Candidate, PlanScheme};

@@ -1,0 +1,198 @@
+//! Transformer language-model specifications (Table 4's Bert-48 and GPT-2,
+//! plus the 32-layer GPT-2 of Fig. 19).
+//!
+//! The cost model needs parameter counts, FLOPs, and activation footprints
+//! per pipeline stage. All formulas use the standard transformer shapes:
+//! one layer has `12 h² + 13 h` parameters (QKV, output projection, 4h MLP,
+//! layernorms and biases), and stage 0 additionally carries the token and
+//! position embeddings — the weight imbalance the paper calls out in §4.1.
+
+/// A repetitive-structure transformer model (§3.1's assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name.
+    pub name: &'static str,
+    /// Number of transformer layers (blocks).
+    pub layers: u32,
+    /// Hidden dimension `h`.
+    pub hidden: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Maximum sequence length used in training.
+    pub seq: u32,
+    /// Bytes per value for parameters and activations (4 = fp32, the GLOO
+    /// setting of the paper's implementation).
+    pub bytes_per_value: u32,
+}
+
+impl ModelSpec {
+    /// Bert-48: 48 layers, 669,790,012 parameters, max sequence length 128
+    /// (Table 4).
+    pub fn bert48() -> Self {
+        ModelSpec {
+            name: "Bert-48",
+            layers: 48,
+            hidden: 1052,
+            vocab: 30522,
+            seq: 128,
+            bytes_per_value: 4,
+        }
+    }
+
+    /// Bert-48 with sequence length 512 (the V100 cluster experiments,
+    /// Fig. 16).
+    pub fn bert48_seq512() -> Self {
+        ModelSpec {
+            seq: 512,
+            ..ModelSpec::bert48()
+        }
+    }
+
+    /// GPT-2: 64 layers, 1,389,327,360 parameters, max sequence length 632
+    /// (Table 4).
+    pub fn gpt2() -> Self {
+        ModelSpec {
+            name: "GPT-2",
+            layers: 64,
+            hidden: 1312,
+            vocab: 50257,
+            seq: 632,
+            bytes_per_value: 4,
+        }
+    }
+
+    /// The 32-layer GPT-2 used in the multi-pipeline study (Fig. 19).
+    pub fn gpt2_32() -> Self {
+        ModelSpec {
+            name: "GPT-2-32",
+            layers: 32,
+            ..ModelSpec::gpt2()
+        }
+    }
+
+    /// Parameters of one transformer layer: `12 h² + 13 h`.
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        12 * h * h + 13 * h
+    }
+
+    /// Token + position embedding parameters (held by stage 0).
+    pub fn embedding_params(&self) -> u64 {
+        (self.vocab as u64 + self.seq as u64) * self.hidden as u64
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers as u64 * self.params_per_layer() + self.embedding_params()
+    }
+
+    /// Forward FLOPs of one layer for one sample: `24 s h²` from the GEMMs
+    /// plus `4 s² h` from attention score/value products.
+    pub fn flops_per_layer_per_sample(&self) -> f64 {
+        let h = self.hidden as f64;
+        let s = self.seq as f64;
+        24.0 * s * h * h + 4.0 * s * s * h
+    }
+
+    /// Attention heads (head dimension 64).
+    pub fn heads(&self) -> u64 {
+        (self.hidden as u64 / 64).max(1)
+    }
+
+    /// Stashed activation bytes of one layer for one sample, matching what
+    /// an eager fp32 framework keeps for the backward pass: the inputs and
+    /// outputs of every GEMM, layernorm and GELU (≈ `24 s h` values) plus
+    /// the pre- and post-softmax attention maps per head (`2 · heads · s²`).
+    pub fn act_bytes_per_layer_per_sample(&self) -> u64 {
+        let sh = self.seq as u64 * self.hidden as u64;
+        let att = self.heads() * self.seq as u64 * self.seq as u64;
+        (24 * sh + 2 * att) * self.bytes_per_value as u64
+    }
+
+    /// Bytes of one boundary activation tensor (`s × h`) for one sample —
+    /// the p2p message between pipeline stages.
+    pub fn boundary_bytes_per_sample(&self) -> u64 {
+        self.seq as u64 * self.hidden as u64 * self.bytes_per_value as u64
+    }
+
+    /// Average layers per stage (fractional when `d ∤ layers`).
+    pub fn layers_per_stage(&self, d: u32) -> f64 {
+        self.layers as f64 / d as f64
+    }
+
+    /// Layers on the *largest* stage of a `d`-way partition. Whole layers
+    /// cannot be split, so `48` layers over `32` stages yield 2-layer stages
+    /// that gate the pipeline — the effective per-stage workload.
+    pub fn layers_per_stage_padded(&self, d: u32) -> u32 {
+        self.layers.div_ceil(d)
+    }
+
+    /// Parameters of stage `s` out of `d` (stage 0 adds the embeddings),
+    /// sized for the largest stage.
+    pub fn stage_params(&self, stage: u32, d: u32) -> u64 {
+        let base = self.layers_per_stage_padded(d) as u64 * self.params_per_layer();
+        if stage == 0 {
+            base + self.embedding_params()
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert48_matches_table4_within_1_5_percent() {
+        let m = ModelSpec::bert48();
+        let target = 669_790_012f64;
+        let got = m.total_params() as f64;
+        let err = (got - target).abs() / target;
+        assert!(err < 0.015, "Bert-48 params {got} vs {target} ({err:.4})");
+    }
+
+    #[test]
+    fn gpt2_matches_table4_within_1_5_percent() {
+        let m = ModelSpec::gpt2();
+        let target = 1_389_327_360f64;
+        let got = m.total_params() as f64;
+        let err = (got - target).abs() / target;
+        assert!(err < 0.015, "GPT-2 params {got} vs {target} ({err:.4})");
+    }
+
+    #[test]
+    fn stage0_heavier_than_others() {
+        let m = ModelSpec::gpt2();
+        let d = 8;
+        assert!(m.stage_params(0, d) > m.stage_params(1, d));
+        assert_eq!(m.stage_params(1, d), m.stage_params(d - 1, d));
+        // The imbalance is the embedding table.
+        assert_eq!(
+            m.stage_params(0, d) - m.stage_params(1, d),
+            m.embedding_params()
+        );
+    }
+
+    #[test]
+    fn flops_and_bytes_positive_and_scale_with_seq() {
+        let short = ModelSpec::bert48();
+        let long = ModelSpec::bert48_seq512();
+        assert!(long.flops_per_layer_per_sample() > 4.0 * short.flops_per_layer_per_sample());
+        assert!(long.act_bytes_per_layer_per_sample() > short.act_bytes_per_layer_per_sample());
+        assert!(long.boundary_bytes_per_sample() == 4 * short.boundary_bytes_per_sample());
+    }
+
+    #[test]
+    fn gpt2_32_is_half_depth() {
+        assert_eq!(ModelSpec::gpt2_32().layers, 32);
+        assert_eq!(ModelSpec::gpt2_32().hidden, ModelSpec::gpt2().hidden);
+    }
+
+    #[test]
+    fn fractional_stage_split() {
+        let m = ModelSpec::bert48();
+        assert_eq!(m.layers_per_stage(32), 1.5);
+        assert_eq!(m.layers_per_stage(4), 12.0);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # chimera-runtime
+//!
+//! A real multi-threaded pipeline-parallel training runtime: one thread per
+//! pipeline worker, crossbeam channels as the interconnect, and keyed-ordered
+//! allreduce for gradient synchronization.
+//!
+//! It executes any `chimera-core` schedule — Chimera's bidirectional
+//! schedules as well as the baselines — on actual `chimera-nn` transformer
+//! stages, and is the executable proof of the paper's synchronous-equivalence
+//! claim: training under a synchronous pipeline schedule produces parameters
+//! **bit-identical** to sequential mini-batch SGD (see
+//! `tests/sync_equivalence.rs` at the workspace root).
+
+pub mod runtime;
+pub mod worker;
+
+pub use runtime::{train, train_hybrid, TrainResult};
+pub use worker::{TrainOptions, Worker, WorkerResult};

@@ -1,0 +1,191 @@
+//! Orchestration: spawn one thread per pipeline worker, wire channels and
+//! allreduce groups, execute a schedule for several training iterations,
+//! and reassemble the model.
+//!
+//! Supports the paper's hybrid of pipeline and data parallelism (§3.3): the
+//! bidirectional pipeline group of `D` workers is replicated `W` times
+//! (`P = W·D` threads); point-to-point communication stays within a group,
+//! while each stage's gradient allreduce spans all `2f·W` replicas.
+
+use std::collections::HashMap;
+use std::thread;
+
+use crossbeam::channel::unbounded;
+
+use chimera_core::schedule::Schedule;
+use chimera_core::{StageId, WorkerId};
+use chimera_collectives::keyed_group;
+use chimera_nn::{ModelConfig, Stage, SyntheticData};
+
+use crate::worker::{TrainOptions, Worker};
+
+/// Outcome of a pipelined training run.
+pub struct TrainResult {
+    /// Mean loss per iteration.
+    pub iteration_losses: Vec<f32>,
+    /// The final model as `D` stages (all `2f·W` replica copies verified
+    /// identical and deduplicated).
+    pub stages: Vec<Stage>,
+}
+
+impl TrainResult {
+    /// Concatenated flat parameters, comparable with
+    /// [`chimera_nn::ReferenceTrainer::flat_params`].
+    pub fn flat_params(&self) -> Vec<f32> {
+        self.stages.iter().flat_map(Stage::params).collect()
+    }
+}
+
+/// Execute `sched` on a real `cfg` model with one thread per worker
+/// (`W = 1`; see [`train_hybrid`] for data parallelism).
+///
+/// ```
+/// use chimera_core::chimera::{chimera, ChimeraConfig};
+/// use chimera_nn::ModelConfig;
+/// use chimera_runtime::{train, TrainOptions};
+///
+/// let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+/// let result = train(
+///     &sched,
+///     ModelConfig::tiny(),
+///     TrainOptions {
+///         micro_batch: 1,
+///         iterations: 2,
+///         lr: 0.05,
+///         momentum: 0.9,
+///         data_seed: 1,
+///         optimizer: None,
+///         lr_schedule: None,
+///     },
+/// );
+/// assert_eq!(result.iteration_losses.len(), 2);
+/// assert_eq!(result.stages.len(), 2);
+/// ```
+pub fn train(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions) -> TrainResult {
+    train_hybrid(sched, cfg, opts, 1)
+}
+
+/// Execute `sched` replicated over `w` data-parallel pipeline groups
+/// (`P = w·D` threads). Every stage replica starts from the
+/// partition-independent deterministic initialization; gradient
+/// synchronization across all `2f·w` replicas of a stage uses the
+/// keyed-ordered allreduce, so the result is bit-identical to the sequential
+/// reference (which accumulates the same `N·w` micro-batches in ascending
+/// order) for synchronous schedules.
+///
+/// Panics if any two replica copies of a stage diverge — which would
+/// indicate a schedule or synchronization bug.
+pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u32) -> TrainResult {
+    assert!(w >= 1);
+    let d = sched.d;
+    let per_group = sched.num_workers();
+    let total_workers = per_group * w as usize;
+    let data = SyntheticData::new(cfg, opts.data_seed);
+
+    // Channels: one inbox per global worker (group-major layout).
+    let mut txs = Vec::with_capacity(total_workers);
+    let mut rxs = Vec::with_capacity(total_workers);
+    for _ in 0..total_workers {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    // Allreduce groups: one keyed group per stage spanning every group's
+    // holders, ranked (group, holder) for determinism.
+    let mut sync_per_worker: Vec<HashMap<u32, _>> =
+        (0..total_workers).map(|_| HashMap::new()).collect();
+    for s in 0..d {
+        let holders = sched.placement.stage_holders(StageId(s));
+        let mut members = keyed_group(holders.len() * w as usize);
+        members.reverse(); // pop from the front in rank order
+        for g in 0..w {
+            for h in &holders {
+                let global = g as usize * per_group + h.idx();
+                sync_per_worker[global].insert(s, members.pop().expect("member per holder"));
+            }
+        }
+    }
+
+    // Spawn workers.
+    let mut handles = Vec::with_capacity(total_workers);
+    let mut sync_iter = sync_per_worker.into_iter();
+    let mut rx_iter = rxs.into_iter();
+    for g in 0..w {
+        for lw in 0..per_group {
+            let wid = WorkerId(lw as u32);
+            let rx = rx_iter.next().expect("one inbox per worker");
+            let sync = sync_iter.next().expect("sync map per worker");
+            let stages: Vec<(u32, u32, Stage)> = sched
+                .placement
+                .held_by(wid)
+                .into_iter()
+                .map(|(r, s)| (r.0, s.0, Stage::build(cfg, s.0, d)))
+                .collect();
+            let worker = Worker::new(
+                wid,
+                d,
+                g,
+                w,
+                sched.n,
+                sched.workers[lw].clone(),
+                sched.placement.clone(),
+                stages,
+                sync,
+                rx,
+                txs.clone(),
+                data,
+                opts,
+                sched.flushes,
+            );
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("chimera-g{g}-w{lw}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker"),
+            );
+        }
+    }
+    drop(txs);
+
+    // Collect results.
+    let mut losses: Vec<(u64, f32)> = Vec::new();
+    let mut replica_stages: HashMap<u32, Vec<Stage>> = HashMap::new();
+    for h in handles {
+        let result = h.join().expect("worker thread panicked");
+        losses.extend(result.losses);
+        for (_, s, stage) in result.stages {
+            replica_stages.entry(s).or_default().push(stage);
+        }
+    }
+
+    // Verify all 2f·W replica copies of each stage agree bit-for-bit.
+    let mut stages = Vec::with_capacity(d as usize);
+    for s in 0..d {
+        let mut copies = replica_stages.remove(&s).expect("every stage trained");
+        let canonical = copies.pop().expect("at least one replica");
+        let reference = canonical.params();
+        for copy in &copies {
+            assert_eq!(
+                copy.params(),
+                reference,
+                "stage {s}: replica copies diverged"
+            );
+        }
+        stages.push(canonical);
+    }
+
+    // Mean loss per iteration from per-micro losses.
+    losses.sort_unstable_by_key(|&(g, _)| g);
+    let n = sched.n as usize * w as usize;
+    let mut iteration_losses = Vec::with_capacity(opts.iterations as usize);
+    for it in 0..opts.iterations as usize {
+        let slice = &losses[it * n..(it + 1) * n];
+        let mean = slice.iter().map(|&(_, l)| l as f64).sum::<f64>() / n as f64;
+        iteration_losses.push(mean as f32);
+    }
+    TrainResult {
+        iteration_losses,
+        stages,
+    }
+}

@@ -1,0 +1,357 @@
+//! One pipeline worker: a thread executing its schedule ops on real model
+//! stages.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use chimera_core::op::{Chunk, Op, OpKind};
+use chimera_core::placement::Placement;
+use chimera_core::{StageId, WorkerId};
+use chimera_collectives::KeyedMember;
+use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
+use chimera_tensor::Tensor;
+
+/// A boundary message between pipeline workers.
+pub struct Msg {
+    /// Producing replica.
+    pub replica: u32,
+    /// Producing stage.
+    pub stage: u32,
+    /// Global micro-batch id.
+    pub micro: u64,
+    /// `true` for a backward (gradient) message.
+    pub grad: bool,
+    /// The tensor.
+    pub tensor: Tensor,
+}
+
+type InboxKey = (bool, u32, u32, u64);
+type StageKey = (u32, u32); // (replica, stage)
+
+/// Training hyper-parameters shared by every worker.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Sequences per micro-batch (`B`).
+    pub micro_batch: usize,
+    /// Training iterations to run.
+    pub iterations: u32,
+    /// Learning rate (base of a constant schedule unless overridden).
+    pub lr: f32,
+    /// SGD momentum (ignored by [`OptimizerKind::Adam`]).
+    pub momentum: f32,
+    /// Data-stream seed.
+    pub data_seed: u64,
+    /// Update rule; `None` means momentum SGD from the fields above.
+    pub optimizer: Option<OptimizerKind>,
+    /// Learning-rate schedule; `None` means constant `lr`.
+    pub lr_schedule: Option<LrSchedule>,
+}
+
+impl TrainOptions {
+    /// The effective optimizer kind.
+    pub fn optimizer_kind(&self) -> OptimizerKind {
+        self.optimizer.unwrap_or(OptimizerKind::Sgd {
+            momentum: self.momentum,
+        })
+    }
+
+    /// The effective learning-rate schedule.
+    pub fn schedule(&self) -> LrSchedule {
+        self.lr_schedule.unwrap_or(LrSchedule::Constant(self.lr))
+    }
+}
+
+/// What a worker thread returns.
+pub struct WorkerResult {
+    /// `(global_micro, loss)` for every micro-batch whose head this worker
+    /// executed.
+    pub losses: Vec<(u64, f32)>,
+    /// Final stage replicas `(replica, stage, Stage)`.
+    pub stages: Vec<(u32, u32, Stage)>,
+}
+
+/// One worker's runtime state.
+pub struct Worker {
+    /// This worker's id within its pipeline group.
+    pub id: WorkerId,
+    d: u32,
+    /// Data-parallel group this worker belongs to (`0..W`, §3.3).
+    group: u32,
+    /// Total number of replicated pipeline groups `W`.
+    w_total: u32,
+    n_per_iter: u32,
+    ops: Vec<Op>,
+    has_sync_ops: bool,
+    placement: Placement,
+    stages: HashMap<StageKey, Stage>,
+    optimizers: HashMap<StageKey, Optimizer>,
+    sync: HashMap<u32, KeyedMember>, // by stage
+    rx: Receiver<Msg>,
+    tx: Vec<Sender<Msg>>,
+    data: SyntheticData,
+    opts: TrainOptions,
+    inbox: HashMap<InboxKey, Tensor>,
+    stashes: HashMap<(u32, u32, u64), MicroStash>,
+    grads: HashMap<StageKey, Vec<(u64, Vec<f32>)>>,
+    recomputing: Vec<StageKey>,
+    losses: Vec<(u64, f32)>,
+    /// Asynchronous schedules (PipeDream) update weights mid-stream; to keep
+    /// forward/backward weight versions consistent, each in-flight
+    /// micro-batch stashes the parameter version its forward used
+    /// (PipeDream's *weight stashing*, up to `D - s` versions at stage `s`).
+    stash_weights: bool,
+    weight_versions: HashMap<(u32, u32, u64), Vec<f32>>,
+}
+
+impl Worker {
+    /// Assemble a worker.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: WorkerId,
+        d: u32,
+        group: u32,
+        w_total: u32,
+        n_per_iter: u32,
+        ops: Vec<Op>,
+        placement: Placement,
+        stages: Vec<(u32, u32, Stage)>,
+        sync: HashMap<u32, KeyedMember>,
+        rx: Receiver<Msg>,
+        tx: Vec<Sender<Msg>>,
+        data: SyntheticData,
+        opts: TrainOptions,
+        flushes: bool,
+    ) -> Self {
+        let has_sync_ops = ops.iter().any(|o| o.kind == OpKind::AllReduceWait);
+        let stash_weights = !flushes;
+        let recomputing: Vec<StageKey> = {
+            let mut v: Vec<StageKey> = ops
+                .iter()
+                .filter(|o| o.recomputes())
+                .map(|o| (o.replica.0, o.stage.0))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut stage_map = HashMap::new();
+        let mut optimizers = HashMap::new();
+        for (r, s, stage) in stages {
+            optimizers.insert(
+                (r, s),
+                Optimizer::new(opts.optimizer_kind(), stage.num_params()),
+            );
+            stage_map.insert((r, s), stage);
+        }
+        Worker {
+            id,
+            d,
+            group,
+            w_total,
+            n_per_iter,
+            ops,
+            has_sync_ops,
+            placement,
+            stages: stage_map,
+            optimizers,
+            sync,
+            rx,
+            tx,
+            data,
+            opts,
+            inbox: HashMap::new(),
+            stashes: HashMap::new(),
+            grads: HashMap::new(),
+            recomputing,
+            losses: Vec::new(),
+            stash_weights,
+            weight_versions: HashMap::new(),
+        }
+    }
+
+    /// Run all iterations; consumes the worker.
+    ///
+    /// Global micro-batch ids interleave data-parallel groups group-major:
+    /// iteration `i` consumes micros `[i·N·W, (i+1)·N·W)`, with this group's
+    /// share starting at `i·N·W + group·N` — the same ordering the
+    /// sequential reference uses, so keyed gradient reduction stays
+    /// bit-exact across `W`.
+    pub fn run(mut self) -> WorkerResult {
+        let ops = std::mem::take(&mut self.ops);
+        for iter in 0..self.opts.iterations {
+            let offset = iter as u64 * self.n_per_iter as u64 * self.w_total as u64
+                + self.group as u64 * self.n_per_iter as u64;
+            for op in &ops {
+                self.exec(op, offset);
+            }
+            if !self.has_sync_ops {
+                // Implicit post-hoc synchronization: launch everything, then
+                // wait — partner workers may hold the same stages in a
+                // different order, so blocking per-stage reduces could
+                // deadlock.
+                let mut held: Vec<StageKey> = self.stages.keys().copied().collect();
+                held.sort_unstable();
+                for &(r, s) in &held {
+                    let contribution = self.grads.remove(&(r, s)).unwrap_or_default();
+                    self.sync[&s].deposit(contribution);
+                }
+                for &(r, s) in &held {
+                    let summed = self.sync[&s].fetch();
+                    self.apply_update(r, s, &summed);
+                }
+            }
+        }
+        let mut stages: Vec<(u32, u32, Stage)> = self
+            .stages
+            .into_iter()
+            .map(|((r, s), st)| (r, s, st))
+            .collect();
+        stages.sort_by_key(|&(r, s, _)| (r, s));
+        WorkerResult {
+            losses: self.losses,
+            stages,
+        }
+    }
+
+    fn exec(&mut self, op: &Op, offset: u64) {
+        assert_eq!(op.chunk, Chunk::Full, "runtime supports full-micro chunks");
+        match op.kind {
+            OpKind::Forward => self.forward(op, offset),
+            OpKind::Backward { .. } => self.backward(op, offset),
+            OpKind::AllReduceLaunch => {
+                let contribution = self
+                    .grads
+                    .remove(&(op.replica.0, op.stage.0))
+                    .unwrap_or_default();
+                self.sync[&op.stage.0].deposit(contribution);
+            }
+            OpKind::AllReduceWait => {
+                let summed = self.sync[&op.stage.0].fetch();
+                self.apply_update(op.replica.0, op.stage.0, &summed);
+            }
+        }
+    }
+
+    fn forward(&mut self, op: &Op, offset: u64) {
+        let (r, s) = (op.replica.0, op.stage.0);
+        let g = op.micro.0 as u64 + offset;
+        let last = s + 1 == self.d;
+        let (tokens, targets) = if s == 0 || last {
+            self.data.batch(g, self.opts.micro_batch)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let x = if s == 0 {
+            None
+        } else {
+            Some(self.recv(false, r, s - 1, g))
+        };
+        let stage = &self.stages[&(r, s)];
+        let (out, mut stash) = stage.forward(
+            x,
+            (s == 0).then_some(tokens.as_slice()),
+            last.then_some(targets.as_slice()),
+        );
+        if self.recomputing.contains(&(r, s)) {
+            stash.drop_to_boundary();
+        }
+        self.stashes.insert((r, s, g), stash);
+        if self.stash_weights {
+            self.weight_versions
+                .insert((r, s, g), self.stages[&(r, s)].params());
+        }
+        if let Some(act) = out.activation {
+            let to = self.placement.worker(op.replica, StageId(s + 1));
+            self.send(to, Msg {
+                replica: r,
+                stage: s,
+                micro: g,
+                grad: false,
+                tensor: act,
+            });
+        }
+        if let Some(loss) = out.loss {
+            self.losses.push((g, loss));
+        }
+    }
+
+    fn backward(&mut self, op: &Op, offset: u64) {
+        let (r, s) = (op.replica.0, op.stage.0);
+        let g = op.micro.0 as u64 + offset;
+        let last = s + 1 == self.d;
+        let dy = if last {
+            None
+        } else {
+            Some(self.recv(true, r, s + 1, g))
+        };
+        let mut stash = self
+            .stashes
+            .remove(&(r, s, g))
+            .expect("backward without stashed forward");
+        // PipeDream weight stashing: the backward must use the same weight
+        // version as this micro-batch's forward did.
+        let restore = self.weight_versions.remove(&(r, s, g)).map(|version| {
+            let stage = self.stages.get_mut(&(r, s)).expect("stage held");
+            let current = stage.params();
+            stage.set_params(&version);
+            current
+        });
+        let stage = &self.stages[&(r, s)];
+        if !stash.is_full() {
+            let (_, targets) = self.data.batch(g, self.opts.micro_batch);
+            stage.recompute(&mut stash, last.then_some(targets.as_slice()));
+        }
+        let scale = 1.0 / (self.n_per_iter * self.w_total) as f32;
+        let (dx, grad) = stage.backward(&stash, dy, scale);
+        if let Some(current) = restore {
+            self.stages
+                .get_mut(&(r, s))
+                .expect("stage held")
+                .set_params(&current);
+        }
+        self.grads.entry((r, s)).or_default().push((g, grad));
+        if let Some(dx) = dx {
+            let to = self.placement.worker(op.replica, StageId(s - 1));
+            self.send(to, Msg {
+                replica: r,
+                stage: s,
+                micro: g,
+                grad: true,
+                tensor: dx,
+            });
+        }
+    }
+
+    fn apply_update(&mut self, r: u32, s: u32, summed: &[f32]) {
+        if summed.is_empty() {
+            return;
+        }
+        let stage = self.stages.get_mut(&(r, s)).expect("stage held");
+        let opt = self.optimizers.get_mut(&(r, s)).expect("optimizer held");
+        let lr = self.opts.schedule().at(opt.steps());
+        let mut params = stage.params();
+        opt.step(&mut params, summed, lr);
+        stage.set_params(&params);
+    }
+
+    fn send(&self, to: WorkerId, msg: Msg) {
+        // p2p stays within the pipeline group (§3.3): `tx` is indexed by
+        // global worker id = group · D + local id.
+        let global = self.group as usize * self.d as usize + to.idx();
+        self.tx[global].send(msg).expect("peer worker alive");
+    }
+
+    fn recv(&mut self, grad: bool, replica: u32, stage: u32, micro: u64) -> Tensor {
+        let key = (grad, replica, stage, micro);
+        loop {
+            if let Some(t) = self.inbox.remove(&key) {
+                return t;
+            }
+            let msg = self.rx.recv().expect("peer worker alive");
+            self.inbox
+                .insert((msg.grad, msg.replica, msg.stage, msg.micro), msg.tensor);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The executable form of the paper's synchronous-equivalence claim:
+//! "synchronous approaches are equivalent to the standard and well-proved
+//! mini-batch SGD" (§2, Table 2). Every synchronous schedule — Chimera's
+//! bidirectional schedules included — must produce parameters *bit-identical*
+//! to a sequential gradient-accumulation reference.
+
+use chimera_core::baselines::{dapple, gems, gpipe};
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_core::schedule::{Schedule, SyncStrategy};
+use chimera_core::sync::place_sync;
+use chimera_core::unit_time::UnitCosts;
+use chimera_nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera_runtime::{train, TrainOptions};
+
+fn opts(iterations: u32) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 2,
+        iterations,
+        lr: 0.05,
+        momentum: 0.9,
+        data_seed: 123,
+        optimizer: None,
+        lr_schedule: None,
+    }
+}
+
+fn reference(cfg: ModelConfig, d: u32, n: u32, iterations: u32) -> (Vec<f32>, Vec<f32>) {
+    let o = opts(iterations);
+    let mut r = ReferenceTrainer::new(
+        Stage::build_all(cfg, d),
+        SyntheticData::new(cfg, o.data_seed),
+        o.micro_batch,
+        o.lr,
+        o.momentum,
+    );
+    let mut losses = Vec::new();
+    for it in 0..iterations {
+        losses.push(r.train_iteration(it as u64 * n as u64, n));
+    }
+    (r.flat_params(), losses)
+}
+
+fn assert_equivalent(sched: &Schedule, cfg: ModelConfig, iterations: u32) {
+    let result = train(sched, cfg, opts(iterations));
+    let (ref_params, ref_losses) = reference(cfg, sched.d, sched.n, iterations);
+    assert_eq!(
+        result.flat_params(),
+        ref_params,
+        "{} D={} N={}: parameters diverged from sequential SGD",
+        sched.scheme,
+        sched.d,
+        sched.n
+    );
+    for (a, b) in result.iteration_losses.iter().zip(&ref_losses) {
+        assert!((a - b).abs() < 1e-6, "loss mismatch: {a} vs {b}");
+    }
+}
+
+#[test]
+fn chimera_d2_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    assert_equivalent(&sched, cfg, 3);
+}
+
+#[test]
+fn chimera_d4_n4_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
+    assert_equivalent(&sched, cfg, 3);
+}
+
+#[test]
+fn chimera_d4_n8_direct_concat_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(4, 8)).unwrap();
+    assert_equivalent(&sched, cfg, 2);
+}
+
+#[test]
+fn chimera_with_eager_opt_sync_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = place_sync(
+        chimera(&ChimeraConfig::new(4, 4)).unwrap(),
+        SyncStrategy::EagerOpt,
+        UnitCosts::practical(),
+    );
+    assert_equivalent(&sched, cfg, 3);
+}
+
+#[test]
+fn chimera_f2_d4_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig {
+        d: 4,
+        n: 4,
+        f: 2,
+        scale: chimera_core::ScaleMethod::Direct,
+    })
+    .unwrap();
+    assert_equivalent(&sched, cfg, 2);
+}
+
+#[test]
+fn chimera_with_recompute_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap().with_recompute();
+    assert_equivalent(&sched, cfg, 2);
+}
+
+#[test]
+fn gpipe_bitexact() {
+    let cfg = ModelConfig::tiny();
+    assert_equivalent(&gpipe(4, 4), cfg, 2);
+}
+
+#[test]
+fn dapple_bitexact() {
+    let cfg = ModelConfig::tiny();
+    assert_equivalent(&dapple(4, 6), cfg, 2);
+}
+
+#[test]
+fn gems_bitexact() {
+    let cfg = ModelConfig::tiny();
+    assert_equivalent(&gems(4, 4), cfg, 2);
+}
+
+#[test]
+fn losses_decrease_under_pipelined_training() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
+    let result = train(&sched, cfg, opts(10));
+    let first = result.iteration_losses[0];
+    let last = *result.iteration_losses.last().unwrap();
+    assert!(last < first, "first {first} last {last}");
+}

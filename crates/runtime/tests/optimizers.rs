@@ -1,0 +1,102 @@
+//! Optimizer/schedule coverage on the pipelined runtime: Adam with LR
+//! warmup must stay bit-identical to sequential training, like SGD.
+
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_nn::{
+    LrSchedule, ModelConfig, OptimizerKind, ReferenceTrainer, Stage, SyntheticData,
+};
+use chimera_runtime::{train, train_hybrid, TrainOptions};
+
+fn adam_opts(iterations: u32) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 2,
+        iterations,
+        lr: 0.0, // superseded by the schedule
+        momentum: 0.0,
+        data_seed: 77,
+        optimizer: Some(OptimizerKind::adam()),
+        lr_schedule: Some(LrSchedule::WarmupCosine {
+            base: 2e-3,
+            warmup: 2,
+            total: 10,
+            min: 1e-4,
+        }),
+    }
+}
+
+fn reference(cfg: ModelConfig, d: u32, o: &TrainOptions) -> ReferenceTrainer {
+    ReferenceTrainer::with_optimizer(
+        Stage::build_all(cfg, d),
+        SyntheticData::new(cfg, o.data_seed),
+        o.micro_batch,
+        o.optimizer.unwrap(),
+        o.lr_schedule.unwrap(),
+    )
+}
+
+#[test]
+fn adam_with_warmup_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let (d, n, iterations) = (4u32, 4u32, 4u32);
+    let o = adam_opts(iterations);
+    let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
+    let result = train(&sched, cfg, o);
+    let mut r = reference(cfg, d, &o);
+    for it in 0..iterations {
+        r.train_iteration(it as u64 * n as u64, n);
+    }
+    assert_eq!(
+        result.flat_params(),
+        r.flat_params(),
+        "pipelined Adam diverged from sequential Adam"
+    );
+}
+
+#[test]
+fn adam_hybrid_w2_bitexact() {
+    let cfg = ModelConfig::tiny();
+    let (d, n, w, iterations) = (2u32, 2u32, 2u32, 3u32);
+    let o = adam_opts(iterations);
+    let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
+    let result = train_hybrid(&sched, cfg, o, w);
+    let total = n * w;
+    let mut r = reference(cfg, d, &o);
+    for it in 0..iterations {
+        r.train_iteration(it as u64 * total as u64, total);
+    }
+    assert_eq!(result.flat_params(), r.flat_params());
+}
+
+#[test]
+fn adam_trains_the_tiny_model() {
+    let cfg = ModelConfig::tiny();
+    let o = TrainOptions {
+        iterations: 12,
+        lr_schedule: Some(LrSchedule::Constant(2e-3)),
+        ..adam_opts(12)
+    };
+    let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
+    let result = train(&sched, cfg, o);
+    let first = result.iteration_losses[0];
+    let last = *result.iteration_losses.last().unwrap();
+    assert!(last < first, "Adam failed to reduce loss: {first} -> {last}");
+}
+
+#[test]
+fn adam_differs_from_sgd() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let adam = train(&sched, cfg, adam_opts(2));
+    let sgd = train(
+        &sched,
+        cfg,
+        TrainOptions {
+            optimizer: None,
+            lr_schedule: None,
+            lr: 0.05,
+            momentum: 0.9,
+            ..adam_opts(2)
+        },
+    );
+    assert_ne!(adam.flat_params(), sgd.flat_params());
+}

@@ -1,0 +1,101 @@
+//! Collective-communication cost models (§3.4).
+//!
+//! Gradient synchronization uses an allreduce over `r` stage replicas. The
+//! paper assumes Rabenseifner's algorithm [42, 53], which is bandwidth
+//! optimal for the large messages of model gradients:
+//!
+//! `T = 2·log2(r)·α + 2·((r-1)/r)·β·L`
+
+use crate::network::LinkParams;
+
+/// Allreduce algorithm whose cost to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllReduceAlgo {
+    /// Rabenseifner (reduce-scatter + allgather): bandwidth-optimal
+    /// (the paper's assumption).
+    #[default]
+    Rabenseifner,
+    /// Ring allreduce: same bandwidth term, latency linear in `r`.
+    Ring,
+    /// Flat tree (reduce to root + broadcast): poor bandwidth scaling, shown
+    /// for contrast in ablations.
+    FlatTree,
+}
+
+/// Cost in seconds of an allreduce of `bytes` over `r` participants on links
+/// with parameters `link`.
+pub fn allreduce_time(algo: AllReduceAlgo, bytes: u64, r: u32, link: LinkParams) -> f64 {
+    if r <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let l = bytes as f64;
+    let rf = r as f64;
+    match algo {
+        AllReduceAlgo::Rabenseifner => {
+            2.0 * rf.log2() * link.alpha_s + 2.0 * ((rf - 1.0) / rf) * link.beta_s_per_byte * l
+        }
+        AllReduceAlgo::Ring => {
+            2.0 * (rf - 1.0) * link.alpha_s + 2.0 * ((rf - 1.0) / rf) * link.beta_s_per_byte * l
+        }
+        AllReduceAlgo::FlatTree => 2.0 * (link.alpha_s + link.beta_s_per_byte * l) * rf.log2(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkParams {
+        LinkParams {
+            alpha_s: 1e-6,
+            beta_s_per_byte: 1e-10,
+        }
+    }
+
+    #[test]
+    fn trivial_cases_are_free() {
+        assert_eq!(allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 20, 1, link()), 0.0);
+        assert_eq!(allreduce_time(AllReduceAlgo::Ring, 0, 8, link()), 0.0);
+    }
+
+    #[test]
+    fn rabenseifner_formula_exact() {
+        // 2 log2(r) α + 2 (r-1)/r β L, r = 4, L = 1e6.
+        let t = allreduce_time(AllReduceAlgo::Rabenseifner, 1_000_000, 4, link());
+        let expected = 2.0 * 2.0 * 1e-6 + 2.0 * 0.75 * 1e-10 * 1e6;
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn bandwidth_term_saturates_with_r() {
+        // The β term approaches 2βL as r → ∞ (lower bound for host-based
+        // allreduce).
+        let t64 = allreduce_time(AllReduceAlgo::Rabenseifner, 100_000_000, 64, link());
+        let bound = 2.0 * 1e-10 * 1e8 + 2.0 * 6.0 * 1e-6;
+        assert!(t64 <= bound + 1e-9);
+    }
+
+    #[test]
+    fn ring_pays_more_latency_for_large_r() {
+        let raben = allreduce_time(AllReduceAlgo::Rabenseifner, 1024, 256, link());
+        let ring = allreduce_time(AllReduceAlgo::Ring, 1024, 256, link());
+        assert!(ring > raben);
+    }
+
+    #[test]
+    fn flat_tree_worst_bandwidth() {
+        let big = 1 << 28;
+        let raben = allreduce_time(AllReduceAlgo::Rabenseifner, big, 16, link());
+        let tree = allreduce_time(AllReduceAlgo::FlatTree, big, 16, link());
+        assert!(tree > raben);
+    }
+
+    #[test]
+    fn monotone_in_message_size_and_r_latency() {
+        let a = allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 20, 8, link());
+        let b = allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 21, 8, link());
+        assert!(b > a);
+        let c = allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 20, 16, link());
+        assert!(c > a);
+    }
+}

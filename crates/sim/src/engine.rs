@@ -1,0 +1,231 @@
+//! Top-level simulation entry points.
+
+use chimera_core::schedule::Schedule;
+use chimera_core::unit_time::{execute_with, ExecError, Timeline};
+
+use crate::cost::SimCostModel;
+use crate::memory;
+
+/// Result of simulating one schedule under a cost model.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Wall-clock time of the simulated span, seconds.
+    pub span_s: f64,
+    /// Per-iteration time, seconds (`span_s / iterations`).
+    pub iter_time_s: f64,
+    /// Bubble ratio (idle fraction averaged over workers).
+    pub bubble_ratio: f64,
+    /// Compute-busy seconds per worker.
+    pub busy_s: Vec<f64>,
+    /// Peak activation bytes per worker.
+    pub peak_act_bytes: Vec<u64>,
+    /// Static weight bytes per worker (params × versions + grad/opt state).
+    pub weight_bytes: Vec<u64>,
+    /// Peak total memory per worker.
+    pub peak_mem_bytes: Vec<u64>,
+    /// The executed timeline (tick = 1 ns).
+    pub timeline: Timeline,
+}
+
+impl SimReport {
+    /// Training throughput in samples/s for the whole job, given the
+    /// mini-batch size `b_hat` consumed per iteration (across all `W`
+    /// data-parallel groups).
+    pub fn throughput(&self, b_hat: u64) -> f64 {
+        b_hat as f64 / self.iter_time_s
+    }
+
+    /// Largest per-worker peak memory.
+    pub fn max_peak_mem(&self) -> u64 {
+        self.peak_mem_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the configuration fits in `capacity_bytes` per device.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        memory::fits(&self.peak_mem_bytes, capacity_bytes)
+    }
+}
+
+/// Simulate a single iteration of `sched` under `cost`.
+pub fn simulate(sched: &Schedule, cost: &SimCostModel) -> Result<SimReport, ExecError> {
+    simulate_span(sched, cost, 1)
+}
+
+/// Simulate a schedule that covers `iterations` training iterations (e.g. an
+/// unrolled steady-state schedule of an asynchronous scheme) and report the
+/// amortized per-iteration time.
+pub fn simulate_span(
+    sched: &Schedule,
+    cost: &SimCostModel,
+    iterations: u32,
+) -> Result<SimReport, ExecError> {
+    assert!(iterations >= 1);
+    let timeline = execute_with(sched, cost)?;
+    let span_s = SimCostModel::seconds(timeline.makespan);
+    let busy_s = timeline
+        .busy
+        .iter()
+        .map(|&b| SimCostModel::seconds(b))
+        .collect();
+    let peak_act_bytes: Vec<u64> = timeline
+        .peak_activations
+        .iter()
+        .map(|&a| a.round() as u64)
+        .collect();
+    let weight_bytes = memory::weights_bytes(sched, cost);
+    let peak_mem_bytes = memory::peak_memory_bytes(sched, cost, &timeline);
+    Ok(SimReport {
+        span_s,
+        iter_time_s: span_s / iterations as f64,
+        bubble_ratio: timeline.bubble_ratio(),
+        busy_s,
+        peak_act_bytes,
+        weight_bytes,
+        peak_mem_bytes,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::AllReduceAlgo;
+    use crate::cost::StageCosts;
+    use crate::network::{NetworkModel, Topology};
+    use chimera_core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
+    use chimera_core::chimera::{chimera, ChimeraConfig};
+    use chimera_core::schedule::SyncStrategy;
+    use chimera_core::sync::place_sync;
+    use chimera_core::unit_time::UnitCosts;
+
+    fn cost(d: u32) -> SimCostModel {
+        SimCostModel {
+            stages: vec![
+                StageCosts {
+                    fwd_s: 10e-3,
+                    bwd_s: 20e-3,
+                    recompute_s: 10e-3,
+                    boundary_bytes: 4 << 20,
+                    act_bytes: 64 << 20,
+                    param_bytes: 80 << 20,
+                    grad_opt_bytes: 160 << 20,
+                };
+                d as usize
+            ],
+            network: NetworkModel::cray_aries(),
+            topology: Topology::one_per_node(d),
+            allreduce_participants: 16,
+            allreduce_algo: AllReduceAlgo::Rabenseifner,
+            allreduce_beta_factor: 1.0,
+            launch_overhead_s: 0.2e-3,
+            half_chunk_penalty: 1.15,
+            comm_compute_interference: 0.0,
+            p2p_host_overhead_s: 0.0,
+            p2p_host_s_per_byte: 0.0,
+            grad_compression: 1.0,
+        }
+    }
+
+    /// Chimera beats DAPPLE and GPipe per iteration for N = D (the paper's
+    /// central performance claim, driven by the halved bubble count).
+    #[test]
+    fn chimera_fastest_synchronous_at_n_eq_d() {
+        let d = 8;
+        let n = 8;
+        let c = cost(d);
+        let chim = simulate(
+            &place_sync(
+                chimera(&ChimeraConfig::new(d, n)).unwrap(),
+                SyncStrategy::EagerOpt,
+                UnitCosts::practical(),
+            ),
+            &c,
+        )
+        .unwrap();
+        let dap = simulate(
+            &place_sync(dapple(d, n), SyncStrategy::EagerOpt, UnitCosts::practical()),
+            &c,
+        )
+        .unwrap();
+        let gp = simulate(
+            &place_sync(gpipe(d, n), SyncStrategy::EagerOpt, UnitCosts::practical()),
+            &c,
+        )
+        .unwrap();
+        let gm = simulate(
+            &place_sync(gems(d, n), SyncStrategy::EagerOpt, UnitCosts::practical()),
+            &c,
+        )
+        .unwrap();
+        assert!(chim.iter_time_s < dap.iter_time_s, "{} vs DAPPLE {}", chim.iter_time_s, dap.iter_time_s);
+        assert!(chim.iter_time_s < gp.iter_time_s);
+        assert!(chim.iter_time_s < gm.iter_time_s);
+        // GEMS is the slowest synchronous scheme (highest bubble ratio).
+        assert!(gm.iter_time_s > dap.iter_time_s);
+    }
+
+    /// Asynchronous PipeDream-2BW approaches the bubble-free iteration time;
+    /// Chimera comes close (Fig. 14/15 show them within ~1.2x).
+    #[test]
+    fn chimera_close_to_async_steady_state() {
+        let d = 4;
+        let n = 4;
+        let iters = 8;
+        let c = cost(d);
+        let bw = simulate_span(&pipedream_2bw_steady(d, n, iters), &c, iters).unwrap();
+        let chim = simulate(
+            &place_sync(
+                chimera(&ChimeraConfig::new(d, n)).unwrap(),
+                SyncStrategy::EagerOpt,
+                UnitCosts::practical(),
+            ),
+            &c,
+        )
+        .unwrap();
+        assert!(chim.iter_time_s < 1.6 * bw.iter_time_s);
+    }
+
+    /// PipeDream's per-micro blocking sync makes it slower than 2BW.
+    #[test]
+    fn per_micro_sync_hurts_pipedream() {
+        let d = 4;
+        let n = 4;
+        let iters = 8;
+        let c = cost(d);
+        let pd = simulate_span(&pipedream_steady(d, n, iters), &c, iters).unwrap();
+        let bw = simulate_span(&pipedream_2bw_steady(d, n, iters), &c, iters).unwrap();
+        assert!(pd.iter_time_s > bw.iter_time_s);
+    }
+
+    #[test]
+    fn throughput_and_fit_helpers() {
+        let d = 4;
+        let c = cost(d);
+        let rep = simulate(&dapple(d, 4), &c).unwrap();
+        let thr = rep.throughput(512);
+        assert!((thr - 512.0 / rep.iter_time_s).abs() < 1e-9);
+        assert!(rep.fits(u64::MAX));
+        assert!(!rep.fits(1));
+        assert!(rep.max_peak_mem() > 0);
+    }
+
+    /// Eager-opt is at least as fast as plain eager (Fig. 12: middle-stage
+    /// eager launches cost overhead without overlap benefit).
+    #[test]
+    fn eager_opt_not_slower_than_eager() {
+        let d = 8;
+        let c = cost(d);
+        let base = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let eager = simulate(
+            &place_sync(base.clone(), SyncStrategy::Eager, UnitCosts::practical()),
+            &c,
+        )
+        .unwrap();
+        let opt = simulate(
+            &place_sync(base, SyncStrategy::EagerOpt, UnitCosts::practical()),
+            &c,
+        )
+        .unwrap();
+        assert!(opt.iter_time_s <= eager.iter_time_s + 1e-9);
+    }
+}

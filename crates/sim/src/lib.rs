@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # chimera-sim
+//!
+//! Discrete-event cluster simulator for pipeline-parallel training schedules.
+//!
+//! The paper evaluates on up to 2,048 GPU nodes of Piz Daint; this crate
+//! replaces that testbed with a dependency-driven simulation of the same
+//! per-worker op orders under:
+//!
+//! * an α-β point-to-point network with intra/inter-node link classes
+//!   ([`network`]),
+//! * the Rabenseifner / ring / flat-tree collective cost models of §3.4
+//!   ([`collective`]),
+//! * per-stage compute costs and byte-accurate memory footprints ([`cost`],
+//!   [`memory`]).
+//!
+//! Timing, bubbles, communication overlap (eager non-blocking allreduce,
+//! §3.2) and per-worker peak memory all emerge from executing the schedule,
+//! exactly as they do on the real machine.
+
+pub mod collective;
+pub mod cost;
+pub mod engine;
+pub mod memory;
+pub mod network;
+
+pub use collective::{allreduce_time, AllReduceAlgo};
+pub use cost::{SimCostModel, StageCosts};
+pub use engine::{simulate, simulate_span, SimReport};
+pub use network::{LinkParams, NetworkModel, Topology};

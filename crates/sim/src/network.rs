@@ -1,0 +1,141 @@
+//! α-β network model (§3.4).
+//!
+//! The paper models every transfer with the classic latency-bandwidth cost
+//! `α + βL`. We keep two parameter sets — intra-node (NVLink) and inter-node
+//! (Aries / InfiniBand) — and a worker→node topology to pick between them.
+
+/// Latency-bandwidth parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Latency `α` in seconds.
+    pub alpha_s: f64,
+    /// Transfer time per byte `β` in seconds (1 / bandwidth).
+    pub beta_s_per_byte: f64,
+}
+
+impl LinkParams {
+    /// `α + βL` for a message of `bytes`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.alpha_s + self.beta_s_per_byte * bytes as f64
+    }
+}
+
+/// Bidirectional, direct point-to-point network with distinct intra-node and
+/// inter-node links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Links between GPUs within one node (NVLink class).
+    pub intra: LinkParams,
+    /// Links between nodes (Aries / InfiniBand class).
+    pub inter: LinkParams,
+}
+
+impl NetworkModel {
+    /// Cray Aries (Piz Daint): ~1 GPU per node, so intra barely matters;
+    /// inter-node: α ≈ 1.5 µs, ~10 GB/s effective per direction.
+    pub fn cray_aries() -> Self {
+        NetworkModel {
+            intra: LinkParams {
+                alpha_s: 5e-6,
+                beta_s_per_byte: 1.0 / 30e9,
+            },
+            inter: LinkParams {
+                alpha_s: 15e-6,
+                beta_s_per_byte: 1.0 / 8e9,
+            },
+        }
+    }
+
+    /// NVLink within a node + InfiniBand EDR between nodes (the 32×V100
+    /// cluster of §4).
+    pub fn nvlink_infiniband() -> Self {
+        NetworkModel {
+            intra: LinkParams {
+                alpha_s: 4e-6,
+                beta_s_per_byte: 1.0 / 120e9,
+            },
+            inter: LinkParams {
+                alpha_s: 12e-6,
+                beta_s_per_byte: 1.0 / 10e9,
+            },
+        }
+    }
+
+    /// Transfer time for `bytes` between two endpoints.
+    #[inline]
+    pub fn p2p_time(&self, bytes: u64, same_node: bool) -> f64 {
+        if same_node {
+            self.intra.transfer_time(bytes)
+        } else {
+            self.inter.transfer_time(bytes)
+        }
+    }
+}
+
+/// Worker→node mapping for one pipeline-parallel group of `D` workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    node_of: Vec<u32>,
+}
+
+impl Topology {
+    /// `gpus_per_node` consecutive workers share a node (workers are packed
+    /// in rank order, the common launcher behaviour).
+    pub fn packed(workers: u32, gpus_per_node: u32) -> Self {
+        assert!(gpus_per_node >= 1);
+        Topology {
+            node_of: (0..workers).map(|w| w / gpus_per_node).collect(),
+        }
+    }
+
+    /// One GPU per node (Piz Daint).
+    pub fn one_per_node(workers: u32) -> Self {
+        Topology::packed(workers, 1)
+    }
+
+    /// Whether workers `a` and `b` share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.node_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_beta_formula() {
+        let link = LinkParams {
+            alpha_s: 1e-6,
+            beta_s_per_byte: 1e-9,
+        };
+        assert!((link.transfer_time(1000) - 2e-6).abs() < 1e-12);
+        assert!((link.transfer_time(0) - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn intra_faster_than_inter() {
+        for net in [NetworkModel::cray_aries(), NetworkModel::nvlink_infiniband()] {
+            let big = 1 << 24;
+            assert!(net.p2p_time(big, true) < net.p2p_time(big, false));
+        }
+    }
+
+    #[test]
+    fn packed_topology() {
+        let t = Topology::packed(8, 4);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+        assert!(t.same_node(4, 7));
+        assert_eq!(t.workers(), 8);
+        let d = Topology::one_per_node(4);
+        assert!(!d.same_node(0, 1));
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # chimera-tensor
+//!
+//! A minimal, deterministic CPU tensor substrate for the `chimera-nn`
+//! transformer layers: a dense row-major `f32` matrix with the BLAS-like
+//! kernels used by explicit forward/backward passes, plus softmax / GELU /
+//! layernorm with exact gradients and a platform-independent RNG.
+//!
+//! Every kernel is gradient-checked against central differences in the unit
+//! tests, because the paper's synchronous-equivalence claim is validated by
+//! comparing pipelined training against sequential SGD bit-for-bit.
+
+pub mod ops;
+pub mod rng;
+pub mod tensor;
+
+pub use ops::{
+    gelu, gelu_backward, layernorm, layernorm_backward, softmax_rows, softmax_rows_backward,
+    LayerNormStash,
+};
+pub use rng::Rng;
+pub use tensor::{dot, Tensor};

@@ -1,0 +1,244 @@
+//! Nonlinear kernels shared by the transformer layers: softmax, GELU, and
+//! layer normalization, each with its exact backward.
+
+use crate::tensor::Tensor;
+
+/// Row-wise softmax (numerically stabilized).
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of row-wise softmax: given `y = softmax(x)` and `dy`, returns
+/// `dx = y ⊙ (dy - (y·dy))` per row.
+pub fn softmax_rows_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()));
+    let mut out = Tensor::zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let dot: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
+        for (o, (&yv, &dyv)) in out.row_mut(r).iter_mut().zip(yr.iter().zip(dyr)) {
+            *o = yv * (dyv - dot);
+        }
+    }
+    out
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+
+/// GELU activation (tanh approximation).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| 0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh()))
+}
+
+/// Backward of [`gelu`]: `dx = dy * gelu'(x)`.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()));
+    let grad = x.map(|v| {
+        let inner = GELU_C * (v + 0.044715 * v * v * v);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * v * sech2 * GELU_C * (1.0 + 3.0 * 0.044715 * v * v)
+    });
+    grad.hadamard(dy)
+}
+
+/// Stash produced by [`layernorm`] for its backward.
+#[derive(Debug, Clone)]
+pub struct LayerNormStash {
+    /// Normalized input `x̂`.
+    pub xhat: Tensor,
+    /// Per-row `1/σ`.
+    pub inv_std: Vec<f32>,
+}
+
+const LN_EPS: f32 = 1e-5;
+
+/// Layer normalization over each row: `y = γ ⊙ x̂ + β`.
+pub fn layernorm(x: &Tensor, gamma: &[f32], beta: &[f32]) -> (Tensor, LayerNormStash) {
+    let n = x.cols();
+    assert_eq!(gamma.len(), n);
+    assert_eq!(beta.len(), n);
+    let mut xhat = x.clone();
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = xhat.row_mut(r);
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+        inv_std.push(inv);
+    }
+    let mut y = xhat.clone();
+    for r in 0..y.rows() {
+        for (c, v) in y.row_mut(r).iter_mut().enumerate() {
+            *v = *v * gamma[c] + beta[c];
+        }
+    }
+    (y, LayerNormStash { xhat, inv_std })
+}
+
+/// Backward of [`layernorm`]: returns `(dx, dγ, dβ)`.
+pub fn layernorm_backward(
+    stash: &LayerNormStash,
+    gamma: &[f32],
+    dy: &Tensor,
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let n = dy.cols();
+    let mut dgamma = vec![0.0f32; n];
+    let mut dbeta = vec![0.0f32; n];
+    let mut dx = Tensor::zeros(dy.rows(), n);
+    for r in 0..dy.rows() {
+        let xhat = stash.xhat.row(r);
+        let dyr = dy.row(r);
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_xhat = 0.0f32;
+        // dxhat = dy * gamma
+        for c in 0..n {
+            let dxhat = dyr[c] * gamma[c];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat[c];
+            dgamma[c] += dyr[c] * xhat[c];
+            dbeta[c] += dyr[c];
+        }
+        let inv = stash.inv_std[r];
+        let nf = n as f32;
+        for c in 0..n {
+            let dxhat = dyr[c] * gamma[c];
+            dx.set(
+                r,
+                c,
+                inv / nf * (nf * dxhat - sum_dxhat - xhat[c] * sum_dxhat_xhat),
+            );
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Central-difference numerical gradient check for a scalar loss
+    /// `L = Σ y ⊙ w` of a tensor op.
+    fn num_grad(
+        x: &Tensor,
+        weights: &Tensor,
+        f: impl Fn(&Tensor) -> Tensor,
+    ) -> Tensor {
+        let eps = 1e-3f32;
+        let mut g = Tensor::zeros(x.rows(), x.cols());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = f(&xp).hadamard(weights).data().iter().sum();
+            let lm: f32 = f(&xm).hadamard(weights).data().iter().sum();
+            g.data_mut()[i] = (lp - lm) / (2.0 * eps);
+        }
+        g
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::new(1);
+        let x = Tensor::normal(4, 7, 2.0, &mut rng);
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(y.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_numeric() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::normal(3, 5, 1.0, &mut rng);
+        let w = Tensor::normal(3, 5, 1.0, &mut rng);
+        let y = softmax_rows(&x);
+        let analytic = softmax_rows_backward(&y, &w);
+        let numeric = num_grad(&x, &w, softmax_rows);
+        assert!(
+            analytic.max_abs_diff(&numeric) < 2e-3,
+            "diff {}",
+            analytic.max_abs_diff(&numeric)
+        );
+    }
+
+    #[test]
+    fn gelu_values_and_backward() {
+        let x = Tensor::from_vec(1, 3, vec![-2.0, 0.0, 2.0]);
+        let y = gelu(&x);
+        assert!((y.get(0, 1)).abs() < 1e-6);
+        assert!(y.get(0, 2) > 1.9 && y.get(0, 2) < 2.0);
+        assert!(y.get(0, 0) > -0.1 && y.get(0, 0) < 0.0);
+
+        let mut rng = Rng::new(3);
+        let x = Tensor::normal(2, 6, 1.0, &mut rng);
+        let w = Tensor::normal(2, 6, 1.0, &mut rng);
+        let analytic = gelu_backward(&x, &w);
+        let numeric = num_grad(&x, &w, gelu);
+        assert!(analytic.max_abs_diff(&numeric) < 2e-3);
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut rng = Rng::new(4);
+        let x = Tensor::normal(3, 64, 5.0, &mut rng);
+        let gamma = vec![1.0; 64];
+        let beta = vec![0.0; 64];
+        let (y, _) = layernorm(&x, &gamma, &beta);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 64.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_numeric() {
+        let mut rng = Rng::new(5);
+        let x = Tensor::normal(2, 8, 1.5, &mut rng);
+        let gamma: Vec<f32> = (0..8).map(|i| 0.5 + 0.1 * i as f32).collect();
+        let beta: Vec<f32> = (0..8).map(|i| 0.05 * i as f32).collect();
+        let w = Tensor::normal(2, 8, 1.0, &mut rng);
+        let (_, stash) = layernorm(&x, &gamma, &beta);
+        let (dx, dgamma, dbeta) = layernorm_backward(&stash, &gamma, &w);
+        let numeric = num_grad(&x, &w, |t| layernorm(t, &gamma, &beta).0);
+        assert!(dx.max_abs_diff(&numeric) < 3e-3, "{}", dx.max_abs_diff(&numeric));
+        // dβ = column sums of dy.
+        for (c, &db) in dbeta.iter().enumerate() {
+            let expect: f32 = (0..2).map(|r| w.get(r, c)).sum();
+            assert!((db - expect).abs() < 1e-5);
+        }
+        // dγ numeric check on one coordinate.
+        let eps = 1e-3;
+        let mut gp = gamma.clone();
+        gp[3] += eps;
+        let mut gm = gamma.clone();
+        gm[3] -= eps;
+        let lp: f32 = layernorm(&x, &gp, &beta).0.hadamard(&w).data().iter().sum();
+        let lm: f32 = layernorm(&x, &gm, &beta).0.hadamard(&w).data().iter().sum();
+        assert!((dgamma[3] - (lp - lm) / (2.0 * eps)).abs() < 3e-3);
+    }
+}

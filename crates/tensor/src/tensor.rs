@@ -1,0 +1,364 @@
+//! A minimal row-major `f32` matrix type.
+//!
+//! The transformer layers in `chimera-nn` only need 2-D tensors (token/batch
+//! dimensions are flattened into rows), so `Tensor` is deliberately a dense
+//! `rows × cols` matrix with the handful of BLAS-like kernels the forward
+//! and backward passes require.
+
+use crate::rng::Rng;
+
+/// Dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a row-major vector (must have `rows * cols` elements).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.uniform_in(-bound, bound))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Normal(0, std) initialization.
+    pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.normal() * std).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self @ other` — blocked matrix multiply, `[m,k] x [k,n] -> [m,n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        // i-k-j loop order: streams through `other` rows, autovectorizes the
+        // inner j loop.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` — `[k,m]ᵀ x [k,n] -> [m,n]` without materializing the
+    /// transpose (the `dW = Xᵀ dY` pattern of linear-layer backward).
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` — `[m,k] x [n,k]ᵀ -> [m,n]` (the `dX = dY Wᵀ`
+    /// pattern).
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place add.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise add producing a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place `self += scale * other` (AXPY).
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Add a row-vector bias to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Column sums (`[1, cols]` as a plain vector) — the bias gradient.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Map every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Copy a contiguous block of rows.
+    pub fn rows_slice(&self, start: usize, count: usize) -> Tensor {
+        assert!(start + count <= self.rows);
+        Tensor {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_matmul_variants_agree() {
+        let mut rng = Rng::new(5);
+        let a = Tensor::normal(4, 6, 1.0, &mut rng);
+        let b = Tensor::normal(4, 3, 1.0, &mut rng);
+        // aᵀ b via t_matmul == transpose().matmul().
+        let direct = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+        let c = Tensor::normal(5, 6, 1.0, &mut rng);
+        // a cᵀ via matmul_t == matmul(transpose).
+        let direct = a.matmul_t(&c);
+        let explicit = a.matmul(&c.transpose());
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn bias_and_sums() {
+        let mut a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(a.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.sum_rows(), vec![24.0, 46.0]);
+    }
+
+    #[test]
+    fn axpy_scale_map_hadamard() {
+        let mut a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+        let m = a.map(|v| v * 2.0);
+        assert_eq!(m.data(), &[3.0, 4.0, 5.0]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.data(), a.data());
+    }
+
+    #[test]
+    fn rows_slice_copies_block() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.rows_slice(1, 2);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.data(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = Rng::new(11);
+        let w = Tensor::xavier(16, 64, &mut rng);
+        let bound = (6.0 / 80.0f32).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(w.data().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests over the tensor kernels: algebraic identities of the
+//! matmul variants and invariants of the nonlinear ops.
+
+use proptest::prelude::*;
+
+use chimera_tensor::{gelu, layernorm, softmax_rows, Rng, Tensor};
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::normal(rows, cols, 1.0, &mut Rng::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `t_matmul`/`matmul_t` equal the explicit transpose formulations.
+    #[test]
+    fn matmul_transpose_identities(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..1000) {
+        let a = tensor(k, m, seed);
+        let b = tensor(k, n, seed + 1);
+        prop_assert!(a.t_matmul(&b).max_abs_diff(&a.transpose().matmul(&b)) < 1e-4);
+        let c = tensor(m, k, seed + 2);
+        let d = tensor(n, k, seed + 3);
+        prop_assert!(c.matmul_t(&d).max_abs_diff(&c.matmul(&d.transpose())) < 1e-4);
+    }
+
+    /// Transpose is an involution; matmul distributes over addition.
+    #[test]
+    fn linear_algebra_identities(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let a = tensor(m, k, seed);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let b1 = tensor(k, n, seed + 1);
+        let b2 = tensor(k, n, seed + 2);
+        let lhs = a.matmul(&b1.add(&b2));
+        let rhs = a.matmul(&b1).add(&a.matmul(&b2));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    /// Softmax rows are probability distributions and invariant to row-wise
+    /// constant shifts.
+    #[test]
+    fn softmax_invariants(rows in 1usize..6, cols in 1usize..8, shift in -5.0f32..5.0, seed in 0u64..1000) {
+        let x = tensor(rows, cols, seed);
+        let y = softmax_rows(&x);
+        for r in 0..rows {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+        let shifted = x.map(|v| v + shift);
+        prop_assert!(softmax_rows(&shifted).max_abs_diff(&y) < 1e-4);
+    }
+
+    /// Layernorm output has zero mean and unit variance per row, independent
+    /// of the input's scale and shift.
+    #[test]
+    fn layernorm_standardizes(rows in 1usize..5, scale in 0.5f32..10.0, seed in 0u64..1000) {
+        let cols = 32;
+        let x = tensor(rows, cols, seed).map(|v| v * scale + 3.0);
+        let gamma = vec![1.0f32; cols];
+        let beta = vec![0.0f32; cols];
+        let (y, _) = layernorm(&x, &gamma, &beta);
+        for r in 0..rows {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / cols as f32;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+            prop_assert!((var - 1.0).abs() < 2e-2, "var {}", var);
+        }
+    }
+
+    /// GELU is bounded below by ≈ −0.17 everywhere, monotone for
+    /// x ≥ −0.5 (it is famously non-monotone around x ≈ −0.75), and
+    /// approaches the identity for large positive x.
+    #[test]
+    fn gelu_properties(a in -0.5f32..6.0, b in -0.5f32..6.0, neg in -6.0f32..0.0) {
+        let x = Tensor::from_vec(1, 2, vec![a.min(b), a.max(b)]);
+        let y = gelu(&x);
+        prop_assert!(y.get(0, 0) <= y.get(0, 1) + 1e-5);
+        let yn = gelu(&Tensor::from_vec(1, 1, vec![neg]));
+        prop_assert!(yn.get(0, 0) > -0.2 && yn.get(0, 0) <= 0.0);
+        let big = gelu(&Tensor::from_vec(1, 1, vec![6.0]));
+        prop_assert!((big.get(0, 0) - 6.0).abs() < 1e-3);
+    }
+
+    /// AXPY and scale satisfy (x + s·y)·c == c·x + (c·s)·y.
+    #[test]
+    fn axpy_scale_compose(m in 1usize..5, n in 1usize..5, s in -3.0f32..3.0, c in -3.0f32..3.0, seed in 0u64..1000) {
+        let x = tensor(m, n, seed);
+        let y = tensor(m, n, seed + 1);
+        let mut lhs = x.clone();
+        lhs.axpy(s, &y);
+        lhs.scale(c);
+        let mut rhs = x.clone();
+        rhs.scale(c);
+        let mut ys = y.clone();
+        ys.scale(c * s);
+        rhs.add_assign(&ys);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Synchronous vs asynchronous pipelining, on real training: Chimera
+//! (synchronous, = mini-batch SGD) against PipeDream (asynchronous,
+//! per-micro updates with stashed weights). Both run on real threads; the
+//! demo shows (1) the synchronous run is bit-identical to sequential SGD,
+//! (2) the asynchronous run is *not* — the staleness Table 2's
+//! "convergence friendly" column is about.
+//!
+//! ```sh
+//! cargo run --release --example async_vs_sync
+//! ```
+
+use chimera::core::baselines::pipedream_steady;
+use chimera::core::chimera::{chimera, ChimeraConfig};
+use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera::runtime::{train, TrainOptions};
+
+fn main() {
+    let d = 4u32;
+    let n = 4u32;
+    let iterations = 10u32;
+    let cfg = ModelConfig {
+        layers: 4,
+        hidden: 24,
+        heads: 3,
+        seq: 6,
+        vocab: 41,
+        causal: true,
+        seed: 5,
+    };
+    let opts = TrainOptions {
+        micro_batch: 2,
+        iterations,
+        lr: 0.05,
+        momentum: 0.9,
+        data_seed: 13,
+        optimizer: None,
+        lr_schedule: None,
+    };
+
+    // Synchronous: Chimera.
+    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts);
+
+    // Asynchronous: PipeDream steady state over the same number of
+    // micro-batches (one unrolled span; per-micro stale updates).
+    let async_opts = TrainOptions {
+        iterations: 1,
+        ..opts
+    };
+    let async_sched = pipedream_steady(d, n, iterations);
+    let asynchronous = train(&async_sched, cfg, async_opts);
+
+    // Sequential mini-batch SGD reference.
+    let mut reference = ReferenceTrainer::new(
+        Stage::build_all(cfg, d),
+        SyntheticData::new(cfg, opts.data_seed),
+        opts.micro_batch,
+        opts.lr,
+        opts.momentum,
+    );
+    let mut ref_losses = Vec::new();
+    for it in 0..iterations {
+        ref_losses.push(reference.train_iteration(it as u64 * n as u64, n));
+    }
+
+    println!("iter   reference-SGD   Chimera(sync)");
+    for (i, (r, c)) in ref_losses.iter().zip(&sync.iteration_losses).enumerate() {
+        println!("{i:>4}   {r:>12.5}   {c:>12.5}");
+    }
+    assert_eq!(
+        sync.flat_params(),
+        reference.flat_params(),
+        "synchronous pipelining must be bit-identical to SGD"
+    );
+    println!("\n✓ Chimera == sequential SGD, bit for bit");
+
+    let max_dev = sync
+        .flat_params()
+        .iter()
+        .zip(asynchronous.flat_params())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_dev > 0.0);
+    println!(
+        "✗ PipeDream (async, weight stashing) deviates from SGD: max |Δparam| = {max_dev:.6}\n  \
+         — stale per-micro updates change the training trajectory (Table 2)."
+    );
+}

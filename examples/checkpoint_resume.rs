@@ -1,0 +1,72 @@
+//! Checkpoint / resume with elastic re-partitioning: train on a 2-stage
+//! pipeline, checkpoint, resume on a 4-stage pipeline — parameters are
+//! partition-independent, so the model continues training seamlessly on a
+//! differently-shaped cluster.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_resume
+//! ```
+
+use chimera::core::chimera::{chimera, ChimeraConfig};
+use chimera::nn::{checkpoint, ModelConfig, OptimizerKind, LrSchedule, ReferenceTrainer, Stage, SyntheticData};
+use chimera::runtime::{train, TrainOptions};
+
+fn main() {
+    let cfg = ModelConfig {
+        layers: 4,
+        hidden: 24,
+        heads: 3,
+        seq: 6,
+        vocab: 53,
+        causal: true,
+        seed: 17,
+    };
+    let opts = TrainOptions {
+        micro_batch: 2,
+        iterations: 4,
+        lr: 0.0,
+        momentum: 0.0,
+        data_seed: 88,
+        optimizer: Some(OptimizerKind::adam()),
+        lr_schedule: Some(LrSchedule::WarmupCosine {
+            base: 2e-3,
+            warmup: 2,
+            total: 20,
+            min: 1e-4,
+        }),
+    };
+
+    // Phase 1: train on a D=2 Chimera pipeline (2 threads).
+    let sched2 = chimera(&ChimeraConfig::new(2, 4)).expect("valid");
+    let phase1 = train(&sched2, cfg, opts);
+    println!("phase 1 (D=2) losses: {:?}", phase1.iteration_losses);
+
+    // Checkpoint to bytes (would be a file in production).
+    let blob = checkpoint::save(&phase1.stages);
+    println!("checkpoint: {} bytes", blob.len());
+
+    // Phase 2: restore onto a D=4 partition and keep training sequentially
+    // (a restarted job on a reshaped allocation).
+    let stages4 = checkpoint::load(&blob, 4).expect("restore");
+    let mut resumed = ReferenceTrainer::with_optimizer(
+        stages4,
+        SyntheticData::new(cfg, opts.data_seed),
+        opts.micro_batch,
+        opts.optimizer.unwrap(),
+        opts.lr_schedule.unwrap(),
+    );
+    // Note: optimizer moments restart at zero after resume (the checkpoint
+    // stores parameters only), as many practical setups do.
+    let mut losses = Vec::new();
+    for it in 4..8u64 {
+        losses.push(resumed.train_iteration(it * 4, 4));
+    }
+    println!("phase 2 (D=4, resumed) losses: {losses:?}");
+
+    // Sanity: the restored parameters really were the phase-1 parameters.
+    let roundtrip = checkpoint::load(&blob, 2).expect("restore");
+    let a: Vec<f32> = phase1.stages.iter().flat_map(Stage::params).collect();
+    let b: Vec<f32> = roundtrip.iter().flat_map(Stage::params).collect();
+    assert_eq!(a, b);
+    println!("✓ checkpoint restored bit-exactly and resumed on a reshaped pipeline");
+}

@@ -1,0 +1,230 @@
+//! `chimera-cli` — command-line front end for the Chimera reproduction.
+//!
+//! ```text
+//! chimera-cli render  <scheme> [D] [N]            ASCII schedule + analytics
+//! chimera-cli plan    <bert48|gpt2> [P] [B̂]       best (W,D,B) per scheme
+//! chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B̂>
+//! chimera-cli train   [D] [N] [iters]             real pipelined training
+//! ```
+
+use chimera::core::analysis;
+use chimera::core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
+use chimera::core::chimera::{chimera as chimera_sched, ChimeraConfig, ScaleMethod};
+use chimera::core::render;
+use chimera::core::schedule::{Schedule, Scheme, SyncStrategy};
+use chimera::core::sync::place_sync;
+use chimera::core::unit_time::{execute, UnitCosts};
+use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera::perf::planner::{best, plan_chimera, PlanScheme};
+use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
+use chimera::runtime::{train, TrainOptions};
+use chimera::sim::simulate;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: Option<String>, default: T) -> T {
+    s.and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_schedule(scheme: &str, d: u32, n: u32) -> Schedule {
+    match scheme {
+        "chimera" => chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config"),
+        "chimera-f2" => chimera_sched(&ChimeraConfig {
+            d,
+            n,
+            f: 2,
+            scale: ScaleMethod::Direct,
+        })
+        .expect("valid config"),
+        "doubling" => chimera_sched(&ChimeraConfig {
+            d,
+            n,
+            f: 1,
+            scale: ScaleMethod::ForwardDoubling { recompute: true },
+        })
+        .expect("valid config"),
+        "halving" => chimera_sched(&ChimeraConfig {
+            d,
+            n,
+            f: 1,
+            scale: ScaleMethod::BackwardHalving,
+        })
+        .expect("valid config"),
+        "dapple" => dapple(d, n),
+        "gpipe" => gpipe(d, n),
+        "gems" => gems(d, n),
+        "pipedream" => pipedream_steady(d, n, 2),
+        "pipedream-2bw" => pipedream_2bw_steady(d, n, 2),
+        _ => usage(),
+    }
+}
+
+fn model_spec(name: &str) -> ModelSpec {
+    match name {
+        "bert48" => ModelSpec::bert48(),
+        "gpt2" => ModelSpec::gpt2(),
+        "gpt2-32" => ModelSpec::gpt2_32(),
+        _ => usage(),
+    }
+}
+
+fn cmd_render(mut args: std::env::Args) {
+    let scheme = args.next().unwrap_or_else(|| usage());
+    let d = parse(args.next(), 4u32);
+    let n = parse(args.next(), d);
+    let sched = build_schedule(&scheme, d, n);
+    let tl = execute(&sched, UnitCosts::practical()).expect("executes");
+    println!("{scheme} D={d} N={n} (backward = 2x forward):\n");
+    println!("{}", render::render(&tl));
+    println!("{}", render::summary(&tl));
+    if matches!(
+        sched.scheme,
+        Scheme::Chimera | Scheme::Dapple | Scheme::GPipe | Scheme::Gems
+    ) {
+        let a = analysis::table2(sched.scheme, d, n);
+        println!(
+            "Table-2 analytics: bubble {:.3}, weights {:?} Mθ, activations {:?} Ma",
+            a.bubble_ratio, a.weights_memory, a.activations_memory
+        );
+    }
+}
+
+fn cmd_plan(mut args: std::env::Args) {
+    let model = model_spec(&args.next().unwrap_or_else(|| usage()));
+    let p = parse(args.next(), 32u32);
+    let b_hat = parse(args.next(), 512u64);
+    let cluster = ClusterSpec::piz_daint();
+    println!("{} on P={p} (Piz Daint profile), B̂={b_hat}:\n", model.name);
+    println!(
+        "{:<24} {:>4} {:>4} {:>4} {:>5} {:>4} {:>12} {:>8}",
+        "scheme", "W", "D", "B", "N", "rec", "samples/s", "peakGiB"
+    );
+    let print_cand = |label: String, c: Option<chimera::perf::Candidate>| match c {
+        Some(c) => println!(
+            "{:<24} {:>4} {:>4} {:>4} {:>5} {:>4} {:>12.1} {:>8.2}",
+            label,
+            c.w,
+            c.d,
+            c.b,
+            c.n,
+            if c.recompute { "R" } else { "-" },
+            c.throughput,
+            c.peak_mem as f64 / (1u64 << 30) as f64
+        ),
+        None => println!("{label:<24} (no feasible configuration)"),
+    };
+    for scheme in [
+        PlanScheme::GPipe,
+        PlanScheme::Dapple,
+        PlanScheme::Gems,
+        PlanScheme::PipeDream,
+        PlanScheme::PipeDream2Bw,
+    ] {
+        print_cand(scheme.label(), best(scheme, model, cluster, p, b_hat));
+    }
+    for scale in [
+        ScaleMethod::Direct,
+        ScaleMethod::ForwardDoubling { recompute: true },
+        ScaleMethod::BackwardHalving,
+    ] {
+        let c = plan_chimera(1, scale, model, cluster, p, b_hat);
+        let label = c
+            .as_ref()
+            .map(|c| c.scheme.label())
+            .unwrap_or_else(|| "Chimera".into());
+        print_cand(label, c);
+    }
+}
+
+fn cmd_simulate(mut args: std::env::Args) {
+    let scheme = args.next().unwrap_or_else(|| usage());
+    let model = model_spec(&args.next().unwrap_or_else(|| usage()));
+    let p = parse(args.next(), 32u32);
+    let d = parse(args.next(), 4u32);
+    let b = parse(args.next(), 4u32);
+    let b_hat = parse(args.next(), 512u64);
+    let w = p / d;
+    let n = (b_hat / (w as u64 * b as u64)).max(1) as u32;
+    let base = build_schedule(&scheme, d, n);
+    let replicas = base.placement.replicas();
+    let sched = if base.flushes {
+        place_sync(base, SyncStrategy::EagerOpt, UnitCosts::practical())
+    } else {
+        base
+    };
+    let cluster = ClusterSpec::piz_daint();
+    let cost = TrainConfig {
+        model,
+        cluster,
+        d,
+        w,
+        b,
+        stage_replicas: replicas,
+    }
+    .cost_model();
+    let rep = simulate(&sched, &cost).expect("simulates");
+    println!(
+        "{scheme} {} P={p} (W={w} D={d} B={b} N={n}):\n  iteration {:.4}s | {:.1} samples/s | bubble {:.3} | peak {:.2} GiB{}",
+        model.name,
+        rep.iter_time_s,
+        rep.throughput(b_hat),
+        rep.bubble_ratio,
+        rep.max_peak_mem() as f64 / (1u64 << 30) as f64,
+        if rep.fits(cluster.usable_mem()) { "" } else { "  [OOM]" }
+    );
+}
+
+fn cmd_train(mut args: std::env::Args) {
+    let d = parse(args.next(), 4u32);
+    let n = parse(args.next(), d);
+    let iterations = parse(args.next(), 8u32);
+    let cfg = ModelConfig {
+        layers: d as usize,
+        ..ModelConfig::tiny()
+    };
+    let opts = TrainOptions {
+        micro_batch: 2,
+        iterations,
+        lr: 0.05,
+        momentum: 0.9,
+        data_seed: 7,
+        optimizer: None,
+        lr_schedule: None,
+    };
+    let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
+    let result = train(&sched, cfg, opts);
+    println!("Chimera D={d} N={n}, {iterations} iterations on {d} threads:");
+    for (i, l) in result.iteration_losses.iter().enumerate() {
+        println!("  iter {i:>3}: loss {l:.4}");
+    }
+    // Cross-check the last state against sequential SGD.
+    let mut r = ReferenceTrainer::new(
+        Stage::build_all(cfg, d),
+        SyntheticData::new(cfg, opts.data_seed),
+        opts.micro_batch,
+        opts.lr,
+        opts.momentum,
+    );
+    for it in 0..iterations {
+        r.train_iteration(it as u64 * n as u64, n);
+    }
+    assert_eq!(result.flat_params(), r.flat_params());
+    println!("✓ bit-identical to sequential mini-batch SGD");
+}
+
+fn main() {
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("render") => cmd_render(args),
+        Some("plan") => cmd_plan(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("train") => cmd_train(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,31 @@
+//! # chimera
+//!
+//! Umbrella crate for the Rust reproduction of **"Chimera: Efficiently
+//! Training Large-Scale Neural Networks with Bidirectional Pipelines"**
+//! (Li & Hoefler, SC'21).
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`core`] — schedule IR, the Chimera bidirectional schedule generator,
+//!   and all baseline schemes (GPipe, DAPPLE, GEMS, PipeDream,
+//!   PipeDream-2BW);
+//! * [`sim`] — discrete-event cluster simulator (α-β network, collective
+//!   cost models, memory tracking);
+//! * [`perf`] — the §3.4 performance model, device profiles, model zoo and
+//!   configuration planner;
+//! * [`tensor`] / [`nn`] — a from-scratch CPU tensor library and transformer
+//!   layers with explicit backward passes;
+//! * [`collectives`] — shared-memory allreduce/broadcast/barrier
+//!   implementations across threads;
+//! * [`runtime`] — a thread-per-worker pipeline training runtime executing
+//!   any schedule on a real model.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use chimera_collectives as collectives;
+pub use chimera_core as core;
+pub use chimera_nn as nn;
+pub use chimera_perf as perf;
+pub use chimera_runtime as runtime;
+pub use chimera_sim as sim;
+pub use chimera_tensor as tensor;

@@ -1,0 +1,139 @@
+//! Cross-crate end-to-end: the paper's "convergence friendly" column of
+//! Table 2, executed. Synchronous schedules of every scheme and shape train
+//! bit-identically to sequential mini-batch SGD on a real transformer.
+
+use proptest::prelude::*;
+
+use chimera::core::baselines::{dapple, gems, gpipe};
+use chimera::core::chimera::{chimera, ChimeraConfig, ScaleMethod};
+use chimera::core::schedule::{Schedule, SyncStrategy};
+use chimera::core::sync::place_sync;
+use chimera::core::unit_time::UnitCosts;
+use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera::runtime::{train, TrainOptions};
+
+fn opts(iterations: u32) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 1,
+        iterations,
+        lr: 0.08,
+        momentum: 0.9,
+        data_seed: 2024,
+        optimizer: None,
+        lr_schedule: None,
+    }
+}
+
+fn cfg_for(d: u32) -> ModelConfig {
+    ModelConfig {
+        layers: d as usize,
+        hidden: 16,
+        heads: 2,
+        seq: 4,
+        vocab: 29,
+        causal: true,
+        seed: 11,
+    }
+}
+
+fn check(sched: &Schedule, iterations: u32) {
+    let cfg = cfg_for(sched.d);
+    let o = opts(iterations);
+    let result = train(sched, cfg, o);
+    let mut reference = ReferenceTrainer::new(
+        Stage::build_all(cfg, sched.d),
+        SyntheticData::new(cfg, o.data_seed),
+        o.micro_batch,
+        o.lr,
+        o.momentum,
+    );
+    for it in 0..iterations {
+        reference.train_iteration(it as u64 * sched.n as u64, sched.n);
+    }
+    assert_eq!(
+        result.flat_params(),
+        reference.flat_params(),
+        "{} D={} N={} diverged from sequential SGD",
+        sched.scheme,
+        sched.d,
+        sched.n
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random (D, N) Chimera configurations — N below, at, and above D.
+    #[test]
+    fn chimera_random_shapes_bitexact(dh in 1u32..4, n in 1u32..13) {
+        let d = 2 * dh;
+        check(&chimera(&ChimeraConfig::new(d, n)).unwrap(), 2);
+    }
+}
+
+#[test]
+fn chimera_n_less_than_d_bitexact() {
+    for n in [1u32, 2, 3] {
+        check(&chimera(&ChimeraConfig::new(4, n)).unwrap(), 2);
+    }
+}
+
+#[test]
+fn chimera_d6_bitexact() {
+    check(&chimera(&ChimeraConfig::new(6, 6)).unwrap(), 2);
+}
+
+#[test]
+fn chimera_f2_d8_bitexact() {
+    check(
+        &chimera(&ChimeraConfig {
+            d: 8,
+            n: 8,
+            f: 2,
+            scale: ScaleMethod::Direct,
+        })
+        .unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn all_sync_strategies_bitexact() {
+    for strat in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt] {
+        let sched = place_sync(
+            chimera(&ChimeraConfig::new(4, 8)).unwrap(),
+            strat,
+            UnitCosts::practical(),
+        );
+        check(&sched, 2);
+    }
+}
+
+#[test]
+fn baselines_bitexact() {
+    check(&gpipe(4, 8), 2);
+    check(&dapple(4, 8), 2);
+    check(&gems(4, 4), 2);
+}
+
+#[test]
+fn recompute_bitexact_everywhere() {
+    check(&chimera(&ChimeraConfig::new(4, 4)).unwrap().with_recompute(), 2);
+    check(&dapple(4, 4).with_recompute(), 2);
+}
+
+/// Different synchronous schemes produce the same model as each other, so
+/// the practitioner can choose purely on throughput (§2's point).
+#[test]
+fn schemes_interchangeable() {
+    let d = 4;
+    let n = 4;
+    let cfg = cfg_for(d);
+    let o = opts(3);
+    let a = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, o);
+    let b = train(&gpipe(d, n), cfg, o);
+    let c = train(&gems(d, n), cfg, o);
+    assert_eq!(a.flat_params(), b.flat_params());
+    assert_eq!(a.flat_params(), c.flat_params());
+    assert_eq!(a.iteration_losses, b.iteration_losses);
+}
