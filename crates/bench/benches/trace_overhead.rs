@@ -1,0 +1,57 @@
+//! Criterion: tracing overhead on real pipeline training — disabled sink
+//! (the `None` fast path) vs [`NullSink`] (clock reads + event construction,
+//! records discarded) vs [`BufferSink`] (full collection).
+//!
+//! The zero-cost-when-disabled contract: with `trace: None` workers skip all
+//! instrumentation including clock reads, so the disabled configuration must
+//! not be measurably slower than the seed runtime.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_nn::ModelConfig;
+use chimera_runtime::{train, TrainOptions};
+use chimera_trace::{BufferSink, NullSink, TraceSink};
+
+fn opts(trace: Option<Arc<dyn TraceSink>>) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 2,
+        iterations: 2,
+        data_seed: 7,
+        trace,
+        ..TrainOptions::default()
+    }
+}
+
+fn train_once(trace: Option<Arc<dyn TraceSink>>) {
+    let d = 2;
+    let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+    let cfg = ModelConfig {
+        layers: 2,
+        ..ModelConfig::tiny()
+    };
+    let result = train(&sched, cfg, opts(trace));
+    assert!(result.iteration_losses[0].is_finite());
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead_d2_n2");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| b.iter(|| train_once(None)));
+    g.bench_function("null_sink", |b| {
+        b.iter(|| train_once(Some(Arc::new(NullSink))))
+    });
+    g.bench_function("buffer_sink", |b| {
+        b.iter(|| {
+            let sink = Arc::new(BufferSink::new());
+            train_once(Some(sink.clone()));
+            assert!(!sink.is_empty());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

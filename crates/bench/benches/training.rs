@@ -19,6 +19,7 @@ fn opts() -> TrainOptions {
         data_seed: 7,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     }
 }
 

@@ -4,9 +4,11 @@
 //! 1.16x–2.34x over the state of the art.
 
 use chimera_bench::scaling::{best_per_scheme, chimera_speedups};
-use chimera_bench::{candidate_json, print_table, save_json};
+use chimera_bench::{arg_value, candidate_json, print_table, save_json};
 use chimera_core::chimera::ScaleMethod;
+use chimera_perf::planner::rebuild;
 use chimera_perf::{ClusterSpec, ModelSpec};
+use chimera_sim::simulate_span;
 
 fn main() {
     let model = ModelSpec::gpt2();
@@ -49,5 +51,39 @@ fn main() {
     for (name, speedup) in chimera_speedups(&results) {
         println!("Chimera speedup over {name}: {speedup:.2}x (paper range: 1.16x-2.34x)");
     }
-    save_json("fig01_headline", serde_json::json!(json));
+    save_json("fig01_headline", serde_json::json!(json.clone()));
+
+    // `--trace <path>` / `--json <path>`: re-execute the winning Chimera
+    // configuration and export its timeline / full report.
+    let trace_path = arg_value("--trace");
+    let json_path = arg_value("--json");
+    if trace_path.is_none() && json_path.is_none() {
+        return;
+    }
+    let c = results
+        .last()
+        .and_then(|(_, c)| c.as_ref())
+        .expect("Chimera found a fitting configuration");
+    let (sched, cost, iters) = rebuild(c, model, cluster).expect("winner rebuilds");
+    let report = simulate_span(&sched, &cost, iters).expect("winner simulates");
+    let label = format!("{} D={} W={} B={}", c.scheme.label(), c.d, c.w, c.b);
+    if let Some(path) = trace_path {
+        chimera_trace::write_chrome_trace(&path, &report.to_trace(), &[(0, &label)])
+            .expect("write Chrome trace");
+        println!("[trace saved to {path} — open in Perfetto or chrome://tracing]");
+    }
+    if let Some(path) = json_path {
+        let report_json = serde_json::to_value(&report).expect("report serializes");
+        let breakdown = serde_json::to_value(&report.breakdown()).expect("breakdown serializes");
+        let doc = serde_json::json!({
+            "figure": "fig01_headline",
+            "candidates": json,
+            "chimera_label": label,
+            "chimera_report": report_json,
+            "chimera_breakdown": breakdown,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        println!("[report saved to {path}]");
+    }
 }

@@ -4,13 +4,13 @@
 //! with the gap growing with P (more data-parallel replicas ⇒ costlier
 //! allreduce to hide).
 
-use chimera_bench::{print_table, save_json};
+use chimera_bench::{arg_value, print_table, save_json};
 use chimera_core::chimera::{chimera, ChimeraConfig};
 use chimera_core::schedule::SyncStrategy;
 use chimera_core::sync::place_sync;
 use chimera_core::unit_time::UnitCosts;
 use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
-use chimera_sim::simulate;
+use chimera_sim::{simulate, timeline_events};
 
 fn main() {
     let model = ModelSpec::bert48();
@@ -19,6 +19,10 @@ fn main() {
     let b = 8u32;
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    // `--trace <path>`: overlay the three strategies of the largest (P, B̂)
+    // as one Chrome-trace process each, so Perfetto shows them stacked.
+    let trace_path = arg_value("--trace");
+    let mut trace_events = Vec::new();
     for (p, b_hat) in [(16u32, 256u64), (32, 512), (64, 1024)] {
         let w = p / d;
         let n = (b_hat / (w as u64 * b as u64)) as u32;
@@ -33,9 +37,15 @@ fn main() {
         }
         .cost_model();
         let mut per_strategy = Vec::new();
-        for strat in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt] {
+        for (idx, strat) in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt]
+            .into_iter()
+            .enumerate()
+        {
             let sched = place_sync(base.clone(), strat, UnitCosts::practical());
             let rep = simulate(&sched, &cost).expect("simulates");
+            if trace_path.is_some() && p == 64 {
+                trace_events.extend(timeline_events(&rep.timeline, idx as u32, true));
+            }
             per_strategy.push((strat, rep.throughput(b_hat)));
         }
         let post = per_strategy[0].1;
@@ -72,4 +82,13 @@ fn main() {
         &rows,
     );
     save_json("fig12_sync_strategies", serde_json::json!(json));
+    if let Some(path) = trace_path {
+        chimera_trace::write_chrome_trace(
+            &path,
+            &trace_events,
+            &[(0, "post-hoc"), (1, "eager"), (2, "eager-opt")],
+        )
+        .expect("write Chrome trace");
+        println!("[trace saved to {path} — one process per sync strategy]");
+    }
 }

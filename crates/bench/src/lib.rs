@@ -57,6 +57,19 @@ fn results_dir() -> PathBuf {
     }
 }
 
+/// Value of a `--flag <value>` pair in the process arguments (e.g.
+/// `--trace /tmp/run.trace.json`). Returns `None` when the flag is absent
+/// or is the final argument.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
 /// Candidate → display row used by the tuning/scaling figures.
 pub fn candidate_row(c: &Candidate) -> Vec<String> {
     vec![

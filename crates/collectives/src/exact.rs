@@ -10,6 +10,8 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use chimera_trace::{Counter, MetricsRegistry};
+
 struct State {
     generation: u64,
     contributions: Vec<Option<Vec<f32>>>,
@@ -28,6 +30,8 @@ struct Shared {
 pub struct ExactMember {
     rank: usize,
     shared: Arc<Shared>,
+    calls: Arc<Counter>,
+    bytes_reduced: Arc<Counter>,
 }
 
 /// Create an exact allreduce group of `n` members. Hand one member to each
@@ -45,10 +49,15 @@ pub fn exact_group(n: usize) -> Vec<ExactMember> {
         cv: Condvar::new(),
         n,
     });
+    let reg = MetricsRegistry::global();
+    let calls = reg.counter("collectives.exact.calls");
+    let bytes_reduced = reg.counter("collectives.exact.bytes_reduced");
     (0..n)
         .map(|rank| ExactMember {
             rank,
             shared: shared.clone(),
+            calls: calls.clone(),
+            bytes_reduced: bytes_reduced.clone(),
         })
         .collect()
 }
@@ -68,6 +77,8 @@ impl ExactMember {
     /// back into every member's `buf`. Blocks until the whole group arrives.
     pub fn allreduce_sum(&self, buf: &mut [f32]) {
         let n = self.shared.n;
+        self.calls.inc();
+        self.bytes_reduced.add(buf.len() as u64 * 4);
         if n == 1 {
             return;
         }
@@ -197,6 +208,30 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn counts_calls_and_bytes() {
+        let reg = MetricsRegistry::global();
+        let calls = reg.counter("collectives.exact.calls");
+        let bytes = reg.counter("collectives.exact.bytes_reduced");
+        let (c0, b0) = (calls.get(), bytes.get());
+        let members = exact_group(2);
+        let handles: Vec<_> = members
+            .into_iter()
+            .map(|m| {
+                thread::spawn(move || {
+                    let mut buf = vec![1.0f32; 8];
+                    m.allreduce_sum(&mut buf);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Lower bounds: other tests in this binary run groups concurrently.
+        assert!(calls.get() - c0 >= 2);
+        assert!(bytes.get() - b0 >= 2 * 8 * 4);
     }
 
     /// Rank-ordered reduction: result is bitwise identical across repeats

@@ -19,6 +19,8 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use chimera_trace::{Counter, MetricsRegistry};
+
 type Contribution = Vec<(u64, Vec<f32>)>;
 
 struct Round {
@@ -57,6 +59,9 @@ struct Shared {
 pub struct KeyedMember {
     rank: usize,
     shared: Arc<Shared>,
+    deposits: Arc<Counter>,
+    fetches: Arc<Counter>,
+    bytes_contributed: Arc<Counter>,
 }
 
 /// Create a keyed-reduce group of `n` members.
@@ -72,10 +77,17 @@ pub fn keyed_group(n: usize) -> Vec<KeyedMember> {
         cv: Condvar::new(),
         n,
     });
+    let reg = MetricsRegistry::global();
+    let deposits = reg.counter("collectives.keyed.deposits");
+    let fetches = reg.counter("collectives.keyed.fetches");
+    let bytes_contributed = reg.counter("collectives.keyed.bytes_contributed");
     (0..n)
         .map(|rank| KeyedMember {
             rank,
             shared: shared.clone(),
+            deposits: deposits.clone(),
+            fetches: fetches.clone(),
+            bytes_contributed: bytes_contributed.clone(),
         })
         .collect()
 }
@@ -96,6 +108,9 @@ impl KeyedMember {
     /// the reduction inline.
     pub fn deposit(&self, contribution: Contribution) {
         let n = self.shared.n;
+        self.deposits.inc();
+        self.bytes_contributed
+            .add(contribution.iter().map(|(_, v)| v.len() as u64 * 4).sum());
         let mut st = self.shared.state.lock();
         let round_idx = st.deposit_round[self.rank];
         st.deposit_round[self.rank] += 1;
@@ -121,6 +136,7 @@ impl KeyedMember {
     /// un-fetched round (in deposit order).
     pub fn fetch(&self) -> Vec<f32> {
         let n = self.shared.n;
+        self.fetches.inc();
         let mut st = self.shared.state.lock();
         let round_idx = st.fetch_round[self.rank];
         st.fetch_round[self.rank] += 1;
@@ -268,6 +284,22 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), vec![1.0]);
         }
+    }
+
+    #[test]
+    fn counts_deposits_fetches_and_bytes() {
+        let reg = MetricsRegistry::global();
+        let deposits = reg.counter("collectives.keyed.deposits");
+        let fetches = reg.counter("collectives.keyed.fetches");
+        let bytes = reg.counter("collectives.keyed.bytes_contributed");
+        let (d0, f0, b0) = (deposits.get(), fetches.get(), bytes.get());
+        let mut g = keyed_group(1);
+        let m = g.pop().unwrap();
+        m.reduce(vec![(0, vec![1.0; 3]), (1, vec![2.0; 3])]);
+        // Lower bounds: other tests in this binary run groups concurrently.
+        assert!(deposits.get() - d0 >= 1);
+        assert!(fetches.get() - f0 >= 1);
+        assert!(bytes.get() - b0 >= 6 * 4);
     }
 
     /// Two overlapping outstanding rounds: launch round 0 and round 1 before

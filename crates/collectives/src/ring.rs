@@ -7,7 +7,11 @@
 //! rank-ordered sum; training runtimes that need bit-exactness use the exact
 //! group, benches compare both.
 
+use std::sync::Arc;
+
 use crossbeam::channel::{bounded, Receiver, Sender};
+
+use chimera_trace::{Counter, MetricsRegistry};
 
 /// One member of a ring allreduce group.
 pub struct RingMember {
@@ -15,6 +19,9 @@ pub struct RingMember {
     n: usize,
     to_next: Sender<Vec<f32>>,
     from_prev: Receiver<Vec<f32>>,
+    calls: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    rounds: Arc<Counter>,
 }
 
 /// Create a ring allreduce group of `n` members.
@@ -27,6 +34,10 @@ pub fn ring_group(n: usize) -> Vec<RingMember> {
         senders.push(Some(s));
         receivers.push(Some(r));
     }
+    let reg = MetricsRegistry::global();
+    let calls = reg.counter("collectives.ring.calls");
+    let bytes_sent = reg.counter("collectives.ring.bytes_sent");
+    let rounds = reg.counter("collectives.ring.rounds");
     (0..n)
         .map(|rank| RingMember {
             rank,
@@ -35,6 +46,9 @@ pub fn ring_group(n: usize) -> Vec<RingMember> {
             // inbox... i.e. channel i is the inbox of rank i.
             to_next: senders[(rank + 1) % n].take().expect("sender"),
             from_prev: receivers[rank].take().expect("receiver"),
+            calls: calls.clone(),
+            bytes_sent: bytes_sent.clone(),
+            rounds: rounds.clone(),
         })
         .collect()
 }
@@ -54,15 +68,19 @@ impl RingMember {
     /// element-wise sum.
     pub fn allreduce_sum(&self, buf: &mut [f32]) {
         let n = self.n;
+        self.calls.inc();
         if n == 1 {
             return;
         }
+        // Reduce-scatter + allgather: 2(D-1) rounds, each sending one chunk.
+        self.rounds.add(2 * (n as u64 - 1));
         let chunks = chunk_ranges(buf.len(), n);
         // Reduce-scatter: step t, send chunk (rank - t), receive and
         // accumulate chunk (rank - t - 1).
         for t in 0..n - 1 {
             let send_idx = (self.rank + n - t) % n;
             let r = &chunks[send_idx];
+            self.bytes_sent.add(r.len() as u64 * 4);
             self.to_next
                 .send(buf[r.clone()].to_vec())
                 .expect("ring peer alive");
@@ -78,6 +96,7 @@ impl RingMember {
         for t in 0..n - 1 {
             let send_idx = (self.rank + 1 + n - t) % n;
             let r = &chunks[send_idx];
+            self.bytes_sent.add(r.len() as u64 * 4);
             self.to_next
                 .send(buf[r.clone()].to_vec())
                 .expect("ring peer alive");
@@ -162,6 +181,21 @@ mod tests {
                 next = r.end;
             }
         }
+    }
+
+    #[test]
+    fn counts_calls_rounds_and_bytes() {
+        let reg = MetricsRegistry::global();
+        let calls = reg.counter("collectives.ring.calls");
+        let rounds = reg.counter("collectives.ring.rounds");
+        let bytes = reg.counter("collectives.ring.bytes_sent");
+        let (c0, r0, b0) = (calls.get(), rounds.get(), bytes.get());
+        run_ring(4, 16);
+        // 4 members × 2(n-1)=6 rounds, each sending a 4-float chunk. Other
+        // tests in this binary may run rings concurrently, so lower bounds.
+        assert!(calls.get() - c0 >= 4);
+        assert!(rounds.get() - r0 >= 24);
+        assert!(bytes.get() - b0 >= 24 * 16);
     }
 
     #[test]

@@ -172,7 +172,7 @@ pub struct Timeline {
 impl Timeline {
     /// `bubble overhead / overall runtime` (paper §2), averaged over workers.
     pub fn bubble_ratio(&self) -> f64 {
-        if self.makespan == 0 {
+        if self.makespan == 0 || self.busy.is_empty() {
             return 0.0;
         }
         let total_idle: u64 = self
@@ -227,6 +227,28 @@ pub enum ExecError {
         /// Textual rendering of the stuck op.
         op: String,
     },
+    /// The iteration count passed to `simulate_span` cannot describe the
+    /// schedule: zero, or not a divisor of the schedule's total micro-batch
+    /// count (an unrolled span must cover whole iterations).
+    InvalidIterations {
+        /// The offending iteration count.
+        iterations: u32,
+        /// The schedule's total micro-batches (`Schedule::n`).
+        n: u32,
+    },
+    /// The schedule's op counts are inconsistent with the span it claims to
+    /// cover: some stage does not forward/backward every micro-batch exactly
+    /// once (counted in half-micro units so doubled/halved chunks compare).
+    InconsistentSpan {
+        /// First stage found with a mismatched op count.
+        stage: StageId,
+        /// Half-micros each direction must cover (`2 * Schedule::n`).
+        expected_half_micros: u64,
+        /// Half-micros covered by the stage's forward ops.
+        forward_half_micros: u64,
+        /// Half-micros covered by the stage's backward ops.
+        backward_half_micros: u64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -237,11 +259,62 @@ impl std::fmt::Display for ExecError {
                 "schedule deadlock: {worker} cannot execute op #{op_index} ({op}); \
                  missing dependency or cyclic worker orders"
             ),
+            ExecError::InvalidIterations { iterations, n } => write!(
+                f,
+                "invalid span: {iterations} iteration(s) cannot cover a schedule \
+                 of {n} micro-batches (need a positive divisor of N)"
+            ),
+            ExecError::InconsistentSpan {
+                stage,
+                expected_half_micros,
+                forward_half_micros,
+                backward_half_micros,
+            } => write!(
+                f,
+                "inconsistent schedule span: {stage} covers {forward_half_micros} \
+                 forward / {backward_half_micros} backward half-micros, expected \
+                 {expected_half_micros} each"
+            ),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Check that `sched`'s op counts are consistent with a span of `iterations`
+/// training iterations: `iterations` must be a positive divisor of the
+/// schedule's micro-batch total, and every stage must forward and backward
+/// each micro-batch exactly once (counted in half-micro units, so §3.5's
+/// doubled and halved chunks are weighted correctly).
+pub fn validate_span(sched: &Schedule, iterations: u32) -> Result<(), ExecError> {
+    if iterations == 0 || !sched.n.is_multiple_of(iterations) {
+        return Err(ExecError::InvalidIterations {
+            iterations,
+            n: sched.n,
+        });
+    }
+    let expected = 2 * sched.n as u64;
+    let mut fwd = vec![0u64; sched.d as usize];
+    let mut bwd = vec![0u64; sched.d as usize];
+    for (_, _, op) in sched.iter_ops() {
+        match op.kind {
+            OpKind::Forward => fwd[op.stage.idx()] += op.chunk.half_micros() as u64,
+            OpKind::Backward { .. } => bwd[op.stage.idx()] += op.chunk.half_micros() as u64,
+            _ => {}
+        }
+    }
+    for s in 0..sched.d as usize {
+        if fwd[s] != expected || bwd[s] != expected {
+            return Err(ExecError::InconsistentSpan {
+                stage: StageId(s as u32),
+                expected_half_micros: expected,
+                forward_half_micros: fwd[s],
+                backward_half_micros: bwd[s],
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Execute `schedule` under [`UnitCosts`]; returns the timeline or a
 /// deadlock error.
@@ -531,6 +604,147 @@ mod tests {
         let w1 = t.spans[1].last().unwrap();
         assert_eq!(w0.finish, w1.finish);
         assert!(w0.finish >= 5);
+    }
+
+    /// Empty schedule: every timeline statistic must stay finite and zero.
+    #[test]
+    fn empty_schedule_timeline_edges() {
+        let s = Schedule {
+            scheme: Scheme::GPipe,
+            d: 2,
+            n: 0,
+            placement: Placement::linear(2),
+            workers: vec![Vec::new(), Vec::new()],
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        let t = execute(&s, UnitCosts::equal()).unwrap();
+        assert_eq!(t.makespan, 0);
+        assert_eq!(t.bubble_ratio(), 0.0);
+        assert_eq!(t.per_worker_bubbles(), vec![0, 0]);
+        assert_eq!(
+            t.last_backward_finish(WorkerId(0), ReplicaId(0), StageId(0)),
+            None
+        );
+        assert_eq!(t.last_compute_finish(WorkerId(1)), 0);
+    }
+
+    /// A timeline with no workers at all (constructed directly, since no
+    /// generator emits one): `bubble_ratio` must not divide by zero.
+    #[test]
+    fn workerless_timeline_bubble_ratio_is_zero() {
+        let t = Timeline {
+            spans: Vec::new(),
+            makespan: 7,
+            busy: Vec::new(),
+            peak_activations: Vec::new(),
+        };
+        assert_eq!(t.bubble_ratio(), 0.0);
+        assert!(t.per_worker_bubbles().is_empty());
+    }
+
+    /// Single worker, single stage: no pipeline, no bubbles.
+    #[test]
+    fn single_worker_has_no_bubbles() {
+        let workers = vec![vec![
+            Op::forward(MicroId(0), StageId(0), ReplicaId(0)),
+            Op::forward(MicroId(1), StageId(0), ReplicaId(0)),
+            Op::backward(MicroId(1), StageId(0), ReplicaId(0)),
+            Op::backward(MicroId(0), StageId(0), ReplicaId(0)),
+        ]];
+        let s = Schedule {
+            scheme: Scheme::GPipe,
+            d: 1,
+            n: 2,
+            placement: Placement::linear(1),
+            workers,
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        let t = execute(&s, UnitCosts::practical()).unwrap();
+        assert_eq!(t.bubble_ratio(), 0.0);
+        assert_eq!(t.per_worker_bubbles(), vec![0]);
+        assert_eq!(t.makespan, 2 * 2 + 2 * 4);
+        assert_eq!(
+            t.last_backward_finish(WorkerId(0), ReplicaId(0), StageId(0)),
+            Some(t.makespan)
+        );
+    }
+
+    /// A worker with no ops idles for the whole makespan.
+    #[test]
+    fn all_idle_worker_counts_as_full_bubble() {
+        let placement = Placement::linear(2);
+        let workers = vec![
+            vec![
+                Op::forward(MicroId(0), StageId(0), ReplicaId(0)),
+                Op::backward(MicroId(0), StageId(0), ReplicaId(0)),
+            ],
+            Vec::new(),
+        ];
+        // Stage 1 never runs, so stage 0's backward must not depend on it:
+        // d = 1 with a two-worker placement keeps worker 1 truly idle.
+        let s = Schedule {
+            scheme: Scheme::GPipe,
+            d: 1,
+            n: 1,
+            placement,
+            workers,
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        let t = execute(&s, UnitCosts::equal()).unwrap();
+        assert!(t.makespan > 0);
+        assert_eq!(t.per_worker_bubbles()[1], t.makespan);
+        assert_eq!(t.busy[1], 0);
+        // Average of a fully-busy and a fully-idle worker.
+        assert!((t.bubble_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(t.last_compute_finish(WorkerId(1)), 0);
+    }
+
+    #[test]
+    fn validate_span_accepts_consistent_schedules() {
+        assert_eq!(validate_span(&gpipe2(4), 1), Ok(()));
+        assert_eq!(validate_span(&gpipe2(4), 2), Ok(()));
+        assert_eq!(validate_span(&gpipe2(4), 4), Ok(()));
+    }
+
+    #[test]
+    fn validate_span_rejects_bad_iteration_counts() {
+        assert!(matches!(
+            validate_span(&gpipe2(4), 0),
+            Err(ExecError::InvalidIterations { iterations: 0, n: 4 })
+        ));
+        assert!(matches!(
+            validate_span(&gpipe2(4), 3),
+            Err(ExecError::InvalidIterations { iterations: 3, n: 4 })
+        ));
+        let msg = validate_span(&gpipe2(4), 0).unwrap_err().to_string();
+        assert!(msg.contains("0 iteration"), "{msg}");
+    }
+
+    #[test]
+    fn validate_span_detects_missing_ops() {
+        let mut s = gpipe2(2);
+        // Drop one backward on stage 1: the span no longer covers N micros.
+        let removed = s.workers[1].pop().unwrap();
+        assert!(removed.is_backward());
+        let err = validate_span(&s, 1).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"));
+        match err {
+            ExecError::InconsistentSpan {
+                stage,
+                expected_half_micros,
+                forward_half_micros,
+                backward_half_micros,
+            } => {
+                assert_eq!(stage, StageId(1));
+                assert_eq!(expected_half_micros, 4);
+                assert_eq!(forward_half_micros, 4);
+                assert_eq!(backward_half_micros, 2);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

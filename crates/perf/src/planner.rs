@@ -10,7 +10,7 @@ use chimera_core::chimera::{chimera, ChimeraConfig, ScaleMethod};
 use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
 use chimera_core::sync::place_sync;
 use chimera_core::unit_time::UnitCosts;
-use chimera_sim::{simulate_span, SimReport};
+use chimera_sim::{simulate_span, SimCostModel, SimReport};
 
 use crate::costs::{ClusterSpec, TrainConfig};
 use crate::eq1;
@@ -236,6 +236,38 @@ fn already_recomputes(sched: &Schedule) -> bool {
     sched.iter_ops().any(|(_, _, op)| op.recomputes())
 }
 
+/// Rebuild the exact schedule, cost model and span iteration count a
+/// [`Candidate`] was evaluated with — e.g. to re-execute the winning
+/// configuration and export its timeline as a trace. Returns `None` only if
+/// the candidate's parameters no longer build (which would indicate it was
+/// not produced by [`evaluate`]).
+pub fn rebuild(
+    c: &Candidate,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+) -> Option<(Schedule, SimCostModel, u32)> {
+    let (base, iters) = build_schedule(c.scheme, c.d, c.n)?;
+    let stage_replicas = base.placement.replicas();
+    let cfg = TrainConfig {
+        model,
+        cluster,
+        d: c.d,
+        w: c.w,
+        b: c.b,
+        stage_replicas,
+    };
+    let cost = cfg.cost_model();
+    let mut sched = if base.flushes {
+        place_sync(base, SyncStrategy::EagerOpt, UnitCosts::practical())
+    } else {
+        base
+    };
+    if c.recompute && !already_recomputes(&sched) {
+        sched = sched.with_recompute();
+    }
+    Some((sched, cost, iters))
+}
+
 /// Pipeline depths worth trying for `p` workers and `model`.
 pub fn depth_candidates(p: u32, model: &ModelSpec) -> Vec<u32> {
     (1..=6)
@@ -434,6 +466,27 @@ mod tests {
             chim.throughput,
             dap.throughput
         );
+    }
+
+    #[test]
+    fn rebuild_reproduces_the_evaluated_schedule() {
+        let (m, c) = bert_setup();
+        for cand in [
+            evaluate(PlanScheme::Dapple, m, c, 32, 512, 8, 4, 4).unwrap(),
+            plan_chimera(1, ScaleMethod::Direct, m, c, 32, 256).unwrap(),
+            evaluate(PlanScheme::PipeDream2Bw, m, c, 32, 512, 8, 4, 2).unwrap(),
+        ] {
+            let (sched, cost, iters) = rebuild(&cand, m, c).unwrap();
+            let rep = simulate_span(&sched, &cost, iters).unwrap();
+            assert!(
+                (rep.bubble_ratio - cand.bubble_ratio).abs() < 1e-12,
+                "{:?}: bubble {} vs {}",
+                cand.scheme,
+                rep.bubble_ratio,
+                cand.bubble_ratio
+            );
+            assert_eq!(rep.max_peak_mem(), cand.peak_mem);
+        }
     }
 
     #[test]

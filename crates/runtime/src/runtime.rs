@@ -51,11 +51,7 @@ impl TrainResult {
 ///     TrainOptions {
 ///         micro_batch: 1,
 ///         iterations: 2,
-///         lr: 0.05,
-///         momentum: 0.9,
-///         data_seed: 1,
-///         optimizer: None,
-///         lr_schedule: None,
+///         ..TrainOptions::default()
 ///     },
 /// );
 /// assert_eq!(result.iteration_losses.len(), 2);
@@ -135,7 +131,7 @@ pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u
                 rx,
                 txs.clone(),
                 data,
-                opts,
+                opts.clone(),
                 sched.flushes,
             );
             handles.push(

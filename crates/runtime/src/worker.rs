@@ -2,6 +2,7 @@
 //! stages.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
@@ -11,6 +12,7 @@ use chimera_core::{StageId, WorkerId};
 use chimera_collectives::KeyedMember;
 use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
 use chimera_tensor::Tensor;
+use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
 
 /// A boundary message between pipeline workers.
 pub struct Msg {
@@ -30,7 +32,7 @@ type InboxKey = (bool, u32, u32, u64);
 type StageKey = (u32, u32); // (replica, stage)
 
 /// Training hyper-parameters shared by every worker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrainOptions {
     /// Sequences per micro-batch (`B`).
     pub micro_batch: usize,
@@ -46,6 +48,25 @@ pub struct TrainOptions {
     pub optimizer: Option<OptimizerKind>,
     /// Learning-rate schedule; `None` means constant `lr`.
     pub lr_schedule: Option<LrSchedule>,
+    /// Trace sink receiving wall-clock spans (forward/backward/p2p/allreduce)
+    /// from every worker thread. `None` — the default — disables all
+    /// instrumentation: no clock reads, no event construction.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            micro_batch: 1,
+            iterations: 1,
+            lr: 0.05,
+            momentum: 0.9,
+            data_seed: 1,
+            optimizer: None,
+            lr_schedule: None,
+            trace: None,
+        }
+    }
 }
 
 impl TrainOptions {
@@ -59,6 +80,45 @@ impl TrainOptions {
     /// The effective learning-rate schedule.
     pub fn schedule(&self) -> LrSchedule {
         self.lr_schedule.unwrap_or(LrSchedule::Constant(self.lr))
+    }
+}
+
+/// Per-worker tracing state; only built when [`TrainOptions::trace`] holds a
+/// sink, so a disabled trace costs one `Option` check per op.
+struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    /// Global track id: `group · D + local worker id`.
+    track: u32,
+    p2p_bytes: Arc<Counter>,
+    p2p_wait_ns: Arc<Counter>,
+    allreduce_launches: Arc<Counter>,
+    /// Wall-clock compute nanoseconds per held stage.
+    stage_compute_ns: HashMap<u32, Arc<Counter>>,
+}
+
+impl Tracer {
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        &self,
+        kind: SpanKind,
+        name: String,
+        start_ns: u64,
+        end_ns: u64,
+        stage: Option<u32>,
+        replica: Option<u32>,
+        micro: Option<u64>,
+    ) {
+        self.sink.record(Event::Span(SpanEvent {
+            kind,
+            name,
+            pid: 0,
+            track: self.track,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            stage,
+            replica,
+            micro,
+        }));
     }
 }
 
@@ -102,6 +162,7 @@ pub struct Worker {
     /// (PipeDream's *weight stashing*, up to `D - s` versions at stage `s`).
     stash_weights: bool,
     weight_versions: HashMap<(u32, u32, u64), Vec<f32>>,
+    tracer: Option<Tracer>,
 }
 
 impl Worker {
@@ -145,6 +206,21 @@ impl Worker {
             );
             stage_map.insert((r, s), stage);
         }
+        let tracer = opts.trace.clone().map(|sink| {
+            let reg = MetricsRegistry::global();
+            let stage_compute_ns = stage_map
+                .keys()
+                .map(|&(_, s)| (s, reg.counter(&format!("runtime.stage.{s}.compute_ns"))))
+                .collect();
+            Tracer {
+                sink,
+                track: group * d + id.0,
+                p2p_bytes: reg.counter("runtime.p2p.bytes"),
+                p2p_wait_ns: reg.counter("runtime.p2p.wait_ns"),
+                allreduce_launches: reg.counter("runtime.allreduce.launches"),
+                stage_compute_ns,
+            }
+        });
         Worker {
             id,
             d,
@@ -168,6 +244,7 @@ impl Worker {
             losses: Vec::new(),
             stash_weights,
             weight_versions: HashMap::new(),
+            tracer,
         }
     }
 
@@ -191,6 +268,7 @@ impl Worker {
                 // wait — partner workers may hold the same stages in a
                 // different order, so blocking per-stage reduces could
                 // deadlock.
+                let t0 = self.tracer.as_ref().map(|_| now_ns());
                 let mut held: Vec<StageKey> = self.stages.keys().copied().collect();
                 held.sort_unstable();
                 for &(r, s) in &held {
@@ -200,6 +278,18 @@ impl Worker {
                 for &(r, s) in &held {
                     let summed = self.sync[&s].fetch();
                     self.apply_update(r, s, &summed);
+                }
+                if let (Some(tr), Some(start)) = (&self.tracer, t0) {
+                    tr.allreduce_launches.add(held.len() as u64);
+                    tr.span(
+                        SpanKind::AllReduce,
+                        format!("posthoc-sync i{iter}"),
+                        start,
+                        now_ns(),
+                        None,
+                        None,
+                        None,
+                    );
                 }
             }
         }
@@ -216,6 +306,40 @@ impl Worker {
     }
 
     fn exec(&mut self, op: &Op, offset: u64) {
+        if self.tracer.is_none() {
+            return self.exec_op(op, offset);
+        }
+        let start = now_ns();
+        self.exec_op(op, offset);
+        let end = now_ns();
+        let tr = self.tracer.as_ref().expect("tracer checked above");
+        let kind = match op.kind {
+            OpKind::Forward => SpanKind::Forward,
+            OpKind::Backward { recompute: false } => SpanKind::Backward,
+            OpKind::Backward { recompute: true } => SpanKind::Recompute,
+            OpKind::AllReduceLaunch => SpanKind::AllReduceLaunch,
+            OpKind::AllReduceWait => SpanKind::AllReduce,
+        };
+        if op.is_compute() {
+            if let Some(c) = tr.stage_compute_ns.get(&op.stage.0) {
+                c.add(end.saturating_sub(start));
+            }
+        }
+        if op.kind == OpKind::AllReduceLaunch {
+            tr.allreduce_launches.inc();
+        }
+        tr.span(
+            kind,
+            op.to_string(),
+            start,
+            end,
+            Some(op.stage.0),
+            Some(op.replica.0),
+            op.is_compute().then(|| op.micro.0 as u64 + offset),
+        );
+    }
+
+    fn exec_op(&mut self, op: &Op, offset: u64) {
         assert_eq!(op.chunk, Chunk::Full, "runtime supports full-micro chunks");
         match op.kind {
             OpKind::Forward => self.forward(op, offset),
@@ -345,13 +469,38 @@ impl Worker {
 
     fn recv(&mut self, grad: bool, replica: u32, stage: u32, micro: u64) -> Tensor {
         let key = (grad, replica, stage, micro);
-        loop {
-            if let Some(t) = self.inbox.remove(&key) {
-                return t;
-            }
+        if let Some(t) = self.inbox.remove(&key) {
+            // Already delivered — no wait, no span.
+            return t;
+        }
+        let start = self.tracer.as_ref().map(|_| now_ns());
+        let tensor = loop {
             let msg = self.rx.recv().expect("peer worker alive");
+            if let Some(tr) = &self.tracer {
+                // Each message is pulled off its channel exactly once, so
+                // this counts total p2p traffic, not just this key's bytes.
+                tr.p2p_bytes.add(msg.tensor.len() as u64 * 4);
+            }
             self.inbox
                 .insert((msg.grad, msg.replica, msg.stage, msg.micro), msg.tensor);
+            if let Some(t) = self.inbox.remove(&key) {
+                break t;
+            }
+        };
+        if let (Some(tr), Some(start)) = (&self.tracer, start) {
+            let end = now_ns();
+            tr.p2p_wait_ns.add(end.saturating_sub(start));
+            let dir = if grad { "grad" } else { "act" };
+            tr.span(
+                SpanKind::P2p,
+                format!("recv {dir} m{micro}@s{stage}"),
+                start,
+                end,
+                Some(stage),
+                Some(replica),
+                Some(micro),
+            );
         }
+        tensor
     }
 }

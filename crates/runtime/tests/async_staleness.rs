@@ -16,6 +16,7 @@ fn opts(iterations: u32) -> TrainOptions {
         data_seed: 31,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     }
 }
 
@@ -27,7 +28,7 @@ fn pipedream_trains_but_diverges_from_sgd() {
     let iters = 4; // unrolled inside one schedule
     let sched = pipedream_steady(d, n, iters);
     let o = opts(1);
-    let result = train(&sched, cfg, o);
+    let result = train(&sched, cfg, o.clone());
     let first = result.iteration_losses[0];
     assert!(first.is_finite() && first > 0.0);
 

@@ -21,6 +21,7 @@ fn opts(iterations: u32) -> TrainOptions {
         data_seed: 123,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     }
 }
 

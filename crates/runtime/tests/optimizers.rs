@@ -21,6 +21,7 @@ fn adam_opts(iterations: u32) -> TrainOptions {
             total: 10,
             min: 1e-4,
         }),
+        trace: None,
     }
 }
 
@@ -40,7 +41,7 @@ fn adam_with_warmup_bitexact() {
     let (d, n, iterations) = (4u32, 4u32, 4u32);
     let o = adam_opts(iterations);
     let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
-    let result = train(&sched, cfg, o);
+    let result = train(&sched, cfg, o.clone());
     let mut r = reference(cfg, d, &o);
     for it in 0..iterations {
         r.train_iteration(it as u64 * n as u64, n);
@@ -58,7 +59,7 @@ fn adam_hybrid_w2_bitexact() {
     let (d, n, w, iterations) = (2u32, 2u32, 2u32, 3u32);
     let o = adam_opts(iterations);
     let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
-    let result = train_hybrid(&sched, cfg, o, w);
+    let result = train_hybrid(&sched, cfg, o.clone(), w);
     let total = n * w;
     let mut r = reference(cfg, d, &o);
     for it in 0..iterations {

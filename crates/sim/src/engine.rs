@@ -1,7 +1,9 @@
 //! Top-level simulation entry points.
 
+use chimera_core::op::OpKind;
 use chimera_core::schedule::Schedule;
-use chimera_core::unit_time::{execute_with, ExecError, Timeline};
+use chimera_core::unit_time::{execute_with, validate_span, ExecError, Timeline};
+use chimera_trace::Event;
 
 use crate::cost::SimCostModel;
 use crate::memory;
@@ -44,6 +46,108 @@ impl SimReport {
     pub fn fits(&self, capacity_bytes: u64) -> bool {
         memory::fits(&self.peak_mem_bytes, capacity_bytes)
     }
+
+    /// The executed timeline as trace events: one track per worker, one span
+    /// per op plus explicit idle spans, ready for
+    /// [`chimera_trace::write_chrome_trace`] or [`chimera_trace::write_jsonl`].
+    pub fn to_trace(&self) -> Vec<Event> {
+        crate::trace::timeline_events(&self.timeline, 0, true)
+    }
+
+    /// Where the span's time went, per worker and in total.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut workers = Vec::with_capacity(self.timeline.spans.len());
+        for (w, spans) in self.timeline.spans.iter().enumerate() {
+            let mut wb = WorkerBreakdown {
+                worker: w as u32,
+                forward_s: 0.0,
+                backward_s: 0.0,
+                sync_s: 0.0,
+                idle_s: 0.0,
+            };
+            let mut occupied = 0u64;
+            for s in spans {
+                let dur = s.finish - s.start;
+                occupied += dur;
+                let secs = SimCostModel::seconds(dur);
+                match s.op.kind {
+                    OpKind::Forward => wb.forward_s += secs,
+                    OpKind::Backward { .. } => wb.backward_s += secs,
+                    OpKind::AllReduceLaunch | OpKind::AllReduceWait => wb.sync_s += secs,
+                }
+            }
+            wb.idle_s = SimCostModel::seconds(self.timeline.makespan - occupied);
+            workers.push(wb);
+        }
+        Breakdown {
+            makespan_s: self.span_s,
+            workers,
+        }
+    }
+}
+
+/// Per-worker split of one worker's span time (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerBreakdown {
+    /// Worker index within the pipeline group.
+    pub worker: u32,
+    /// Seconds spent in forward passes.
+    pub forward_s: f64,
+    /// Seconds spent in backward passes (including recomputation).
+    pub backward_s: f64,
+    /// Seconds spent in gradient-sync ops (allreduce launches and waits).
+    pub sync_s: f64,
+    /// Seconds the worker sat idle within the makespan.
+    pub idle_s: f64,
+}
+
+/// Where a simulated span's time went (see [`SimReport::breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    /// Wall-clock span, seconds.
+    pub makespan_s: f64,
+    /// One entry per worker.
+    pub workers: Vec<WorkerBreakdown>,
+}
+
+impl serde::Serialize for WorkerBreakdown {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("WorkerBreakdown", 5)?;
+        st.serialize_field("worker", &self.worker)?;
+        st.serialize_field("forward_s", &self.forward_s)?;
+        st.serialize_field("backward_s", &self.backward_s)?;
+        st.serialize_field("sync_s", &self.sync_s)?;
+        st.serialize_field("idle_s", &self.idle_s)?;
+        st.end()
+    }
+}
+
+impl serde::Serialize for Breakdown {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Breakdown", 2)?;
+        st.serialize_field("makespan_s", &self.makespan_s)?;
+        st.serialize_field("workers", &self.workers)?;
+        st.end()
+    }
+}
+
+/// Serializes every summary field; the raw `timeline` is deliberately
+/// omitted (export it separately via [`SimReport::to_trace`]).
+impl serde::Serialize for SimReport {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("SimReport", 7)?;
+        st.serialize_field("span_s", &self.span_s)?;
+        st.serialize_field("iter_time_s", &self.iter_time_s)?;
+        st.serialize_field("bubble_ratio", &self.bubble_ratio)?;
+        st.serialize_field("busy_s", &self.busy_s)?;
+        st.serialize_field("peak_act_bytes", &self.peak_act_bytes)?;
+        st.serialize_field("weight_bytes", &self.weight_bytes)?;
+        st.serialize_field("peak_mem_bytes", &self.peak_mem_bytes)?;
+        st.end()
+    }
 }
 
 /// Simulate a single iteration of `sched` under `cost`.
@@ -54,12 +158,17 @@ pub fn simulate(sched: &Schedule, cost: &SimCostModel) -> Result<SimReport, Exec
 /// Simulate a schedule that covers `iterations` training iterations (e.g. an
 /// unrolled steady-state schedule of an asynchronous scheme) and report the
 /// amortized per-iteration time.
+///
+/// Fails with [`ExecError::InvalidIterations`] when `iterations` is zero or
+/// does not divide the schedule's micro-batch total, and with
+/// [`ExecError::InconsistentSpan`] when some stage's op count cannot cover
+/// the claimed span.
 pub fn simulate_span(
     sched: &Schedule,
     cost: &SimCostModel,
     iterations: u32,
 ) -> Result<SimReport, ExecError> {
-    assert!(iterations >= 1);
+    validate_span(sched, iterations)?;
     let timeline = execute_with(sched, cost)?;
     let span_s = SimCostModel::seconds(timeline.makespan);
     let busy_s = timeline
@@ -207,6 +316,83 @@ mod tests {
         assert!(rep.fits(u64::MAX));
         assert!(!rep.fits(1));
         assert!(rep.max_peak_mem() > 0);
+    }
+
+    /// The bare-assert panic path is gone: bad spans are descriptive errors.
+    #[test]
+    fn simulate_span_rejects_invalid_spans() {
+        let d = 4;
+        let c = cost(d);
+        let sched = dapple(d, 4);
+        assert!(matches!(
+            simulate_span(&sched, &c, 0),
+            Err(ExecError::InvalidIterations { iterations: 0, .. })
+        ));
+        assert!(matches!(
+            simulate_span(&sched, &c, 3),
+            Err(ExecError::InvalidIterations { iterations: 3, .. })
+        ));
+        // Truncating a worker's ops makes the span inconsistent.
+        let mut broken = dapple(d, 4);
+        broken.workers[0].pop();
+        assert!(matches!(
+            simulate_span(&broken, &c, 1),
+            Err(ExecError::InconsistentSpan { .. })
+        ));
+        // All generator schedules pass the check.
+        for iters in [1u32, 2, 4] {
+            assert!(simulate_span(&pipedream_steady(d, 4, iters), &c, iters).is_ok());
+        }
+    }
+
+    #[test]
+    fn report_serializes_without_timeline() {
+        let d = 4;
+        let c = cost(d);
+        let rep = simulate(&dapple(d, 4), &c).unwrap();
+        let v = serde_json::to_value(&rep).unwrap();
+        assert_eq!(v["span_s"].as_f64().unwrap(), rep.span_s);
+        assert_eq!(
+            v["busy_s"].as_array().unwrap().len(),
+            rep.busy_s.len()
+        );
+        assert!(v.get("timeline").is_none());
+        // And round-trips through text.
+        let text = serde_json::to_string(&v).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["bubble_ratio"].as_f64().unwrap(), rep.bubble_ratio);
+    }
+
+    #[test]
+    fn breakdown_accounts_for_the_whole_span() {
+        let d = 4;
+        let c = cost(d);
+        let rep = simulate(&dapple(d, 4), &c).unwrap();
+        let bd = rep.breakdown();
+        assert_eq!(bd.workers.len(), d as usize);
+        for wb in &bd.workers {
+            let total = wb.forward_s + wb.backward_s + wb.sync_s + wb.idle_s;
+            assert!(
+                (total - bd.makespan_s).abs() < 1e-9,
+                "worker {}: {total} vs {}",
+                wb.worker,
+                bd.makespan_s
+            );
+        }
+        // Serializes with per-worker entries.
+        let v = serde_json::to_value(&bd).unwrap();
+        assert_eq!(v["workers"].as_array().unwrap().len(), d as usize);
+        assert!(v["workers"][0]["forward_s"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_export_matches_timeline() {
+        let d = 4;
+        let c = cost(d);
+        let rep = simulate(&dapple(d, 4), &c).unwrap();
+        let events = rep.to_trace();
+        let total_ops: usize = rep.timeline.spans.iter().map(Vec::len).sum();
+        assert!(events.len() >= total_ops);
     }
 
     /// Eager-opt is at least as fast as plain eager (Fig. 12: middle-stage

@@ -24,8 +24,10 @@ pub mod cost;
 pub mod engine;
 pub mod memory;
 pub mod network;
+pub mod trace;
 
 pub use collective::{allreduce_time, AllReduceAlgo};
 pub use cost::{SimCostModel, StageCosts};
-pub use engine::{simulate, simulate_span, SimReport};
+pub use engine::{simulate, simulate_span, Breakdown, SimReport, WorkerBreakdown};
 pub use network::{LinkParams, NetworkModel, Topology};
+pub use trace::timeline_events;

@@ -1,0 +1,196 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents": [...]}` format loadable by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one process (`pid`) per
+//! overlaid run, one thread track (`tid`) per worker, complete (`ph: "X"`)
+//! events colored by op kind, counter (`ph: "C"`) events, and metadata
+//! (`ph: "M"`) events naming every process and track.
+//!
+//! Timestamps in the format are microseconds; event timestamps are
+//! nanoseconds, so they are exported as fractional microseconds.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+use crate::event::Event;
+
+/// Build the Chrome trace JSON document for `events`.
+///
+/// `process_names` labels the process groups used by the events' `pid`
+/// fields; unlisted pids get a generic label. Tracks are named
+/// `worker <track>` automatically.
+pub fn chrome_trace_json(events: &[Event], process_names: &[(u32, &str)]) -> serde_json::Value {
+    let mut out: Vec<serde_json::Value> = Vec::with_capacity(events.len() + 16);
+
+    // Metadata: name every (pid) and (pid, track) seen in the stream.
+    let locations: BTreeSet<(u32, u32)> = events.iter().map(Event::location).collect();
+    let pids: BTreeSet<u32> = locations.iter().map(|&(p, _)| p).collect();
+    for pid in &pids {
+        let name = process_names
+            .iter()
+            .find(|(p, _)| p == pid)
+            .map(|&(_, n)| n.to_string())
+            .unwrap_or_else(|| format!("run {pid}"));
+        let args = serde_json::json!({"name": name});
+        out.push(serde_json::json!({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        }));
+    }
+    for (pid, track) in &locations {
+        let args = serde_json::json!({"name": format!("worker {track}")});
+        out.push(serde_json::json!({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": pid,
+            "tid": track,
+            "args": args,
+        }));
+    }
+
+    for ev in events {
+        match ev {
+            Event::Span(s) => {
+                let mut args = serde_json::Map::new();
+                if let Some(stage) = s.stage {
+                    args.insert("stage".into(), serde_json::json!(stage));
+                }
+                if let Some(replica) = s.replica {
+                    args.insert("replica".into(), serde_json::json!(replica));
+                }
+                if let Some(micro) = s.micro {
+                    args.insert("micro".into(), serde_json::json!(micro));
+                }
+                out.push(serde_json::json!({
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.kind.label(),
+                    "cname": s.kind.chrome_color(),
+                    "pid": s.pid,
+                    "tid": s.track,
+                    "ts": s.start_ns as f64 / 1e3,
+                    "dur": s.dur_ns as f64 / 1e3,
+                    "args": serde_json::Value::Object(args),
+                }));
+            }
+            Event::Counter(c) => {
+                let mut args = serde_json::Map::new();
+                args.insert(c.name.clone(), serde_json::json!(c.value));
+                out.push(serde_json::json!({
+                    "ph": "C",
+                    "name": c.name,
+                    "pid": c.pid,
+                    "tid": c.track,
+                    "ts": c.ts_ns as f64 / 1e3,
+                    "args": serde_json::Value::Object(args),
+                }));
+            }
+        }
+    }
+
+    serde_json::json!({"traceEvents": out})
+}
+
+/// Write the Chrome trace for `events` to `path`.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    events: &[Event],
+    process_names: &[(u32, &str)],
+) -> io::Result<()> {
+    let doc = chrome_trace_json(events, process_names);
+    std::fs::write(path, doc.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterEvent, SpanEvent, SpanKind};
+
+    fn span(kind: SpanKind, track: u32, start_ns: u64, dur_ns: u64) -> Event {
+        Event::Span(SpanEvent {
+            kind,
+            name: format!("{}@{track}", kind.label()),
+            pid: 0,
+            track,
+            start_ns,
+            dur_ns,
+            stage: Some(track),
+            replica: Some(0),
+            micro: Some(1),
+        })
+    }
+
+    #[test]
+    fn document_shape_round_trips() {
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 1000),
+            span(SpanKind::Backward, 1, 2000, 3000),
+            Event::Counter(CounterEvent {
+                name: "act_bytes".into(),
+                pid: 0,
+                track: 0,
+                ts_ns: 500,
+                value: 42.0,
+            }),
+        ];
+        let doc = chrome_trace_json(&events, &[(0, "demo")]);
+        // Round trip through text, as a consumer would.
+        let text = serde_json::to_string(&doc).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let list = parsed["traceEvents"].as_array().unwrap();
+        // 1 process_name + 2 thread_name + 3 events.
+        assert_eq!(list.len(), 6);
+        let process = list
+            .iter()
+            .find(|e| e["name"] == serde_json::json!("process_name"))
+            .unwrap();
+        assert_eq!(process["args"]["name"], serde_json::json!("demo"));
+        let threads: Vec<_> = list
+            .iter()
+            .filter(|e| e["name"] == serde_json::json!("thread_name"))
+            .collect();
+        assert_eq!(threads.len(), 2);
+        let fwd = list
+            .iter()
+            .find(|e| e["cat"] == serde_json::json!("forward"))
+            .unwrap();
+        assert_eq!(fwd["ph"], serde_json::json!("X"));
+        assert_eq!(fwd["dur"].as_f64().unwrap(), 1.0); // 1000 ns = 1 µs
+        assert_eq!(fwd["args"]["micro"], serde_json::json!(1));
+        let counter = list
+            .iter()
+            .find(|e| e["ph"] == serde_json::json!("C"))
+            .unwrap();
+        assert_eq!(counter["args"]["act_bytes"].as_f64().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn file_export_parses_back() {
+        let events = vec![span(SpanKind::AllReduce, 0, 0, 10)];
+        let path = std::env::temp_dir().join("chimera_trace_chrome_test.json");
+        write_chrome_trace(&path, &events, &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(parsed["traceEvents"].as_array().unwrap().len() >= 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unlisted_pid_gets_generic_name() {
+        let mut ev = span(SpanKind::Forward, 0, 0, 1);
+        if let Event::Span(s) = &mut ev {
+            s.pid = 7;
+        }
+        let doc = chrome_trace_json(&[ev], &[]);
+        let list = doc["traceEvents"].as_array().unwrap();
+        let process = list
+            .iter()
+            .find(|e| e["name"] == serde_json::json!("process_name"))
+            .unwrap();
+        assert_eq!(process["args"]["name"], serde_json::json!("run 7"));
+    }
+}

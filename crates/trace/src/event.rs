@@ -1,0 +1,211 @@
+//! The structured event model.
+//!
+//! Producers (the simulator, the training runtime, the collectives) describe
+//! what happened as [`Event`]s: a [`SpanEvent`] is an interval of work on one
+//! track (worker), a [`CounterEvent`] is a sampled value. Exporters turn the
+//! same events into different artifacts ([`crate::chrome`], [`crate::jsonl`]).
+//!
+//! Timestamps are nanoseconds. The simulator's ticks are already nanoseconds;
+//! the runtime stamps events with [`crate::now_ns`] (nanoseconds since the
+//! process-wide trace epoch).
+
+/// What kind of work a span covers. Determines the color and category in the
+/// Chrome trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Forward pass of a micro-batch through a stage.
+    Forward,
+    /// Backward pass.
+    Backward,
+    /// Backward pass that first recomputes activations.
+    Recompute,
+    /// Point-to-point communication (activation/gradient transfer or the
+    /// blocking wait for one).
+    P2p,
+    /// Non-blocking gradient allreduce launch.
+    AllReduceLaunch,
+    /// Gradient allreduce completion (the blocking wait + update).
+    AllReduce,
+    /// Pipeline bubble: the worker had nothing to do.
+    Idle,
+    /// Anything else.
+    Other,
+}
+
+impl SpanKind {
+    /// Short category label, used as the Chrome `cat` field and in JSONL rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "forward",
+            SpanKind::Backward => "backward",
+            SpanKind::Recompute => "recompute",
+            SpanKind::P2p => "p2p",
+            SpanKind::AllReduceLaunch => "allreduce_launch",
+            SpanKind::AllReduce => "allreduce",
+            SpanKind::Idle => "idle",
+            SpanKind::Other => "other",
+        }
+    }
+
+    /// Reserved Chrome trace color name (`cname`) so F/B/comm/idle spans are
+    /// visually distinct in `chrome://tracing` / Perfetto.
+    pub fn chrome_color(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "thread_state_running",
+            SpanKind::Backward => "thread_state_runnable",
+            SpanKind::Recompute => "rail_animation",
+            SpanKind::P2p => "thread_state_iowait",
+            SpanKind::AllReduceLaunch => "yellow",
+            SpanKind::AllReduce => "rail_response",
+            SpanKind::Idle => "grey",
+            SpanKind::Other => "white",
+        }
+    }
+}
+
+/// A completed interval of work on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// What the interval was spent on.
+    pub kind: SpanKind,
+    /// Human-readable name (e.g. the op's schedule rendering `Fm3@s2/r1`).
+    pub name: String,
+    /// Process group. `0` unless the exporter overlays several runs in one
+    /// file (e.g. one process per sync strategy).
+    pub pid: u32,
+    /// Track (worker) the span ran on; becomes the Chrome `tid`.
+    pub track: u32,
+    /// Start, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Pipeline stage, if the span belongs to one.
+    pub stage: Option<u32>,
+    /// Model replica (directional pipeline), if any.
+    pub replica: Option<u32>,
+    /// Micro-batch id (global for runtime spans), if any.
+    pub micro: Option<u64>,
+}
+
+/// A sampled counter value on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterEvent {
+    /// Counter name.
+    pub name: String,
+    /// Process group (see [`SpanEvent::pid`]).
+    pub pid: u32,
+    /// Track the sample belongs to.
+    pub track: u32,
+    /// Sample time, nanoseconds.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An interval of work.
+    Span(SpanEvent),
+    /// A counter sample.
+    Counter(CounterEvent),
+}
+
+impl Event {
+    /// Timestamp the event sorts by (span start / sample time).
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            Event::Span(s) => s.start_ns,
+            Event::Counter(c) => c.ts_ns,
+        }
+    }
+
+    /// The `(pid, track)` the event belongs to.
+    pub fn location(&self) -> (u32, u32) {
+        match self {
+            Event::Span(s) => (s.pid, s.track),
+            Event::Counter(c) => (c.pid, c.track),
+        }
+    }
+
+    /// Flat JSON rendering used by the JSONL exporter.
+    pub fn to_json(&self) -> serde_json::Value {
+        match self {
+            Event::Span(s) => {
+                let mut v = serde_json::json!({
+                    "type": "span",
+                    "kind": s.kind.label(),
+                    "name": s.name,
+                    "pid": s.pid,
+                    "track": s.track,
+                    "start_ns": s.start_ns,
+                    "dur_ns": s.dur_ns,
+                });
+                if let Some(stage) = s.stage {
+                    v["stage"] = serde_json::json!(stage);
+                }
+                if let Some(replica) = s.replica {
+                    v["replica"] = serde_json::json!(replica);
+                }
+                if let Some(micro) = s.micro {
+                    v["micro"] = serde_json::json!(micro);
+                }
+                v
+            }
+            Event::Counter(c) => serde_json::json!({
+                "type": "counter",
+                "name": c.name,
+                "pid": c.pid,
+                "track": c.track,
+                "ts_ns": c.ts_ns,
+                "value": c.value,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_colors_distinct() {
+        let kinds = [
+            SpanKind::Forward,
+            SpanKind::Backward,
+            SpanKind::Recompute,
+            SpanKind::P2p,
+            SpanKind::AllReduceLaunch,
+            SpanKind::AllReduce,
+            SpanKind::Idle,
+            SpanKind::Other,
+        ];
+        let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+        let colors: std::collections::HashSet<_> =
+            kinds.iter().map(|k| k.chrome_color()).collect();
+        assert_eq!(colors.len(), kinds.len());
+    }
+
+    #[test]
+    fn json_rendering_includes_optional_fields() {
+        let ev = Event::Span(SpanEvent {
+            kind: SpanKind::Forward,
+            name: "F".into(),
+            pid: 0,
+            track: 3,
+            start_ns: 10,
+            dur_ns: 5,
+            stage: Some(2),
+            replica: None,
+            micro: Some(7),
+        });
+        let v = ev.to_json();
+        assert_eq!(v["kind"], serde_json::json!("forward"));
+        assert_eq!(v["stage"], serde_json::json!(2));
+        assert!(v.get("replica").is_none());
+        assert_eq!(v["micro"], serde_json::json!(7));
+        assert_eq!(ev.ts_ns(), 10);
+        assert_eq!(ev.location(), (0, 3));
+    }
+}

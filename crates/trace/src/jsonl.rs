@@ -1,0 +1,65 @@
+//! Compact JSONL event-log export: one JSON object per line, in timestamp
+//! order. Easier to post-process with standard tools than the Chrome format,
+//! and streamable.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::event::Event;
+
+/// Render `events` as JSONL text (events are written in the order given;
+/// sort beforehand if needed).
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write `events` as JSONL to `writer`.
+pub fn write_jsonl_to(writer: &mut impl Write, events: &[Event]) -> io::Result<()> {
+    for ev in events {
+        writeln!(writer, "{}", ev.to_json())?;
+    }
+    Ok(())
+}
+
+/// Write `events` as JSONL to `path`.
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[Event]) -> io::Result<()> {
+    std::fs::write(path, events_to_jsonl(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanEvent, SpanKind};
+
+    #[test]
+    fn one_parseable_object_per_line() {
+        let events: Vec<Event> = (0..3)
+            .map(|i| {
+                Event::Span(SpanEvent {
+                    kind: SpanKind::Forward,
+                    name: format!("f{i}"),
+                    pid: 0,
+                    track: i,
+                    start_ns: i as u64 * 10,
+                    dur_ns: 5,
+                    stage: Some(i),
+                    replica: None,
+                    micro: None,
+                })
+            })
+            .collect();
+        let text = events_to_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["type"], serde_json::json!("span"));
+            assert_eq!(v["track"], serde_json::json!(i));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # chimera-trace
+//!
+//! Structured tracing and metrics for the Chimera workspace — the
+//! observability layer shared by the discrete-event simulator and the real
+//! multi-threaded training runtime.
+//!
+//! * [`event`] — the event model: [`SpanEvent`]s (one interval of work on one
+//!   worker track, tagged with stage/replica/micro-batch and an op kind) and
+//!   [`CounterEvent`]s;
+//! * [`sink`] — the [`TraceSink`] trait plus [`BufferSink`] (sharded,
+//!   low-contention collector for worker threads) and [`NullSink`];
+//! * [`metrics`] — a [`MetricsRegistry`] of named atomic [`Counter`]s and
+//!   log2-bucketed [`Histogram`]s with a JSON [`MetricsRegistry::snapshot`];
+//! * [`chrome`] — Chrome trace-event JSON export, loadable by
+//!   `chrome://tracing` and Perfetto: one track per worker, spans colored by
+//!   op kind (forward / backward / p2p / allreduce / idle);
+//! * [`jsonl`] — compact one-object-per-line event log.
+//!
+//! ## Zero cost when disabled
+//!
+//! Producers hold an `Option` of a sink and skip *all* instrumentation —
+//! event construction and clock reads included — when it is `None`. The
+//! `trace_overhead` bench in `chimera-bench` holds this contract in place.
+
+pub mod chrome;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use event::{CounterEvent, Event, SpanEvent, SpanKind};
+pub use jsonl::{events_to_jsonl, write_jsonl};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use sink::{now_ns, BufferSink, NullSink, TraceSink};

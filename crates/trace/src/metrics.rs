@@ -1,0 +1,245 @@
+//! Named counters and histograms with a JSON snapshot.
+//!
+//! Producers grab an `Arc<Counter>` / `Arc<Histogram>` handle once (a
+//! lock-guarded name lookup) and then update it with relaxed atomics, so the
+//! hot path costs one atomic add. The collectives use the process-wide
+//! [`MetricsRegistry::global`] registry; the runtime and simulator can use
+//! per-run registries.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets in a [`Histogram`] (`u64` value range).
+const BUCKETS: usize = 65;
+
+/// A histogram with power-of-two buckets: bucket `i` counts values whose
+/// bit-length is `i` (bucket 0 holds zeros). Good enough to answer "how big
+/// are the allreduce payloads / how long are the waits" without per-sample
+/// allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound_inclusive, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A registry of named [`Counter`]s and [`Histogram`]s.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry (used by `chimera-collectives`).
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Reset every registered counter and histogram to zero (handles stay
+    /// valid). For test isolation against the global registry.
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+    }
+
+    /// All metrics as a JSON object:
+    /// `{"counters": {name: value}, "histograms": {name: {count, sum, mean,
+    /// buckets: [[lower_bound, count]]}}}`.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (name, c) in self.counters.lock().iter() {
+            counters.insert(name.clone(), serde_json::json!(c.get()));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (name, h) in self.histograms.lock().iter() {
+            histograms.insert(
+                name.clone(),
+                serde_json::json!({
+                    "count": h.count(),
+                    "sum": h.sum(),
+                    "mean": h.mean(),
+                    "buckets": h.buckets(),
+                }),
+            );
+        }
+        serde_json::json!({
+            "counters": serde_json::Value::Object(counters),
+            "histograms": serde_json::Value::Object(histograms),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("bytes");
+        c.add(10);
+        c.inc();
+        assert_eq!(c.get(), 11);
+        // Same name returns the same underlying counter.
+        assert_eq!(reg.counter("bytes").get(), 11);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(7);
+        h.record(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1033);
+        assert!((h.mean() - 1033.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 2), (4, 1), (1024, 1)]);
+        // Extremes fit without panicking.
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.histogram("h").record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap["counters"]["a"], serde_json::json!(3));
+        assert_eq!(snap["histograms"]["h"]["count"], serde_json::json!(1));
+        assert_eq!(snap["histograms"]["h"]["sum"], serde_json::json!(5));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = MetricsRegistry::global().counter("test.shared");
+        let before = c.get();
+        MetricsRegistry::global().counter("test.shared").add(2);
+        assert_eq!(c.get(), before + 2);
+    }
+}

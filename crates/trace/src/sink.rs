@@ -1,0 +1,165 @@
+//! Trace sinks: where producers send events.
+
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+
+/// Nanoseconds since the process-wide trace epoch (the first call wins the
+/// race to define tick 0). All runtime threads stamp events against the same
+/// epoch, so spans from different workers line up on one time axis.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Destination for trace events.
+///
+/// Implementations must be callable concurrently from every worker thread.
+/// The contract consumers rely on: when no sink is installed, producers skip
+/// all event construction *and* all clock reads, so tracing disabled costs
+/// nothing beyond one branch per op.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Record one event.
+    fn record(&self, event: Event);
+
+    /// Flush any buffered state; default is a no-op.
+    fn flush(&self) {}
+}
+
+/// A sink that discards everything — for measuring the cost of event
+/// construction itself, and as a placeholder.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffering collector for worker threads.
+///
+/// Events are appended to one of several mutex-guarded shards chosen by the
+/// calling thread's id, so concurrent workers rarely contend on the same
+/// lock; [`BufferSink::drain`] merges the shards back into one
+/// timestamp-ordered stream.
+#[derive(Debug)]
+pub struct BufferSink {
+    shards: Vec<Mutex<Vec<Event>>>,
+}
+
+impl Default for BufferSink {
+    fn default() -> Self {
+        BufferSink::new()
+    }
+}
+
+impl BufferSink {
+    /// A sink with enough shards for typical worker counts.
+    pub fn new() -> Self {
+        BufferSink::with_shards(16)
+    }
+
+    /// A sink with exactly `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1);
+        BufferSink {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<Vec<Event>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Total buffered events.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return all buffered events, sorted by timestamp.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.append(&mut shard.lock());
+        }
+        all.sort_by_key(Event::ts_ns);
+        all
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&self, event: Event) {
+        self.shard().lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SpanEvent, SpanKind};
+
+    fn span(track: u32, start_ns: u64) -> Event {
+        Event::Span(SpanEvent {
+            kind: SpanKind::Forward,
+            name: format!("f{track}"),
+            pid: 0,
+            track,
+            start_ns,
+            dur_ns: 1,
+            stage: None,
+            replica: None,
+            micro: None,
+        })
+    }
+
+    #[test]
+    fn drain_sorts_by_timestamp() {
+        let sink = BufferSink::with_shards(2);
+        sink.record(span(0, 30));
+        sink.record(span(1, 10));
+        sink.record(span(2, 20));
+        assert_eq!(sink.len(), 3);
+        let drained = sink.drain();
+        let ts: Vec<u64> = drained.iter().map(Event::ts_ns).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let sink = std::sync::Arc::new(BufferSink::new());
+        let threads = 8;
+        let per_thread = 100;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let sink = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        sink.record(span(t, (t as u64) * 1000 + i as u64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.drain().len(), threads as usize * per_thread);
+    }
+
+    #[test]
+    fn epoch_clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -35,16 +35,17 @@ fn main() {
         data_seed: 13,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     };
 
     // Synchronous: Chimera.
-    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts);
+    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts.clone());
 
     // Asynchronous: PipeDream steady state over the same number of
     // micro-batches (one unrolled span; per-micro stale updates).
     let async_opts = TrainOptions {
         iterations: 1,
-        ..opts
+        ..opts.clone()
     };
     let async_sched = pipedream_steady(d, n, iterations);
     let asynchronous = train(&async_sched, cfg, async_opts);

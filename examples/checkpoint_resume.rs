@@ -34,11 +34,12 @@ fn main() {
             total: 20,
             min: 1e-4,
         }),
+        trace: None,
     };
 
     // Phase 1: train on a D=2 Chimera pipeline (2 threads).
     let sched2 = chimera(&ChimeraConfig::new(2, 4)).expect("valid");
-    let phase1 = train(&sched2, cfg, opts);
+    let phase1 = train(&sched2, cfg, opts.clone());
     println!("phase 1 (D=2) losses: {:?}", phase1.iteration_losses);
 
     // Checkpoint to bytes (would be a file in production).

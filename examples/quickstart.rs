@@ -70,8 +70,9 @@ fn main() {
         data_seed: 42,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     };
-    let result = train(&sched, cfg, opts);
+    let result = train(&sched, cfg, opts.clone());
     println!("\nPipelined training losses: {:?}", result.iteration_losses);
 
     let mut reference = ReferenceTrainer::new(

@@ -36,6 +36,7 @@ fn main() {
         data_seed: 99,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     };
     let n = d; // N = D micro-batches per iteration
 
@@ -53,7 +54,7 @@ fn main() {
     let mut final_params: Option<Vec<f32>> = None;
     for (name, sched) in schedules {
         let t0 = std::time::Instant::now();
-        let result = train(&sched, cfg, opts);
+        let result = train(&sched, cfg, opts.clone());
         let dt = t0.elapsed();
         let losses: Vec<String> = result
             .iteration_losses

@@ -195,9 +195,10 @@ fn cmd_train(mut args: std::env::Args) {
         data_seed: 7,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     };
     let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
-    let result = train(&sched, cfg, opts);
+    let result = train(&sched, cfg, opts.clone());
     println!("Chimera D={d} N={n}, {iterations} iterations on {d} threads:");
     for (i, l) in result.iteration_losses.iter().enumerate() {
         println!("  iter {i:>3}: loss {l:.4}");

@@ -18,7 +18,9 @@
 //! * [`collectives`] — shared-memory allreduce/broadcast/barrier
 //!   implementations across threads;
 //! * [`runtime`] — a thread-per-worker pipeline training runtime executing
-//!   any schedule on a real model.
+//!   any schedule on a real model;
+//! * [`trace`] — structured tracing, a metrics registry, and Chrome/Perfetto
+//!   trace export for both the simulator and the runtime.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -29,3 +31,4 @@ pub use chimera_perf as perf;
 pub use chimera_runtime as runtime;
 pub use chimera_sim as sim;
 pub use chimera_tensor as tensor;
+pub use chimera_trace as trace;

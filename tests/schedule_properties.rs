@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn chimera_basic_unit_bubbles_exact(d in even(16u32)) {
         let mut f = 1;
-        while (d / 2) % f == 0 && f <= d / 2 {
+        while (d / 2).is_multiple_of(f) && f <= d / 2 {
             let sched = chimera(&ChimeraConfig { d, n: d, f, scale: ScaleMethod::Direct }).unwrap();
             validate(&sched).unwrap();
             let tl = execute(&sched, UnitCosts::equal()).unwrap();

@@ -21,6 +21,7 @@ fn opts(iterations: u32) -> TrainOptions {
         data_seed: 2024,
         optimizer: None,
         lr_schedule: None,
+        trace: None,
     }
 }
 
@@ -39,7 +40,7 @@ fn cfg_for(d: u32) -> ModelConfig {
 fn check(sched: &Schedule, iterations: u32) {
     let cfg = cfg_for(sched.d);
     let o = opts(iterations);
-    let result = train(sched, cfg, o);
+    let result = train(sched, cfg, o.clone());
     let mut reference = ReferenceTrainer::new(
         Stage::build_all(cfg, sched.d),
         SyntheticData::new(cfg, o.data_seed),
@@ -130,8 +131,8 @@ fn schemes_interchangeable() {
     let n = 4;
     let cfg = cfg_for(d);
     let o = opts(3);
-    let a = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, o);
-    let b = train(&gpipe(d, n), cfg, o);
+    let a = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, o.clone());
+    let b = train(&gpipe(d, n), cfg, o.clone());
     let c = train(&gems(d, n), cfg, o);
     assert_eq!(a.flat_params(), b.flat_params());
     assert_eq!(a.flat_params(), c.flat_params());
