@@ -32,7 +32,7 @@ fn train_once(trace: Option<Arc<dyn TraceSink>>) {
         layers: 2,
         ..ModelConfig::tiny()
     };
-    let result = train(&sched, cfg, opts(trace));
+    let result = train(&sched, cfg, opts(trace)).expect("training succeeds");
     assert!(result.iteration_losses[0].is_finite());
 }
 

@@ -17,9 +17,7 @@ fn opts() -> TrainOptions {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 7,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -28,7 +26,7 @@ fn train_once(sched: &Schedule) {
         layers: 4,
         ..ModelConfig::tiny()
     };
-    let result = train(sched, cfg, opts());
+    let result = train(sched, cfg, opts()).expect("training succeeds");
     assert!(result.iteration_losses[0].is_finite());
 }
 

@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -160,6 +161,48 @@ impl KeyedMember {
                 }
             }
             self.shared.cv.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking wait: returns the reduced vector of this member's next
+    /// un-fetched round if it is already complete, `None` otherwise (the
+    /// round is *not* consumed on `None`).
+    pub fn try_fetch(&self) -> Option<Vec<f32>> {
+        let n = self.shared.n;
+        let mut st = self.shared.state.lock();
+        let round_idx = st.fetch_round[self.rank];
+        let slot = (round_idx - st.base) as usize;
+        let out = {
+            let round = st.rounds.get(slot)?;
+            (**round.result.as_ref()?).clone()
+        };
+        st.fetch_round[self.rank] = round_idx + 1;
+        st.rounds[slot].fetched += 1;
+        while st.rounds.front().is_some_and(|r| r.fetched == n) {
+            st.rounds.pop_front();
+            st.base += 1;
+        }
+        self.fetches.inc();
+        Some(out)
+    }
+
+    /// [`Self::fetch`] with a hard deadline: polls with bounded exponential
+    /// backoff and gives up after `timeout`, returning `None` without
+    /// consuming the round. A member of a group whose peer died would
+    /// otherwise block forever on the condition variable; every blocking
+    /// wait in the training runtime goes through this path.
+    pub fn fetch_deadline(&self, timeout: Duration) -> Option<Vec<f32>> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff_us = 10u64;
+        loop {
+            if let Some(out) = self.try_fetch() {
+                return Some(out);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(500);
         }
     }
 

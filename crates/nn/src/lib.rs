@@ -32,7 +32,10 @@ pub mod reference;
 pub mod stage;
 
 pub use attention::Attention;
-pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
+pub use checkpoint::{
+    load as load_checkpoint, load_state as load_checkpoint_state, save as save_checkpoint,
+    save_state as save_checkpoint_state, CheckpointError,
+};
 pub use block::{LayerNorm, TransformerBlock};
 pub use data::SyntheticData;
 pub use embedding::Embedding;

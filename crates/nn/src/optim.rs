@@ -144,6 +144,31 @@ impl Optimizer {
         self.t
     }
 
+    /// The update rule this optimizer applies.
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Borrow the raw state: first-moment buffer, second-moment buffer
+    /// (empty for SGD), and update-step count — everything a checkpoint
+    /// needs for a bit-exact restart.
+    pub fn state(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Rebuild an optimizer from checkpointed state (inverse of
+    /// [`Optimizer::state`]). `v` must be empty for SGD and `m.len()` long
+    /// for Adam.
+    pub fn from_state(kind: OptimizerKind, m: Vec<f32>, v: Vec<f32>, t: u64) -> Self {
+        match kind {
+            OptimizerKind::Sgd { .. } => assert!(v.is_empty(), "SGD carries no second moment"),
+            OptimizerKind::Adam { .. } => {
+                assert_eq!(v.len(), m.len(), "Adam moments must have equal length")
+            }
+        }
+        Optimizer { kind, m, v, t }
+    }
+
     /// Number of parameters managed.
     pub fn len(&self) -> usize {
         self.m.len()

@@ -1,0 +1,89 @@
+//! Injected faults for exercising the supervised training runtime.
+//!
+//! A [`FaultSpec`] describes deterministic, targeted faults: kill one worker
+//! thread at a given iteration, or drop/delay one specific p2p boundary
+//! message. Faults are injected at well-defined points (iteration start for
+//! kills, the send path for message faults), so a faulty run is exactly
+//! reproducible — which is what lets the recovery tests assert bit-identical
+//! final parameters against the fault-free run.
+
+use std::time::Duration;
+
+/// Kill one worker thread at the start of one training iteration.
+///
+/// The targeted worker returns a `Killed` error (standing in for a crashed
+/// rank); its peers observe the death through send failures and wait
+/// timeouts, and the supervisor restores from the last checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillFault {
+    /// Data-parallel group of the victim (`0..W`).
+    pub group: u32,
+    /// Local worker id within the group (`0..D`).
+    pub worker: u32,
+    /// Global (0-based) training iteration at whose start the kill fires.
+    pub iteration: u32,
+}
+
+/// Identify one p2p boundary message by its sender and payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgFault {
+    /// Data-parallel group of the *sending* worker.
+    pub group: u32,
+    /// Local id of the sending worker within its group.
+    pub from_worker: u32,
+    /// `true` to match the backward (gradient) message, `false` the forward
+    /// (activation) message.
+    pub grad: bool,
+    /// Global micro-batch id of the message.
+    pub micro: u64,
+}
+
+/// What the supervisor does when a worker death is detected (and the
+/// recovery budget allows continuing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Restore every stage from the last checkpoint and replay the lost
+    /// iterations with the same worker count. Final parameters are
+    /// bit-identical to the fault-free run.
+    #[default]
+    Restart,
+    /// With `W > 1` data-parallel groups: restore from the last checkpoint,
+    /// drop one replica group, and continue with `W-1` groups (allreduce
+    /// groups rescaled, gradient averaging rescaled to the smaller global
+    /// batch). Falls back to [`RecoveryPolicy::Restart`] when `W == 1`.
+    Degrade,
+}
+
+/// A deterministic fault-injection plan for one training run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpec {
+    /// Kill a worker at an iteration boundary. Consumed once: the replay
+    /// after recovery does not re-kill.
+    pub kill: Option<KillFault>,
+    /// Silently drop one p2p message at its sender. The expecting receiver
+    /// hits its recv deadline, yielding a descriptive timeout error rather
+    /// than a hang.
+    pub drop_msg: Option<MsgFault>,
+    /// Delay one p2p message at its sender by the given duration.
+    pub delay_msg: Option<(MsgFault, Duration)>,
+}
+
+impl FaultSpec {
+    /// A plan that kills `worker` of `group` at `iteration`.
+    pub fn kill_at(group: u32, worker: u32, iteration: u32) -> Self {
+        FaultSpec {
+            kill: Some(KillFault {
+                group,
+                worker,
+                iteration,
+            }),
+            ..FaultSpec::default()
+        }
+    }
+
+    /// True when the plan contains no faults (e.g. after its kill was
+    /// consumed by a recovery).
+    pub fn is_empty(&self) -> bool {
+        self.kill.is_none() && self.drop_msg.is_none() && self.delay_msg.is_none()
+    }
+}

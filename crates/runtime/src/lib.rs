@@ -13,8 +13,12 @@
 //! **bit-identical** to sequential mini-batch SGD (see
 //! `tests/sync_equivalence.rs` at the workspace root).
 
+pub mod error;
+pub mod fault;
 pub mod runtime;
 pub mod worker;
 
+pub use error::{TrainError, WorkerError};
+pub use fault::{FaultSpec, KillFault, MsgFault, RecoveryPolicy};
 pub use runtime::{train, train_hybrid, TrainResult};
-pub use worker::{TrainOptions, Worker, WorkerResult};
+pub use worker::{SegmentSpec, TrainOptions, Worker, WorkerResult};

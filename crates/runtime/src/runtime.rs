@@ -1,23 +1,44 @@
-//! Orchestration: spawn one thread per pipeline worker, wire channels and
-//! allreduce groups, execute a schedule for several training iterations,
-//! and reassemble the model.
+//! Orchestration and supervision: spawn one thread per pipeline worker,
+//! wire channels and allreduce groups, execute a schedule for several
+//! training iterations, and reassemble the model.
 //!
 //! Supports the paper's hybrid of pipeline and data parallelism (§3.3): the
 //! bidirectional pipeline group of `D` workers is replicated `W` times
 //! (`P = W·D` threads); point-to-point communication stays within a group,
 //! while each stage's gradient allreduce spans all `2f·W` replicas.
+//!
+//! # Supervised recovery
+//!
+//! Training proceeds in **segments** of [`TrainOptions::checkpoint_every`]
+//! iterations. After each segment the supervisor verifies replica
+//! agreement and snapshots parameters *and* optimizer state via
+//! [`chimera_nn::checkpoint`]. When a worker dies mid-segment (an injected
+//! [`crate::KillFault`] or a panic), its peers' deadlined waits unblock,
+//! the supervisor restores every stage from the last checkpoint, and the
+//! segment is replayed — deterministic data order and keyed-ordered
+//! reduction make the recovered run **bit-identical** to a fault-free one.
+//! With [`crate::RecoveryPolicy::Degrade`] and `W > 1`, the supervisor
+//! instead drops one replica group and continues with `W-1` groups.
+//! Blocked waits with no detected death (a lost message) surface as
+//! [`TrainError::Timeout`] naming the blocked op.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 
 use chimera_core::schedule::Schedule;
 use chimera_core::{StageId, WorkerId};
 use chimera_collectives::keyed_group;
-use chimera_nn::{ModelConfig, Stage, SyntheticData};
+use chimera_nn::checkpoint;
+use chimera_nn::{ModelConfig, Optimizer, Stage, SyntheticData};
+use chimera_trace::{now_ns, CounterEvent, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
 
-use crate::worker::{TrainOptions, Worker};
+use crate::error::{TrainError, WorkerError};
+use crate::fault::RecoveryPolicy;
+use crate::worker::{SegmentSpec, TrainOptions, Worker};
 
 /// Outcome of a pipelined training run.
 pub struct TrainResult {
@@ -26,6 +47,11 @@ pub struct TrainResult {
     /// The final model as `D` stages (all `2f·W` replica copies verified
     /// identical and deduplicated).
     pub stages: Vec<Stage>,
+    /// Checkpoint-restart recoveries the supervisor performed.
+    pub recoveries: u32,
+    /// Set when the run finished with fewer data-parallel groups than it
+    /// started with ([`RecoveryPolicy::Degrade`]); holds the final `W`.
+    pub degraded_to: Option<u32>,
 }
 
 impl TrainResult {
@@ -33,6 +59,17 @@ impl TrainResult {
     /// [`chimera_nn::ReferenceTrainer::flat_params`].
     pub fn flat_params(&self) -> Vec<f32> {
         self.stages.iter().flat_map(Stage::params).collect()
+    }
+}
+
+impl std::fmt::Debug for TrainResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainResult")
+            .field("iterations", &self.iteration_losses.len())
+            .field("stages", &self.stages.len())
+            .field("recoveries", &self.recoveries)
+            .field("degraded_to", &self.degraded_to)
+            .finish()
     }
 }
 
@@ -53,12 +90,51 @@ impl TrainResult {
 ///         iterations: 2,
 ///         ..TrainOptions::default()
 ///     },
-/// );
+/// )
+/// .unwrap();
 /// assert_eq!(result.iteration_losses.len(), 2);
 /// assert_eq!(result.stages.len(), 2);
+/// assert_eq!(result.recoveries, 0);
 /// ```
-pub fn train(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions) -> TrainResult {
+pub fn train(
+    sched: &Schedule,
+    cfg: ModelConfig,
+    opts: TrainOptions,
+) -> Result<TrainResult, TrainError> {
     train_hybrid(sched, cfg, opts, 1)
+}
+
+/// The supervisor's own trace lane (track id = worker count at launch, so
+/// it sits below the worker lanes in the Chrome view).
+struct SupervisorTrace {
+    sink: Arc<dyn TraceSink>,
+    track: u32,
+}
+
+impl SupervisorTrace {
+    fn span(&self, kind: SpanKind, name: String, start_ns: u64, end_ns: u64) {
+        self.sink.record(Event::Span(SpanEvent {
+            kind,
+            name,
+            pid: 0,
+            track: self.track,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            stage: None,
+            replica: None,
+            micro: None,
+        }));
+    }
+
+    fn counter(&self, name: &str, value: f64) {
+        self.sink.record(Event::Counter(CounterEvent {
+            name: name.to_string(),
+            pid: 0,
+            track: self.track,
+            ts_ns: now_ns(),
+            value,
+        }));
+    }
 }
 
 /// Execute `sched` replicated over `w` data-parallel pipeline groups
@@ -67,16 +143,243 @@ pub fn train(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions) -> TrainRes
 /// synchronization across all `2f·w` replicas of a stage uses the
 /// keyed-ordered allreduce, so the result is bit-identical to the sequential
 /// reference (which accumulates the same `N·w` micro-batches in ascending
-/// order) for synchronous schedules.
-///
-/// Panics if any two replica copies of a stage diverge — which would
-/// indicate a schedule or synchronization bug.
-pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u32) -> TrainResult {
+/// order) for synchronous schedules — including across checkpoint-restart
+/// recoveries.
+pub fn train_hybrid(
+    sched: &Schedule,
+    cfg: ModelConfig,
+    opts: TrainOptions,
+    w: u32,
+) -> Result<TrainResult, TrainError> {
     assert!(w >= 1);
+    let d = sched.d;
+    let data = SyntheticData::new(cfg, opts.data_seed);
+
+    let reg = MetricsRegistry::global();
+    let ckpt_saves = reg.counter("runtime.checkpoint.saves");
+    let detected = reg.counter("runtime.recovery.detected_deaths");
+    let restores = reg.counter("runtime.recovery.restores");
+    let replayed = reg.counter("runtime.recovery.replayed_iterations");
+    let degrades = reg.counter("runtime.recovery.degrades");
+
+    let sup = opts.trace.clone().map(|sink| SupervisorTrace {
+        sink,
+        track: sched.num_workers() as u32 * w,
+    });
+
+    // Canonical state: `D` stages plus one optimizer per stage. All `2f·W`
+    // replicas of a stage evolve identically, so one copy is enough; it is
+    // cloned out to every (replica, stage) holder at each segment launch.
+    let kind = opts.optimizer_kind();
+    let mut canon_stages = Stage::build_all(cfg, d);
+    let mut canon_opts: Vec<Optimizer> = canon_stages
+        .iter()
+        .map(|s| Optimizer::new(kind, s.num_params()))
+        .collect();
+    let mut checkpoint_bytes = checkpoint::save_state(&canon_stages, &canon_opts);
+    ckpt_saves.inc();
+
+    let seg_len = opts
+        .checkpoint_every
+        .filter(|&c| c > 0)
+        .unwrap_or(opts.iterations.max(1));
+    let mut fault = opts.fault.clone().unwrap_or_default();
+    let mut iteration_losses: Vec<f32> = Vec::with_capacity(opts.iterations as usize);
+    let mut done = 0u32;
+    let mut micro_base = 0u64;
+    let mut w_active = w;
+    let mut recoveries = 0u32;
+    let mut replaying = false;
+
+    while done < opts.iterations {
+        let seg_iters = seg_len.min(opts.iterations - done);
+        let seg = SegmentSpec {
+            start_iter: done,
+            iterations: seg_iters,
+            micro_base,
+        };
+        let seg_start = sup.as_ref().map(|_| now_ns());
+        let outcome = run_segment(
+            sched,
+            &canon_stages,
+            &canon_opts,
+            seg,
+            w_active,
+            &opts,
+            (!fault.is_empty()).then(|| fault.clone()),
+            data,
+        );
+        match outcome {
+            Ok(out) => {
+                if replaying {
+                    replaying = false;
+                    replayed.add(seg_iters as u64);
+                    if let (Some(sup), Some(start)) = (&sup, seg_start) {
+                        sup.span(
+                            SpanKind::Replay,
+                            format!("replay i{}..i{}", done, done + seg_iters),
+                            start,
+                            now_ns(),
+                        );
+                    }
+                }
+                let per = sched.n as usize * w_active as usize;
+                for i in 0..seg_iters as usize {
+                    let slice = &out.losses[i * per..(i + 1) * per];
+                    let mean = slice.iter().map(|&(_, l)| l as f64).sum::<f64>() / per as f64;
+                    iteration_losses.push(mean as f32);
+                }
+                canon_stages = out.stages;
+                canon_opts = out.optimizers;
+                checkpoint_bytes = checkpoint::save_state(&canon_stages, &canon_opts);
+                ckpt_saves.inc();
+                micro_base += seg_iters as u64 * sched.n as u64 * w_active as u64;
+                done += seg_iters;
+            }
+            Err(SegmentFailure::Death {
+                group,
+                worker,
+                iteration,
+                at_ns,
+            }) => {
+                detected.inc();
+                let detected_at = now_ns();
+                if let Some(sup) = &sup {
+                    sup.span(
+                        SpanKind::Detect,
+                        format!("detect death g{group}-w{worker} i{iteration}"),
+                        at_ns.unwrap_or(detected_at),
+                        detected_at,
+                    );
+                }
+                recoveries += 1;
+                if recoveries > opts.max_recoveries {
+                    return Err(TrainError::WorkerLost {
+                        group,
+                        worker,
+                        iteration,
+                        recoveries: recoveries - 1,
+                    });
+                }
+                // The kill fired (or the worker panicked); don't re-kill
+                // during the replay.
+                fault.kill = None;
+                let restore_start = sup.as_ref().map(|_| now_ns());
+                let (stages, optimizers) = checkpoint::load_state(&checkpoint_bytes, d)?;
+                canon_stages = stages;
+                canon_opts = optimizers;
+                restores.inc();
+                if let (Some(sup), Some(start)) = (&sup, restore_start) {
+                    sup.span(
+                        SpanKind::Restore,
+                        format!("restore checkpoint @i{done}"),
+                        start,
+                        now_ns(),
+                    );
+                    sup.counter("runtime.recovery.restores", f64::from(recoveries));
+                }
+                if opts.on_worker_loss == RecoveryPolicy::Degrade && w_active > 1 {
+                    w_active -= 1;
+                    degrades.inc();
+                    if let Some(sup) = &sup {
+                        sup.counter("runtime.active_groups", f64::from(w_active));
+                    }
+                }
+                replaying = true;
+            }
+            Err(SegmentFailure::Timeout {
+                group,
+                worker,
+                iteration,
+                op,
+                waited,
+            }) => {
+                return Err(TrainError::Timeout {
+                    group,
+                    worker,
+                    iteration,
+                    op,
+                    waited,
+                });
+            }
+            Err(SegmentFailure::Divergence { stage }) => {
+                return Err(TrainError::ReplicaDivergence { stage });
+            }
+            Err(SegmentFailure::Missing { stage }) => {
+                return Err(TrainError::MissingStage { stage });
+            }
+        }
+    }
+
+    // A healthy traced run emits no supervisor events at all: recovery
+    // spans/counters appear only when a recovery actually happened.
+    if recoveries > 0 {
+        if let Some(sup) = &sup {
+            sup.counter("runtime.recovery.total", f64::from(recoveries));
+        }
+    }
+    Ok(TrainResult {
+        iteration_losses,
+        stages: canon_stages,
+        recoveries,
+        degraded_to: (w_active < w).then_some(w_active),
+    })
+}
+
+struct SegmentOutcome {
+    /// `(global_micro, loss)` sorted by micro id.
+    losses: Vec<(u64, f32)>,
+    /// Canonical stages, deduplicated from verified replica copies.
+    stages: Vec<Stage>,
+    /// Canonical per-stage optimizer state.
+    optimizers: Vec<Optimizer>,
+}
+
+enum SegmentFailure {
+    /// A worker died (injected kill or panic) — recoverable.
+    Death {
+        group: u32,
+        worker: u32,
+        iteration: u32,
+        /// When the fault fired, if the worker reported it.
+        at_ns: Option<u64>,
+    },
+    /// A worker blocked past its deadline with no death to blame — fatal.
+    Timeout {
+        group: u32,
+        worker: u32,
+        iteration: u32,
+        op: String,
+        waited: Duration,
+    },
+    Divergence {
+        stage: u32,
+    },
+    Missing {
+        stage: u32,
+    },
+}
+
+/// A deadlined wait that expired: `(group, worker, iteration, op, waited)`.
+type TimeoutInfo = (u32, u32, u32, String, Duration);
+
+/// Launch `w` pipeline groups on the canonical state, run one segment, and
+/// join. Classifies failures: a death outranks the timeouts it causes in
+/// peers (they unblock via their deadlines and report errors too).
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    sched: &Schedule,
+    canon_stages: &[Stage],
+    canon_opts: &[Optimizer],
+    seg: SegmentSpec,
+    w: u32,
+    opts: &TrainOptions,
+    fault: Option<crate::fault::FaultSpec>,
+    data: SyntheticData,
+) -> Result<SegmentOutcome, SegmentFailure> {
     let d = sched.d;
     let per_group = sched.num_workers();
     let total_workers = per_group * w as usize;
-    let data = SyntheticData::new(cfg, opts.data_seed);
 
     // Channels: one inbox per global worker (group-major layout).
     let mut txs = Vec::with_capacity(total_workers);
@@ -103,7 +406,11 @@ pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u
         }
     }
 
-    // Spawn workers.
+    // Spawn workers on clones of the canonical stage + optimizer state.
+    let wopts = TrainOptions {
+        fault,
+        ..opts.clone()
+    };
     let mut handles = Vec::with_capacity(total_workers);
     let mut sync_iter = sync_per_worker.into_iter();
     let mut rx_iter = rxs.into_iter();
@@ -112,11 +419,18 @@ pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u
             let wid = WorkerId(lw as u32);
             let rx = rx_iter.next().expect("one inbox per worker");
             let sync = sync_iter.next().expect("sync map per worker");
-            let stages: Vec<(u32, u32, Stage)> = sched
+            let stages: Vec<(u32, u32, Stage, Optimizer)> = sched
                 .placement
                 .held_by(wid)
                 .into_iter()
-                .map(|(r, s)| (r.0, s.0, Stage::build(cfg, s.0, d)))
+                .map(|(r, s)| {
+                    (
+                        r.0,
+                        s.0,
+                        canon_stages[s.0 as usize].clone(),
+                        canon_opts[s.0 as usize].clone(),
+                    )
+                })
                 .collect();
             let worker = Worker::new(
                 wid,
@@ -131,57 +445,119 @@ pub fn train_hybrid(sched: &Schedule, cfg: ModelConfig, opts: TrainOptions, w: u
                 rx,
                 txs.clone(),
                 data,
-                opts.clone(),
+                wopts.clone(),
+                seg,
                 sched.flushes,
             );
-            handles.push(
+            handles.push((
+                g,
+                lw as u32,
                 thread::Builder::new()
                     .name(format!("chimera-g{g}-w{lw}"))
                     .spawn(move || worker.run())
                     .expect("spawn worker"),
-            );
+            ));
         }
     }
     drop(txs);
 
-    // Collect results.
-    let mut losses: Vec<(u64, f32)> = Vec::new();
-    let mut replica_stages: HashMap<u32, Vec<Stage>> = HashMap::new();
-    for h in handles {
-        let result = h.join().expect("worker thread panicked");
-        losses.extend(result.losses);
-        for (_, s, stage) in result.stages {
-            replica_stages.entry(s).or_default().push(stage);
+    // Join everyone, then classify. A kill makes its peers fail too (send
+    // errors, deadlined waits), so a detected death takes precedence over
+    // the secondary errors it causes; a timeout with *no* death anywhere is
+    // a lost message or deadlock and is fatal.
+    let mut death: Option<(u32, u32, u32, Option<u64>)> = None;
+    let mut timeout: Option<(u32, TimeoutInfo)> = None;
+    let mut results = Vec::with_capacity(total_workers);
+    for (g, lw, h) in handles {
+        match h.join() {
+            Err(_) => {
+                // Panicked thread: location known from the spawn loop.
+                death.get_or_insert((g, lw, seg.start_iter, None));
+            }
+            Ok(Err(WorkerError::Killed {
+                group,
+                worker,
+                iteration,
+                at_ns,
+            })) => {
+                // A reported kill beats a bare panic: it carries the fault
+                // timestamp for the detection-latency span.
+                if death.is_none() || death.is_some_and(|(.., at)| at.is_none()) {
+                    death = Some((group, worker, iteration, Some(at_ns)));
+                }
+            }
+            Ok(Err(e)) => {
+                let rank = match e {
+                    WorkerError::RecvTimeout { .. } => 0,
+                    WorkerError::AllReduceTimeout { .. } => 1,
+                    _ => 2,
+                };
+                let (group, worker, iteration) = e.location();
+                let (op, waited) = match e {
+                    WorkerError::RecvTimeout { op, waited, .. } => (op, waited),
+                    WorkerError::AllReduceTimeout { stage, waited, .. } => {
+                        (format!("allreduce wait for stage {stage}"), waited)
+                    }
+                    WorkerError::PeerGone { to, .. } => {
+                        (format!("send to dead peer w{to}"), Duration::ZERO)
+                    }
+                    WorkerError::Killed { .. } => unreachable!("handled above"),
+                };
+                if timeout.as_ref().is_none_or(|&(r, _)| rank < r) {
+                    timeout = Some((rank, (group, worker, iteration, op, waited)));
+                }
+            }
+            Ok(Ok(res)) => results.push(res),
         }
     }
+    if let Some((group, worker, iteration, at_ns)) = death {
+        return Err(SegmentFailure::Death {
+            group,
+            worker,
+            iteration,
+            at_ns,
+        });
+    }
+    if let Some((_, (group, worker, iteration, op, waited))) = timeout {
+        return Err(SegmentFailure::Timeout {
+            group,
+            worker,
+            iteration,
+            op,
+            waited,
+        });
+    }
 
-    // Verify all 2f·W replica copies of each stage agree bit-for-bit.
+    // Verify all 2f·W replica copies of each stage agree bit-for-bit, then
+    // deduplicate into the canonical per-stage state.
+    let mut losses: Vec<(u64, f32)> = Vec::new();
+    let mut replica_stages: HashMap<u32, Vec<(Stage, Optimizer)>> = HashMap::new();
+    for res in results {
+        losses.extend(res.losses);
+        for (_, s, stage, opt) in res.stages {
+            replica_stages.entry(s).or_default().push((stage, opt));
+        }
+    }
     let mut stages = Vec::with_capacity(d as usize);
+    let mut optimizers = Vec::with_capacity(d as usize);
     for s in 0..d {
-        let mut copies = replica_stages.remove(&s).expect("every stage trained");
-        let canonical = copies.pop().expect("at least one replica");
+        let mut copies = replica_stages
+            .remove(&s)
+            .ok_or(SegmentFailure::Missing { stage: s })?;
+        let (canonical, opt) = copies.pop().expect("at least one replica");
         let reference = canonical.params();
-        for copy in &copies {
-            assert_eq!(
-                copy.params(),
-                reference,
-                "stage {s}: replica copies diverged"
-            );
+        for (copy, _) in &copies {
+            if copy.params() != reference {
+                return Err(SegmentFailure::Divergence { stage: s });
+            }
         }
         stages.push(canonical);
+        optimizers.push(opt);
     }
-
-    // Mean loss per iteration from per-micro losses.
     losses.sort_unstable_by_key(|&(g, _)| g);
-    let n = sched.n as usize * w as usize;
-    let mut iteration_losses = Vec::with_capacity(opts.iterations as usize);
-    for it in 0..opts.iterations as usize {
-        let slice = &losses[it * n..(it + 1) * n];
-        let mean = slice.iter().map(|&(_, l)| l as f64).sum::<f64>() / n as f64;
-        iteration_losses.push(mean as f32);
-    }
-    TrainResult {
-        iteration_losses,
+    Ok(SegmentOutcome {
+        losses,
         stages,
-    }
+        optimizers,
+    })
 }

@@ -1,8 +1,16 @@
 //! One pipeline worker: a thread executing its schedule ops on real model
 //! stages.
+//!
+//! Every blocking wait in a worker (p2p receive, allreduce completion) has
+//! a deadline ([`TrainOptions::recv_timeout`]): instead of hanging on a dead
+//! peer, a worker returns a [`WorkerError`] naming the worker, iteration,
+//! and blocked op, and the supervisor in [`crate::runtime`] decides whether
+//! to recover. The stub-friendly implementation polls `try_recv` with a
+//! bounded exponential backoff rather than relying on `recv_timeout`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 
@@ -13,6 +21,9 @@ use chimera_collectives::KeyedMember;
 use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
 use chimera_tensor::Tensor;
 use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
+
+use crate::error::WorkerError;
+use crate::fault::{FaultSpec, RecoveryPolicy};
 
 /// A boundary message between pipeline workers.
 pub struct Msg {
@@ -52,6 +63,22 @@ pub struct TrainOptions {
     /// from every worker thread. `None` — the default — disables all
     /// instrumentation: no clock reads, no event construction.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Injected faults for this run; `None` trains healthy.
+    pub fault: Option<FaultSpec>,
+    /// Checkpoint cadence in iterations: the supervisor snapshots params +
+    /// optimizer state every this many iterations and can replay at most
+    /// one cadence worth of work after a failure. `None` checkpoints only
+    /// the initial state (a failure replays the whole run).
+    pub checkpoint_every: Option<u32>,
+    /// Deadline for any single blocking wait (p2p receive, allreduce
+    /// completion). On expiry the worker reports a descriptive error
+    /// instead of hanging.
+    pub recv_timeout: Duration,
+    /// How many checkpoint-restart recoveries the supervisor may perform
+    /// before giving up with [`crate::TrainError::WorkerLost`].
+    pub max_recoveries: u32,
+    /// What the supervisor does on a detected worker death.
+    pub on_worker_loss: RecoveryPolicy,
 }
 
 impl Default for TrainOptions {
@@ -65,6 +92,11 @@ impl Default for TrainOptions {
             optimizer: None,
             lr_schedule: None,
             trace: None,
+            fault: None,
+            checkpoint_every: None,
+            recv_timeout: Duration::from_secs(5),
+            max_recoveries: 2,
+            on_worker_loss: RecoveryPolicy::Restart,
         }
     }
 }
@@ -122,13 +154,30 @@ impl Tracer {
     }
 }
 
-/// What a worker thread returns.
+/// What a worker thread returns on success.
 pub struct WorkerResult {
     /// `(global_micro, loss)` for every micro-batch whose head this worker
     /// executed.
     pub losses: Vec<(u64, f32)>,
-    /// Final stage replicas `(replica, stage, Stage)`.
-    pub stages: Vec<(u32, u32, Stage)>,
+    /// Final stage replicas with their optimizer state,
+    /// `(replica, stage, Stage, Optimizer)`.
+    pub stages: Vec<(u32, u32, Stage, Optimizer)>,
+}
+
+/// The slice of the global training run one spawned worker executes. The
+/// supervisor trains in segments of [`TrainOptions::checkpoint_every`]
+/// iterations; after a failure it replays the current segment from the last
+/// checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentSpec {
+    /// Global (0-based) iteration the segment starts at.
+    pub start_iter: u32,
+    /// Iterations in this segment.
+    pub iterations: u32,
+    /// Global micro-batch id cursor at segment start (micros consumed by
+    /// all committed segments — not derivable from `start_iter` once a run
+    /// has degraded to fewer groups).
+    pub micro_base: u64,
 }
 
 /// One worker's runtime state.
@@ -151,6 +200,13 @@ pub struct Worker {
     tx: Vec<Sender<Msg>>,
     data: SyntheticData,
     opts: TrainOptions,
+    seg: SegmentSpec,
+    /// Global iteration currently executing (for fault matching and error
+    /// diagnostics).
+    cur_iter: u32,
+    /// One-shot flags for the injected message faults.
+    drop_fired: bool,
+    delay_fired: bool,
     inbox: HashMap<InboxKey, Tensor>,
     stashes: HashMap<(u32, u32, u64), MicroStash>,
     grads: HashMap<StageKey, Vec<(u64, Vec<f32>)>>,
@@ -166,8 +222,10 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Assemble a worker.
-    #[allow(clippy::too_many_arguments)]
+    /// Assemble a worker executing segment `seg`. Each `(replica, stage)`
+    /// entry carries the stage parameters **and** the optimizer state it
+    /// resumes from — fresh at iteration 0, restored from a checkpoint
+    /// after a recovery.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: WorkerId,
@@ -177,12 +235,13 @@ impl Worker {
         n_per_iter: u32,
         ops: Vec<Op>,
         placement: Placement,
-        stages: Vec<(u32, u32, Stage)>,
+        stages: Vec<(u32, u32, Stage, Optimizer)>,
         sync: HashMap<u32, KeyedMember>,
         rx: Receiver<Msg>,
         tx: Vec<Sender<Msg>>,
         data: SyntheticData,
         opts: TrainOptions,
+        seg: SegmentSpec,
         flushes: bool,
     ) -> Self {
         let has_sync_ops = ops.iter().any(|o| o.kind == OpKind::AllReduceWait);
@@ -199,11 +258,9 @@ impl Worker {
         };
         let mut stage_map = HashMap::new();
         let mut optimizers = HashMap::new();
-        for (r, s, stage) in stages {
-            optimizers.insert(
-                (r, s),
-                Optimizer::new(opts.optimizer_kind(), stage.num_params()),
-            );
+        for (r, s, stage, opt) in stages {
+            debug_assert_eq!(opt.len(), stage.num_params());
+            optimizers.insert((r, s), opt);
             stage_map.insert((r, s), stage);
         }
         let tracer = opts.trace.clone().map(|sink| {
@@ -237,6 +294,10 @@ impl Worker {
             tx,
             data,
             opts,
+            seg,
+            cur_iter: seg.start_iter,
+            drop_fired: false,
+            delay_fired: false,
             inbox: HashMap::new(),
             stashes: HashMap::new(),
             grads: HashMap::new(),
@@ -248,20 +309,23 @@ impl Worker {
         }
     }
 
-    /// Run all iterations; consumes the worker.
+    /// Run the segment's iterations; consumes the worker.
     ///
     /// Global micro-batch ids interleave data-parallel groups group-major:
-    /// iteration `i` consumes micros `[i·N·W, (i+1)·N·W)`, with this group's
-    /// share starting at `i·N·W + group·N` — the same ordering the
-    /// sequential reference uses, so keyed gradient reduction stays
-    /// bit-exact across `W`.
-    pub fn run(mut self) -> WorkerResult {
+    /// local iteration `i` consumes micros starting at
+    /// `micro_base + i·N·W + group·N` — the same ordering the sequential
+    /// reference uses, so keyed gradient reduction stays bit-exact across
+    /// `W`.
+    pub fn run(mut self) -> Result<WorkerResult, WorkerError> {
         let ops = std::mem::take(&mut self.ops);
-        for iter in 0..self.opts.iterations {
-            let offset = iter as u64 * self.n_per_iter as u64 * self.w_total as u64
+        for iter in 0..self.seg.iterations {
+            self.cur_iter = self.seg.start_iter + iter;
+            self.maybe_kill()?;
+            let offset = self.seg.micro_base
+                + iter as u64 * self.n_per_iter as u64 * self.w_total as u64
                 + self.group as u64 * self.n_per_iter as u64;
             for op in &ops {
-                self.exec(op, offset);
+                self.exec(op, offset)?;
             }
             if !self.has_sync_ops {
                 // Implicit post-hoc synchronization: launch everything, then
@@ -276,14 +340,14 @@ impl Worker {
                     self.sync[&s].deposit(contribution);
                 }
                 for &(r, s) in &held {
-                    let summed = self.sync[&s].fetch();
+                    let summed = self.fetch_reduced(s)?;
                     self.apply_update(r, s, &summed);
                 }
                 if let (Some(tr), Some(start)) = (&self.tracer, t0) {
                     tr.allreduce_launches.add(held.len() as u64);
                     tr.span(
                         SpanKind::AllReduce,
-                        format!("posthoc-sync i{iter}"),
+                        format!("posthoc-sync i{}", self.cur_iter),
                         start,
                         now_ns(),
                         None,
@@ -293,24 +357,69 @@ impl Worker {
                 }
             }
         }
-        let mut stages: Vec<(u32, u32, Stage)> = self
-            .stages
-            .into_iter()
-            .map(|((r, s), st)| (r, s, st))
-            .collect();
-        stages.sort_by_key(|&(r, s, _)| (r, s));
-        WorkerResult {
+        let mut stages: Vec<(u32, u32, Stage, Optimizer)> = Vec::new();
+        for ((r, s), stage) in self.stages {
+            let opt = self.optimizers.remove(&(r, s)).expect("optimizer held");
+            stages.push((r, s, stage, opt));
+        }
+        stages.sort_by_key(|&(r, s, ..)| (r, s));
+        Ok(WorkerResult {
             losses: self.losses,
             stages,
-        }
+        })
     }
 
-    fn exec(&mut self, op: &Op, offset: u64) {
+    /// Fire the injected kill fault if it targets this worker at the
+    /// current iteration.
+    fn maybe_kill(&self) -> Result<(), WorkerError> {
+        let Some(kill) = self.opts.fault.as_ref().and_then(|f| f.kill) else {
+            return Ok(());
+        };
+        if kill.group != self.group || kill.worker != self.id.0 || kill.iteration != self.cur_iter
+        {
+            return Ok(());
+        }
+        let at = now_ns();
+        MetricsRegistry::global().counter("runtime.fault.kills").inc();
+        if let Some(tr) = &self.tracer {
+            tr.span(
+                SpanKind::Fault,
+                format!("kill g{}-w{} i{}", self.group, self.id.0, self.cur_iter),
+                at,
+                at,
+                None,
+                None,
+                None,
+            );
+        }
+        Err(WorkerError::Killed {
+            group: self.group,
+            worker: self.id.0,
+            iteration: self.cur_iter,
+            at_ns: at,
+        })
+    }
+
+    /// Wait (with deadline) for this worker's next reduced gradient of
+    /// stage `s`.
+    fn fetch_reduced(&self, s: u32) -> Result<Vec<f32>, WorkerError> {
+        self.sync[&s]
+            .fetch_deadline(self.opts.recv_timeout)
+            .ok_or(WorkerError::AllReduceTimeout {
+                group: self.group,
+                worker: self.id.0,
+                iteration: self.cur_iter,
+                stage: s,
+                waited: self.opts.recv_timeout,
+            })
+    }
+
+    fn exec(&mut self, op: &Op, offset: u64) -> Result<(), WorkerError> {
         if self.tracer.is_none() {
             return self.exec_op(op, offset);
         }
         let start = now_ns();
-        self.exec_op(op, offset);
+        self.exec_op(op, offset)?;
         let end = now_ns();
         let tr = self.tracer.as_ref().expect("tracer checked above");
         let kind = match op.kind {
@@ -337,9 +446,10 @@ impl Worker {
             Some(op.replica.0),
             op.is_compute().then(|| op.micro.0 as u64 + offset),
         );
+        Ok(())
     }
 
-    fn exec_op(&mut self, op: &Op, offset: u64) {
+    fn exec_op(&mut self, op: &Op, offset: u64) -> Result<(), WorkerError> {
         assert_eq!(op.chunk, Chunk::Full, "runtime supports full-micro chunks");
         match op.kind {
             OpKind::Forward => self.forward(op, offset),
@@ -350,15 +460,17 @@ impl Worker {
                     .remove(&(op.replica.0, op.stage.0))
                     .unwrap_or_default();
                 self.sync[&op.stage.0].deposit(contribution);
+                Ok(())
             }
             OpKind::AllReduceWait => {
-                let summed = self.sync[&op.stage.0].fetch();
+                let summed = self.fetch_reduced(op.stage.0)?;
                 self.apply_update(op.replica.0, op.stage.0, &summed);
+                Ok(())
             }
         }
     }
 
-    fn forward(&mut self, op: &Op, offset: u64) {
+    fn forward(&mut self, op: &Op, offset: u64) -> Result<(), WorkerError> {
         let (r, s) = (op.replica.0, op.stage.0);
         let g = op.micro.0 as u64 + offset;
         let last = s + 1 == self.d;
@@ -370,7 +482,7 @@ impl Worker {
         let x = if s == 0 {
             None
         } else {
-            Some(self.recv(false, r, s - 1, g))
+            Some(self.recv(false, r, s - 1, g)?)
         };
         let stage = &self.stages[&(r, s)];
         let (out, mut stash) = stage.forward(
@@ -394,21 +506,22 @@ impl Worker {
                 micro: g,
                 grad: false,
                 tensor: act,
-            });
+            })?;
         }
         if let Some(loss) = out.loss {
             self.losses.push((g, loss));
         }
+        Ok(())
     }
 
-    fn backward(&mut self, op: &Op, offset: u64) {
+    fn backward(&mut self, op: &Op, offset: u64) -> Result<(), WorkerError> {
         let (r, s) = (op.replica.0, op.stage.0);
         let g = op.micro.0 as u64 + offset;
         let last = s + 1 == self.d;
         let dy = if last {
             None
         } else {
-            Some(self.recv(true, r, s + 1, g))
+            Some(self.recv(true, r, s + 1, g)?)
         };
         let mut stash = self
             .stashes
@@ -444,8 +557,9 @@ impl Worker {
                 micro: g,
                 grad: true,
                 tensor: dx,
-            });
+            })?;
         }
+        Ok(())
     }
 
     fn apply_update(&mut self, r: u32, s: u32, summed: &[f32]) {
@@ -460,31 +574,121 @@ impl Worker {
         stage.set_params(&params);
     }
 
-    fn send(&self, to: WorkerId, msg: Msg) {
+    /// True when `fault` targets the message this worker is about to send.
+    fn msg_fault_matches(&self, fault: &crate::fault::MsgFault, msg: &Msg) -> bool {
+        fault.group == self.group
+            && fault.from_worker == self.id.0
+            && fault.grad == msg.grad
+            && fault.micro == msg.micro
+    }
+
+    fn send(&mut self, to: WorkerId, msg: Msg) -> Result<(), WorkerError> {
+        if let Some(fault) = &self.opts.fault {
+            if let Some(dm) = fault.drop_msg {
+                if !self.drop_fired && self.msg_fault_matches(&dm, &msg) {
+                    // Lose the message: the receiver will hit its deadline
+                    // and report the blocked op.
+                    self.drop_fired = true;
+                    MetricsRegistry::global()
+                        .counter("runtime.fault.dropped_msgs")
+                        .inc();
+                    if let Some(tr) = &self.tracer {
+                        let at = now_ns();
+                        tr.span(
+                            SpanKind::Fault,
+                            format!("drop m{}@s{}", msg.micro, msg.stage),
+                            at,
+                            at,
+                            Some(msg.stage),
+                            Some(msg.replica),
+                            Some(msg.micro),
+                        );
+                    }
+                    return Ok(());
+                }
+            }
+            if let Some((dm, delay)) = fault.delay_msg {
+                if !self.delay_fired && self.msg_fault_matches(&dm, &msg) {
+                    self.delay_fired = true;
+                    MetricsRegistry::global()
+                        .counter("runtime.fault.delayed_msgs")
+                        .inc();
+                    let start = self.tracer.as_ref().map(|_| now_ns());
+                    std::thread::sleep(delay);
+                    if let (Some(tr), Some(start)) = (&self.tracer, start) {
+                        tr.span(
+                            SpanKind::Fault,
+                            format!("delay m{}@s{}", msg.micro, msg.stage),
+                            start,
+                            now_ns(),
+                            Some(msg.stage),
+                            Some(msg.replica),
+                            Some(msg.micro),
+                        );
+                    }
+                }
+            }
+        }
         // p2p stays within the pipeline group (§3.3): `tx` is indexed by
         // global worker id = group · D + local id.
         let global = self.group as usize * self.d as usize + to.idx();
-        self.tx[global].send(msg).expect("peer worker alive");
+        if self.tx[global].send(msg).is_err() {
+            return Err(WorkerError::PeerGone {
+                group: self.group,
+                worker: self.id.0,
+                iteration: self.cur_iter,
+                to: to.0,
+            });
+        }
+        Ok(())
     }
 
-    fn recv(&mut self, grad: bool, replica: u32, stage: u32, micro: u64) -> Tensor {
+    fn recv(
+        &mut self,
+        grad: bool,
+        replica: u32,
+        stage: u32,
+        micro: u64,
+    ) -> Result<Tensor, WorkerError> {
         let key = (grad, replica, stage, micro);
         if let Some(t) = self.inbox.remove(&key) {
             // Already delivered — no wait, no span.
-            return t;
+            return Ok(t);
         }
         let start = self.tracer.as_ref().map(|_| now_ns());
+        let deadline = Instant::now() + self.opts.recv_timeout;
+        let mut backoff_us = 10u64;
         let tensor = loop {
-            let msg = self.rx.recv().expect("peer worker alive");
-            if let Some(tr) = &self.tracer {
-                // Each message is pulled off its channel exactly once, so
-                // this counts total p2p traffic, not just this key's bytes.
-                tr.p2p_bytes.add(msg.tensor.len() as u64 * 4);
+            // Drain everything already delivered, then check for our key.
+            let mut progressed = false;
+            while let Ok(msg) = self.rx.try_recv() {
+                progressed = true;
+                if let Some(tr) = &self.tracer {
+                    // Each message is pulled off its channel exactly once, so
+                    // this counts total p2p traffic, not just this key's bytes.
+                    tr.p2p_bytes.add(msg.tensor.len() as u64 * 4);
+                }
+                self.inbox
+                    .insert((msg.grad, msg.replica, msg.stage, msg.micro), msg.tensor);
             }
-            self.inbox
-                .insert((msg.grad, msg.replica, msg.stage, msg.micro), msg.tensor);
             if let Some(t) = self.inbox.remove(&key) {
                 break t;
+            }
+            if Instant::now() >= deadline {
+                let dir = if grad { "grad" } else { "act" };
+                return Err(WorkerError::RecvTimeout {
+                    group: self.group,
+                    worker: self.id.0,
+                    iteration: self.cur_iter,
+                    op: format!("recv {dir} m{micro}@s{stage}/r{replica}"),
+                    waited: self.opts.recv_timeout,
+                });
+            }
+            if progressed {
+                backoff_us = 10;
+            } else {
+                std::thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(500);
             }
         };
         if let (Some(tr), Some(start)) = (&self.tracer, start) {
@@ -501,6 +705,6 @@ impl Worker {
                 Some(micro),
             );
         }
-        tensor
+        Ok(tensor)
     }
 }

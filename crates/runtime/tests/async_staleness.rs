@@ -14,9 +14,7 @@ fn opts(iterations: u32) -> TrainOptions {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 31,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -28,7 +26,7 @@ fn pipedream_trains_but_diverges_from_sgd() {
     let iters = 4; // unrolled inside one schedule
     let sched = pipedream_steady(d, n, iters);
     let o = opts(1);
-    let result = train(&sched, cfg, o.clone());
+    let result = train(&sched, cfg, o.clone()).expect("training succeeds");
     let first = result.iteration_losses[0];
     assert!(first.is_finite() && first > 0.0);
 
@@ -60,7 +58,7 @@ fn pipedream_long_run_remains_stable() {
     let sched = pipedream_steady(d, n, 12);
     let mut o = opts(1);
     o.lr = 0.4; // per-update gradients are scaled by 1/(n·iters)
-    let result = train(&sched, cfg, o);
+    let result = train(&sched, cfg, o).expect("training succeeds");
     let l = &result.iteration_losses; // one entry (single unrolled span)
     assert_eq!(l.len(), 1);
     assert!(l[0].is_finite() && l[0] > 0.0, "async training stayed stable");
@@ -70,8 +68,8 @@ fn pipedream_long_run_remains_stable() {
 fn pipedream_deterministic_across_runs() {
     let cfg = ModelConfig::tiny();
     let sched = pipedream_steady(4, 4, 3);
-    let a = train(&sched, cfg, opts(1));
-    let b = train(&sched, cfg, opts(1));
+    let a = train(&sched, cfg, opts(1)).unwrap();
+    let b = train(&sched, cfg, opts(1)).unwrap();
     assert_eq!(a.flat_params(), b.flat_params());
     assert_eq!(a.iteration_losses, b.iteration_losses);
 }

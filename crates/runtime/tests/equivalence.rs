@@ -19,9 +19,7 @@ fn opts(iterations: u32) -> TrainOptions {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 123,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -42,7 +40,7 @@ fn reference(cfg: ModelConfig, d: u32, n: u32, iterations: u32) -> (Vec<f32>, Ve
 }
 
 fn assert_equivalent(sched: &Schedule, cfg: ModelConfig, iterations: u32) {
-    let result = train(sched, cfg, opts(iterations));
+    let result = train(sched, cfg, opts(iterations)).expect("training succeeds");
     let (ref_params, ref_losses) = reference(cfg, sched.d, sched.n, iterations);
     assert_eq!(
         result.flat_params(),
@@ -131,7 +129,7 @@ fn gems_bitexact() {
 fn losses_decrease_under_pipelined_training() {
     let cfg = ModelConfig::tiny();
     let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
-    let result = train(&sched, cfg, opts(10));
+    let result = train(&sched, cfg, opts(10)).expect("training succeeds");
     let first = result.iteration_losses[0];
     let last = *result.iteration_losses.last().unwrap();
     assert!(last < first, "first {first} last {last}");

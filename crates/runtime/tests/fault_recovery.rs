@@ -1,0 +1,335 @@
+//! Fault injection against the real threaded runtime: killed workers are
+//! survived by checkpoint-restart (bit-identical to the fault-free run),
+//! lost messages surface as descriptive timeouts instead of hangs, and
+//! degraded-mode training continues on `W-1` groups.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chimera_core::chimera::{chimera, ChimeraConfig};
+use chimera_nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera_runtime::{
+    train, train_hybrid, FaultSpec, MsgFault, RecoveryPolicy, TrainError, TrainOptions,
+};
+use chimera_trace::{BufferSink, Event, SpanKind};
+
+fn opts(iterations: u32) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 1,
+        iterations,
+        lr: 0.07,
+        momentum: 0.9,
+        data_seed: 11,
+        // Tiny-model ops take microseconds; a short deadline keeps the
+        // blocked peers of a killed worker from stalling the test.
+        recv_timeout: Duration::from_millis(300),
+        ..TrainOptions::default()
+    }
+}
+
+/// A seeded kill mid-run recovers via checkpoint-restart to bit-identical
+/// final parameters (W = 1).
+#[test]
+fn kill_recovers_bit_identical_w1() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(4);
+    o.checkpoint_every = Some(2);
+    let healthy = train(&sched, cfg, o.clone()).expect("fault-free run");
+
+    for iteration in [1, 2, 3] {
+        let mut f = o.clone();
+        f.fault = Some(FaultSpec::kill_at(0, 1, iteration));
+        let recovered = train(&sched, cfg, f).expect("recovers from kill");
+        assert_eq!(recovered.recoveries, 1, "kill at i{iteration}");
+        assert_eq!(recovered.degraded_to, None);
+        assert_eq!(
+            recovered.flat_params(),
+            healthy.flat_params(),
+            "kill at i{iteration}: recovery must be bit-identical"
+        );
+        assert_eq!(recovered.iteration_losses, healthy.iteration_losses);
+    }
+}
+
+/// Same under hybrid data parallelism: a kill in either group of a W = 2
+/// run recovers bit-identically.
+#[test]
+fn kill_recovers_bit_identical_w2() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(3);
+    o.checkpoint_every = Some(1);
+    let healthy = train_hybrid(&sched, cfg, o.clone(), 2).expect("fault-free run");
+
+    let mut f = o.clone();
+    f.fault = Some(FaultSpec::kill_at(1, 0, 1));
+    let recovered = train_hybrid(&sched, cfg, f, 2).expect("recovers from kill");
+    assert_eq!(recovered.recoveries, 1);
+    assert_eq!(recovered.flat_params(), healthy.flat_params());
+    assert_eq!(recovered.iteration_losses, healthy.iteration_losses);
+}
+
+/// The CI soak matrix: kill every (group, worker) id once mid-run; each
+/// case must recover to the fault-free parameters.
+#[test]
+fn soak_kill_matrix_every_worker_recovers() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let w = 2;
+    let mut o = opts(3);
+    o.checkpoint_every = Some(1);
+    let healthy = train_hybrid(&sched, cfg, o.clone(), w).expect("fault-free run");
+
+    for group in 0..w {
+        for worker in 0..sched.d {
+            let mut f = o.clone();
+            f.fault = Some(FaultSpec::kill_at(group, worker, 1));
+            let recovered = train_hybrid(&sched, cfg, f, w)
+                .unwrap_or_else(|e| panic!("kill g{group}-w{worker}: {e}"));
+            assert_eq!(recovered.recoveries, 1, "kill g{group}-w{worker}");
+            assert_eq!(
+                recovered.flat_params(),
+                healthy.flat_params(),
+                "kill g{group}-w{worker}: not bit-identical after recovery"
+            );
+        }
+    }
+}
+
+/// A dropped p2p message is a lost message, not a hang: the blocked
+/// receiver hits its deadline and training fails with a descriptive
+/// [`TrainError::Timeout`] naming the blocked op.
+#[test]
+fn dropped_message_times_out_with_diagnostic() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(2);
+    // Drop the micro-0 activation worker 0 sends to worker 1.
+    o.fault = Some(FaultSpec {
+        drop_msg: Some(MsgFault {
+            group: 0,
+            from_worker: 0,
+            grad: false,
+            micro: 0,
+        }),
+        ..FaultSpec::default()
+    });
+    let started = Instant::now();
+    let err = train(&sched, cfg, o).expect_err("lost message must fail");
+    // Well before any hang: one recv deadline plus scheduling slack.
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timed out too slowly: {:?}",
+        started.elapsed()
+    );
+    // The dropped activation stalls the whole micro-0 chain: worker 1 never
+    // receives the activation, so worker 0 never receives the matching
+    // gradient either. Whichever blocked wait the supervisor reports, it
+    // must name micro 0's p2p receive.
+    match &err {
+        TrainError::Timeout {
+            group,
+            iteration,
+            op,
+            waited,
+            ..
+        } => {
+            assert_eq!((*group, *iteration), (0, 0));
+            assert!(
+                op == "recv act m0@s0/r0" || op == "recv grad m0@s1/r0",
+                "unexpected blocked op: {op}"
+            );
+            assert_eq!(*waited, Duration::from_millis(300));
+        }
+        other => panic!("expected Timeout, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("m0@s"), "undescriptive: {msg}");
+    assert!(msg.contains("blocked for"), "no timeout wording: {msg}");
+}
+
+/// A delayed message only slows the run down — the result is still
+/// bit-identical to the fault-free one with no recoveries.
+#[test]
+fn delayed_message_only_slows_training() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let o = opts(2);
+    let healthy = train(&sched, cfg, o.clone()).expect("fault-free run");
+    let mut f = o;
+    f.fault = Some(FaultSpec {
+        delay_msg: Some((
+            MsgFault {
+                group: 0,
+                from_worker: 0,
+                grad: false,
+                micro: 0,
+            },
+            Duration::from_millis(50),
+        )),
+        ..FaultSpec::default()
+    });
+    let delayed = train(&sched, cfg, f).expect("delay is survivable");
+    assert_eq!(delayed.recoveries, 0);
+    assert_eq!(delayed.flat_params(), healthy.flat_params());
+}
+
+/// Degraded mode: after a kill with `RecoveryPolicy::Degrade`, a W = 2 run
+/// restores the checkpoint and continues on one group. The result equals
+/// sequential SGD over the actually-consumed micro-batch stream (N·W per
+/// iteration before the fault, N after).
+#[test]
+fn degrade_continues_on_w_minus_1() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(4);
+    o.checkpoint_every = Some(2);
+    o.on_worker_loss = RecoveryPolicy::Degrade;
+    o.fault = Some(FaultSpec::kill_at(1, 0, 2));
+    let res = train_hybrid(&sched, cfg, o.clone(), 2).expect("degrades and finishes");
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.degraded_to, Some(1));
+
+    // Reference: iterations 0-1 consume N·W = 4 micros each (committed
+    // before the fault), iterations 2-3 consume N = 2 each on the surviving
+    // group, continuing from micro 8.
+    let mut r = ReferenceTrainer::new(
+        Stage::build_all(cfg, sched.d),
+        SyntheticData::new(cfg, o.data_seed),
+        o.micro_batch,
+        o.lr,
+        o.momentum,
+    );
+    let mut ref_losses = Vec::new();
+    for (offset, count) in [(0u64, 4u32), (4, 4), (8, 2), (10, 2)] {
+        ref_losses.push(r.train_iteration(offset, count));
+    }
+    assert_eq!(res.flat_params(), r.flat_params());
+    for (a, b) in res.iteration_losses.iter().zip(&ref_losses) {
+        assert!((a - b).abs() < 1e-6, "loss {a} vs {b}");
+    }
+}
+
+/// With a single group the degrade policy has nothing to drop and falls
+/// back to checkpoint-restart.
+#[test]
+fn degrade_with_single_group_falls_back_to_restart() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(3);
+    o.checkpoint_every = Some(1);
+    o.on_worker_loss = RecoveryPolicy::Degrade;
+    let healthy = train(&sched, cfg, opts_with_ckpt(&o)).expect("fault-free");
+    let mut f = o;
+    f.fault = Some(FaultSpec::kill_at(0, 0, 1));
+    let res = train(&sched, cfg, f).expect("restarts instead of degrading");
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.degraded_to, None);
+    assert_eq!(res.flat_params(), healthy.flat_params());
+}
+
+fn opts_with_ckpt(o: &TrainOptions) -> TrainOptions {
+    TrainOptions {
+        fault: None,
+        ..o.clone()
+    }
+}
+
+/// An exhausted recovery budget surfaces as [`TrainError::WorkerLost`].
+#[test]
+fn exhausted_recovery_budget_reports_worker_lost() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let mut o = opts(2);
+    o.max_recoveries = 0;
+    o.fault = Some(FaultSpec::kill_at(0, 1, 0));
+    match train(&sched, cfg, o).expect_err("budget of zero cannot recover") {
+        TrainError::WorkerLost {
+            group,
+            worker,
+            iteration,
+            recoveries,
+        } => {
+            assert_eq!((group, worker, iteration), (0, 1, 0));
+            assert_eq!(recoveries, 0);
+        }
+        other => panic!("expected WorkerLost, got {other}"),
+    }
+}
+
+/// Recovery is observable: the fault, its detection, the checkpoint
+/// restore, and the replay all appear as spans (plus counters) in the
+/// trace, and survive the Chrome export.
+#[test]
+fn recovery_emits_trace_spans_and_counters() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let sink = Arc::new(BufferSink::new());
+    let mut o = opts(2);
+    o.checkpoint_every = Some(1);
+    o.trace = Some(sink.clone() as Arc<dyn chimera_trace::TraceSink>);
+    o.fault = Some(FaultSpec::kill_at(0, 1, 1));
+    let res = train(&sched, cfg, o).expect("recovers");
+    assert_eq!(res.recoveries, 1);
+
+    let events = sink.drain();
+    let span_names = |kind: SpanKind| -> Vec<String> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span(s) if s.kind == kind => Some(s.name.clone()),
+                _ => None,
+            })
+            .collect()
+    };
+    let faults = span_names(SpanKind::Fault);
+    assert_eq!(faults, vec!["kill g0-w1 i1"], "worker-side fault span");
+    let detects = span_names(SpanKind::Detect);
+    assert_eq!(detects, vec!["detect death g0-w1 i1"]);
+    assert_eq!(span_names(SpanKind::Restore).len(), 1);
+    let replays = span_names(SpanKind::Replay);
+    assert_eq!(replays, vec!["replay i1..i2"]);
+    // Supervisor counters record the recovery.
+    let counters: Vec<(&str, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter(c) => Some((c.name.as_str(), c.value)),
+            _ => None,
+        })
+        .collect();
+    assert!(counters.contains(&("runtime.recovery.restores", 1.0)));
+    assert!(counters.contains(&("runtime.recovery.total", 1.0)));
+    // The supervisor track sits below the worker lanes.
+    let sup_track = sched.num_workers() as u32;
+    assert!(events.iter().any(
+        |e| matches!(e, Event::Span(s) if s.kind == SpanKind::Detect && s.track == sup_track)
+    ));
+    // Chrome export carries the recovery categories through.
+    let doc = chimera_trace::chrome_trace_json(&events, &[(0, "faulty run")]);
+    let cats: Vec<&str> = doc["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e["cat"].as_str())
+        .collect();
+    for cat in ["fault", "detect", "restore", "replay"] {
+        assert!(cats.contains(&cat), "no {cat} events in Chrome export");
+    }
+}
+
+/// Checkpoint cadence does not change the result: a fault-free run with
+/// per-iteration checkpoints matches one with a single final segment.
+#[test]
+fn checkpoint_cadence_is_bit_transparent() {
+    let cfg = ModelConfig::tiny();
+    let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+    let base = train(&sched, cfg, opts(4)).expect("single segment");
+    for every in [1, 2, 3] {
+        let mut o = opts(4);
+        o.checkpoint_every = Some(every);
+        let seg = train(&sched, cfg, o).expect("segmented");
+        assert_eq!(seg.flat_params(), base.flat_params(), "cadence {every}");
+        assert_eq!(seg.iteration_losses, base.iteration_losses);
+    }
+}

@@ -18,9 +18,7 @@ fn opts(iterations: u32) -> TrainOptions {
         lr: 0.08,
         momentum: 0.9,
         data_seed: 555,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -35,7 +33,7 @@ fn check_hybrid(sched: &Schedule, w: u32, iterations: u32) {
         seed: 3,
     };
     let o = opts(iterations);
-    let result = train_hybrid(sched, cfg, o.clone(), w);
+    let result = train_hybrid(sched, cfg, o.clone(), w).expect("training succeeds");
     let total_micros = sched.n * w;
     let mut reference = ReferenceTrainer::new(
         Stage::build_all(cfg, sched.d),
@@ -106,8 +104,9 @@ fn hybrid_equals_pure_pipeline_result() {
     // order — data parallelism is algorithmically invisible (§2).
     let cfg = ModelConfig::tiny();
     let o = opts(2);
-    let hybrid = train_hybrid(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), cfg, o.clone(), 2);
-    let pure = train_hybrid(&chimera(&ChimeraConfig::new(2, 4)).unwrap(), cfg, o, 1);
+    let hybrid =
+        train_hybrid(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), cfg, o.clone(), 2).unwrap();
+    let pure = train_hybrid(&chimera(&ChimeraConfig::new(2, 4)).unwrap(), cfg, o, 1).unwrap();
     assert_eq!(hybrid.flat_params(), pure.flat_params());
     assert_eq!(hybrid.iteration_losses, pure.iteration_losses);
 }

@@ -21,7 +21,7 @@ fn adam_opts(iterations: u32) -> TrainOptions {
             total: 10,
             min: 1e-4,
         }),
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -41,7 +41,7 @@ fn adam_with_warmup_bitexact() {
     let (d, n, iterations) = (4u32, 4u32, 4u32);
     let o = adam_opts(iterations);
     let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
-    let result = train(&sched, cfg, o.clone());
+    let result = train(&sched, cfg, o.clone()).expect("training succeeds");
     let mut r = reference(cfg, d, &o);
     for it in 0..iterations {
         r.train_iteration(it as u64 * n as u64, n);
@@ -59,7 +59,7 @@ fn adam_hybrid_w2_bitexact() {
     let (d, n, w, iterations) = (2u32, 2u32, 2u32, 3u32);
     let o = adam_opts(iterations);
     let sched = chimera(&ChimeraConfig::new(d, n)).unwrap();
-    let result = train_hybrid(&sched, cfg, o.clone(), w);
+    let result = train_hybrid(&sched, cfg, o.clone(), w).expect("training succeeds");
     let total = n * w;
     let mut r = reference(cfg, d, &o);
     for it in 0..iterations {
@@ -77,7 +77,7 @@ fn adam_trains_the_tiny_model() {
         ..adam_opts(12)
     };
     let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
-    let result = train(&sched, cfg, o);
+    let result = train(&sched, cfg, o).expect("training succeeds");
     let first = result.iteration_losses[0];
     let last = *result.iteration_losses.last().unwrap();
     assert!(last < first, "Adam failed to reduce loss: {first} -> {last}");
@@ -87,7 +87,7 @@ fn adam_trains_the_tiny_model() {
 fn adam_differs_from_sgd() {
     let cfg = ModelConfig::tiny();
     let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
-    let adam = train(&sched, cfg, adam_opts(2));
+    let adam = train(&sched, cfg, adam_opts(2)).unwrap();
     let sgd = train(
         &sched,
         cfg,
@@ -98,6 +98,7 @@ fn adam_differs_from_sgd() {
             momentum: 0.9,
             ..adam_opts(2)
         },
-    );
+    )
+    .unwrap();
     assert_ne!(adam.flat_params(), sgd.flat_params());
 }

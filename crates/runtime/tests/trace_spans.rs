@@ -25,7 +25,7 @@ fn workers_emit_spans_into_the_sink() {
     let sink = Arc::new(BufferSink::new());
     let d = 2;
     let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
-    let result = train(&sched, ModelConfig::tiny(), traced_opts(&sink));
+    let result = train(&sched, ModelConfig::tiny(), traced_opts(&sink)).expect("trains");
     assert_eq!(result.iteration_losses.len(), 2);
 
     let events = sink.drain();
@@ -65,7 +65,7 @@ fn eager_schedules_trace_explicit_allreduce_ops() {
         SyncStrategy::Eager,
         UnitCosts::practical(),
     );
-    train(&sched, ModelConfig::tiny(), traced_opts(&sink));
+    train(&sched, ModelConfig::tiny(), traced_opts(&sink)).expect("trains");
     let events = sink.drain();
     let launches = events
         .iter()
@@ -88,7 +88,8 @@ fn metrics_registry_accumulates_runtime_counters() {
         &chimera(&ChimeraConfig::new(2, 2)).unwrap(),
         ModelConfig::tiny(),
         traced_opts(&sink),
-    );
+    )
+    .expect("trains");
     assert!(reg.counter("runtime.stage.0.compute_ns").get() > 0);
     assert!(reg.counter("runtime.stage.1.compute_ns").get() > 0);
     // D=2 pipelines exchange boundary activations and gradients (f32 = 4B).
@@ -111,6 +112,6 @@ fn disabled_trace_emits_nothing() {
         iterations: 1,
         ..TrainOptions::default()
     };
-    train(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), ModelConfig::tiny(), opts);
+    train(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), ModelConfig::tiny(), opts).expect("trains");
     assert!(sink.is_empty());
 }

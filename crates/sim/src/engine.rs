@@ -6,6 +6,7 @@ use chimera_core::unit_time::{execute_with, validate_span, ExecError, Timeline};
 use chimera_trace::Event;
 
 use crate::cost::SimCostModel;
+use crate::fault::{RecoveryAccounting, RecoveryModel};
 use crate::memory;
 
 /// Result of simulating one schedule under a cost model.
@@ -27,6 +28,9 @@ pub struct SimReport {
     pub peak_mem_bytes: Vec<u64>,
     /// The executed timeline (tick = 1 ns).
     pub timeline: Timeline,
+    /// Fault and recovery accounting, populated by
+    /// [`crate::fault::simulate_faulty`] (`None` for fault-free runs).
+    pub recovery: Option<RecoveryAccounting>,
 }
 
 impl SimReport {
@@ -50,8 +54,31 @@ impl SimReport {
     /// The executed timeline as trace events: one track per worker, one span
     /// per op plus explicit idle spans, ready for
     /// [`chimera_trace::write_chrome_trace`] or [`chimera_trace::write_jsonl`].
+    /// Faulty runs additionally carry crash/detect/restore/replay spans.
     pub fn to_trace(&self) -> Vec<Event> {
-        crate::trace::timeline_events(&self.timeline, 0, true)
+        let mut events = crate::trace::timeline_events(&self.timeline, 0, true);
+        if let Some(acc) = &self.recovery {
+            events.extend(acc.trace_events(0));
+        }
+        events
+    }
+
+    /// Expected training throughput in samples/s when workers fail with mean
+    /// time between failures `mtbf_s`, surviving via the checkpoint-restart
+    /// scheme of `recovery`: each iteration pays its share of the checkpoint
+    /// cadence, and each failure costs detection, restore, and the expected
+    /// half-interval of replayed work.
+    pub fn effective_throughput_under_mtbf(
+        &self,
+        b_hat: u64,
+        mtbf_s: f64,
+        recovery: &RecoveryModel,
+    ) -> f64 {
+        assert!(mtbf_s > 0.0, "MTBF must be positive");
+        let ckpt_frac = recovery.checkpoint_s
+            / (recovery.checkpoint_every.max(1) as f64 * self.iter_time_s);
+        let fail_frac = recovery.expected_failure_overhead_s(self.iter_time_s) / mtbf_s;
+        self.throughput(b_hat) / (1.0 + ckpt_frac + fail_frac)
     }
 
     /// Where the span's time went, per worker and in total.
@@ -138,7 +165,7 @@ impl serde::Serialize for Breakdown {
 impl serde::Serialize for SimReport {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("SimReport", 7)?;
+        let mut st = serializer.serialize_struct("SimReport", 8)?;
         st.serialize_field("span_s", &self.span_s)?;
         st.serialize_field("iter_time_s", &self.iter_time_s)?;
         st.serialize_field("bubble_ratio", &self.bubble_ratio)?;
@@ -146,6 +173,7 @@ impl serde::Serialize for SimReport {
         st.serialize_field("peak_act_bytes", &self.peak_act_bytes)?;
         st.serialize_field("weight_bytes", &self.weight_bytes)?;
         st.serialize_field("peak_mem_bytes", &self.peak_mem_bytes)?;
+        st.serialize_field("recovery", &self.recovery)?;
         st.end()
     }
 }
@@ -192,6 +220,7 @@ pub fn simulate_span(
         weight_bytes,
         peak_mem_bytes,
         timeline,
+        recovery: None,
     })
 }
 

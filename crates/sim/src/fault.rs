@@ -1,0 +1,698 @@
+//! Fault injection and checkpoint-restart recovery modeling.
+//!
+//! The paper's evaluation assumes a healthy machine; at the scale Chimera
+//! targets (thousands of nodes, multi-day runs) stragglers, degraded links
+//! and outright node failures are routine. This module perturbs the
+//! simulator's cost model deterministically from a seed ([`FaultPlan`] +
+//! [`PerturbedCost`]) and accounts for the cost of surviving crashes via
+//! periodic checkpoints ([`RecoveryModel`], [`simulate_faulty`]):
+//! detect the failure, restore the last checkpoint, replay the lost work.
+//!
+//! Everything is a pure function of `(plan.seed, op identity)` — two runs
+//! with the same plan produce bit-identical reports, which is what makes
+//! fault scenarios usable in regression tests.
+
+use chimera_core::op::{Op, OpKind};
+use chimera_core::placement::Placement;
+use chimera_core::schedule::Schedule;
+use chimera_core::unit_time::{execute_with, validate_span, CostProvider, ExecError};
+use chimera_core::{StageId, WorkerId};
+use chimera_trace::{Event, SpanEvent, SpanKind};
+
+use crate::cost::SimCostModel;
+use crate::engine::SimReport;
+use crate::memory;
+
+/// A deterministic, seeded fault scenario for one pipeline group.
+///
+/// Built with the chainable constructors and consumed by [`PerturbedCost`]
+/// (slowdowns, jitter, link degradation) and [`simulate_faulty`] (crashes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-op jitter hash.
+    pub seed: u64,
+    /// Per-worker compute slowdown factors (≥ 1 for stragglers).
+    slowdowns: Vec<(u32, f64)>,
+    /// Per-link `(from, to, factor)` p2p delay multipliers.
+    links: Vec<(u32, u32, f64)>,
+    /// Fractional compute jitter amplitude: each compute op's cost is
+    /// multiplied by a deterministic factor in `[1-a, 1+a)`.
+    jitter: f64,
+    /// Worker crashes: `(worker, tick)` into the training run.
+    crashes: Vec<(u32, u64)>,
+}
+
+impl FaultPlan {
+    /// A healthy plan with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            slowdowns: Vec::new(),
+            links: Vec::new(),
+            jitter: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Multiply `worker`'s compute cost by `factor` (a straggler for
+    /// `factor > 1`).
+    pub fn slow_worker(mut self, worker: u32, factor: f64) -> Self {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.slowdowns.push((worker, factor));
+        self
+    }
+
+    /// Multiply the p2p delay of messages `from → to` by `factor`.
+    pub fn degrade_link(mut self, from: u32, to: u32, factor: f64) -> Self {
+        assert!(factor > 0.0, "link factor must be positive");
+        self.links.push((from, to, factor));
+        self
+    }
+
+    /// Add deterministic per-op compute jitter of fractional amplitude
+    /// `a` (each compute op scaled by a seeded factor in `[1-a, 1+a)`).
+    pub fn with_jitter(mut self, a: f64) -> Self {
+        assert!((0.0..1.0).contains(&a), "jitter amplitude must be in [0,1)");
+        self.jitter = a;
+        self
+    }
+
+    /// Crash `worker` at absolute tick `at` (ns) into the training run.
+    pub fn crash_at(mut self, worker: u32, at: u64) -> Self {
+        self.crashes.push((worker, at));
+        self
+    }
+
+    /// Combined compute slowdown of `worker`.
+    pub fn compute_factor(&self, worker: u32) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|&&(w, _)| w == worker)
+            .map(|&(_, f)| f)
+            .product()
+    }
+
+    /// Combined delay factor of the link `from → to`.
+    pub fn link_factor(&self, from: u32, to: u32) -> f64 {
+        self.links
+            .iter()
+            .filter(|&&(f, t, _)| f == from && t == to)
+            .map(|&(_, _, f)| f)
+            .product()
+    }
+
+    /// Deterministic jitter multiplier for one compute op on `worker`.
+    pub fn jitter_factor(&self, worker: u32, op: &Op) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        let kind = match op.kind {
+            OpKind::Forward => 0u64,
+            OpKind::Backward { recompute: false } => 1,
+            OpKind::Backward { recompute: true } => 2,
+            OpKind::AllReduceLaunch => 3,
+            OpKind::AllReduceWait => 4,
+        };
+        let ident = (op.micro.0 as u64) << 32
+            | (op.stage.0 as u64) << 16
+            | (op.replica.0 as u64) << 8
+            | kind;
+        let u = unit_hash(self.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ident);
+        1.0 + self.jitter * (2.0 * u - 1.0)
+    }
+
+    /// Scheduled crashes, sorted by tick.
+    pub fn crashes(&self) -> Vec<(u32, u64)> {
+        let mut c = self.crashes.clone();
+        c.sort_by_key(|&(_, t)| t);
+        c
+    }
+
+    /// Whether the plan perturbs anything at all.
+    pub fn is_healthy(&self) -> bool {
+        self.slowdowns.is_empty()
+            && self.links.is_empty()
+            && self.jitter == 0.0
+            && self.crashes.is_empty()
+    }
+}
+
+/// splitmix64 finalizer → uniform f64 in `[0, 1)`.
+fn unit_hash(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Recovery cost model: how failures are survived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryModel {
+    /// Seconds from crash to detection (heartbeat timeout).
+    pub detect_s: f64,
+    /// Seconds to restore the last checkpoint on all workers.
+    pub restore_s: f64,
+    /// Seconds to write one checkpoint (charged per save).
+    pub checkpoint_s: f64,
+    /// Checkpoint cadence in iterations (0 = only the initial checkpoint).
+    pub checkpoint_every: u32,
+}
+
+impl RecoveryModel {
+    /// Expected overhead seconds per failure: detection, restore, and the
+    /// expected half-interval of lost work to replay.
+    pub fn expected_failure_overhead_s(&self, iter_time_s: f64) -> f64 {
+        let interval = self.checkpoint_every.max(1) as f64 * iter_time_s;
+        self.detect_s + self.restore_s + interval / 2.0
+    }
+}
+
+/// A [`CostProvider`] that perturbs a base [`SimCostModel`] according to a
+/// [`FaultPlan`]: per-worker compute slowdowns and jitter, per-link delay
+/// degradation. Crashes are handled by [`simulate_faulty`], not here.
+pub struct PerturbedCost<'a> {
+    base: &'a SimCostModel,
+    plan: &'a FaultPlan,
+    placement: &'a Placement,
+}
+
+impl<'a> PerturbedCost<'a> {
+    /// Wrap `base` with the perturbations of `plan`; `placement` maps each
+    /// op's `(replica, stage)` to the worker whose slowdown applies.
+    pub fn new(base: &'a SimCostModel, plan: &'a FaultPlan, placement: &'a Placement) -> Self {
+        PerturbedCost {
+            base,
+            plan,
+            placement,
+        }
+    }
+}
+
+impl CostProvider for PerturbedCost<'_> {
+    fn op_cost(&self, op: &Op) -> u64 {
+        let base = self.base.op_cost(op);
+        let w = self.placement.worker(op.replica, op.stage).0;
+        let factor = self.plan.compute_factor(w) * self.plan.jitter_factor(w, op);
+        (base as f64 * factor).round() as u64
+    }
+
+    fn p2p_delay(&self, from: WorkerId, to: WorkerId, op: &Op) -> u64 {
+        let base = self.base.p2p_delay(from, to, op);
+        (base as f64 * self.plan.link_factor(from.0, to.0)).round() as u64
+    }
+
+    fn allreduce_duration(&self, stage: StageId) -> u64 {
+        self.base.allreduce_duration(stage)
+    }
+
+    fn full_stash(&self, op: &Op) -> f64 {
+        self.base.full_stash(op)
+    }
+
+    fn boundary_stash(&self, op: &Op) -> f64 {
+        self.base.boundary_stash(op)
+    }
+}
+
+/// One crash survived during a simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRecord {
+    /// Worker that crashed.
+    pub worker: u32,
+    /// Iteration the crash interrupted.
+    pub iteration: u32,
+    /// Crash tick (ns into the healthy run timeline).
+    pub at_ns: u64,
+    /// Work since the last checkpoint that must be replayed (ns).
+    pub lost_ns: u64,
+    /// Detection latency (ns).
+    pub detect_ns: u64,
+    /// Checkpoint-restore time (ns).
+    pub restore_ns: u64,
+}
+
+impl CrashRecord {
+    /// Total ns this crash added to the run: detect + restore + replay.
+    pub fn overhead_ns(&self) -> u64 {
+        self.detect_ns + self.restore_ns + self.lost_ns
+    }
+}
+
+impl serde::Serialize for CrashRecord {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("CrashRecord", 6)?;
+        st.serialize_field("worker", &self.worker)?;
+        st.serialize_field("iteration", &self.iteration)?;
+        st.serialize_field("at_s", &SimCostModel::seconds(self.at_ns))?;
+        st.serialize_field("lost_work_s", &SimCostModel::seconds(self.lost_ns))?;
+        st.serialize_field("detect_s", &SimCostModel::seconds(self.detect_ns))?;
+        st.serialize_field("restore_s", &SimCostModel::seconds(self.restore_ns))?;
+        st.end()
+    }
+}
+
+/// Fault and recovery accounting for a simulated training run (attached to
+/// [`SimReport::recovery`] by [`simulate_faulty`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAccounting {
+    /// Iterations in the modeled run.
+    pub run_iterations: u32,
+    /// Checkpoint cadence in iterations (0 = initial checkpoint only).
+    pub checkpoint_every: u32,
+    /// Checkpoints written during the run (excluding the initial one).
+    pub checkpoints: u32,
+    /// Fault-free run time under the perturbed cost model, seconds.
+    pub healthy_run_s: f64,
+    /// Seconds spent writing checkpoints.
+    pub checkpoint_overhead_s: f64,
+    /// Seconds of computed-then-discarded work replayed after crashes.
+    pub lost_work_s: f64,
+    /// Seconds spent detecting failures and restoring checkpoints.
+    pub recovery_overhead_s: f64,
+    /// Total run time including all overheads, seconds.
+    pub run_s: f64,
+    /// Survived crashes, in tick order.
+    pub crashes: Vec<CrashRecord>,
+}
+
+impl RecoveryAccounting {
+    /// Amortized per-iteration time including fault overheads, seconds.
+    pub fn effective_iter_time_s(&self) -> f64 {
+        self.run_s / self.run_iterations.max(1) as f64
+    }
+
+    /// Run-time inflation relative to the fault-free run (`≥ 1`).
+    pub fn slowdown(&self) -> f64 {
+        self.run_s / self.healthy_run_s
+    }
+
+    /// Effective training throughput in samples/s given the mini-batch
+    /// `b_hat` consumed per iteration.
+    pub fn effective_throughput(&self, b_hat: u64) -> f64 {
+        b_hat as f64 / self.effective_iter_time_s()
+    }
+
+    /// Fault timeline as trace events under process group `pid`: for every
+    /// crash a `Fault` instant on the crashed worker's track followed by
+    /// `Detect`, `Restore` and `Replay` spans — appended after the healthy
+    /// timeline by [`SimReport::to_trace`].
+    pub fn trace_events(&self, pid: u32) -> Vec<Event> {
+        let mut out = Vec::new();
+        let mut shift = 0u64;
+        for c in &self.crashes {
+            let track = c.worker;
+            let at = c.at_ns + shift;
+            let span = |kind, name: &str, start: u64, dur: u64| {
+                Event::Span(SpanEvent {
+                    kind,
+                    name: name.to_string(),
+                    pid,
+                    track,
+                    start_ns: start,
+                    dur_ns: dur,
+                    stage: None,
+                    replica: None,
+                    micro: None,
+                })
+            };
+            out.push(span(SpanKind::Fault, &format!("crash w{}", c.worker), at, 0));
+            out.push(span(SpanKind::Detect, "detect", at, c.detect_ns));
+            out.push(span(
+                SpanKind::Restore,
+                "restore checkpoint",
+                at + c.detect_ns,
+                c.restore_ns,
+            ));
+            out.push(span(
+                SpanKind::Replay,
+                &format!("replay {:.3}s", SimCostModel::seconds(c.lost_ns)),
+                at + c.detect_ns + c.restore_ns,
+                c.lost_ns,
+            ));
+            shift += c.overhead_ns();
+        }
+        out
+    }
+}
+
+impl serde::Serialize for RecoveryAccounting {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("RecoveryAccounting", 10)?;
+        st.serialize_field("run_iterations", &self.run_iterations)?;
+        st.serialize_field("checkpoint_every", &self.checkpoint_every)?;
+        st.serialize_field("checkpoints", &self.checkpoints)?;
+        st.serialize_field("healthy_run_s", &self.healthy_run_s)?;
+        st.serialize_field("checkpoint_overhead_s", &self.checkpoint_overhead_s)?;
+        st.serialize_field("lost_work_s", &self.lost_work_s)?;
+        st.serialize_field("recovery_overhead_s", &self.recovery_overhead_s)?;
+        st.serialize_field("run_s", &self.run_s)?;
+        st.serialize_field("effective_iter_time_s", &self.effective_iter_time_s())?;
+        st.serialize_field("crashes", &self.crashes)?;
+        st.end()
+    }
+}
+
+/// Simulate `run_iterations` training iterations of `sched` under the
+/// perturbations of `plan` and the recovery costs of `recovery`.
+///
+/// The schedule is executed once under [`PerturbedCost`] to obtain the
+/// per-iteration time (stragglers, jitter and degraded links shift the
+/// critical path organically); crashes and checkpoints are then accounted
+/// analytically on top: every crash costs detection + restore + replay of
+/// all work since the last checkpoint. The returned report is the perturbed
+/// single-iteration report with [`SimReport::recovery`] populated.
+///
+/// Deterministic: identical inputs produce bit-identical reports.
+pub fn simulate_faulty(
+    sched: &Schedule,
+    cost: &SimCostModel,
+    plan: &FaultPlan,
+    recovery: &RecoveryModel,
+    run_iterations: u32,
+) -> Result<SimReport, ExecError> {
+    // Execute under the perturbed provider; memory footprints are unaffected
+    // by timing faults, so byte accounting stays on the base model.
+    validate_span(sched, 1)?;
+    let perturbed = PerturbedCost::new(cost, plan, &sched.placement);
+    let timeline = execute_with(sched, &perturbed)?;
+    let span_s = SimCostModel::seconds(timeline.makespan);
+    let mut rep = SimReport {
+        span_s,
+        iter_time_s: span_s,
+        bubble_ratio: timeline.bubble_ratio(),
+        busy_s: timeline.busy.iter().map(|&b| SimCostModel::seconds(b)).collect(),
+        peak_act_bytes: timeline
+            .peak_activations
+            .iter()
+            .map(|&a| a.round() as u64)
+            .collect(),
+        weight_bytes: memory::weights_bytes(sched, cost),
+        peak_mem_bytes: memory::peak_memory_bytes(sched, cost, &timeline),
+        timeline,
+        recovery: None,
+    };
+
+    let iter_ns = rep.timeline.makespan.max(1);
+    let healthy_ns = iter_ns * run_iterations as u64;
+    let every = recovery.checkpoint_every;
+    let checkpoints = run_iterations.checked_div(every).unwrap_or(0);
+    let ckpt_overhead_ns = checkpoints as u64 * SimCostModel::ticks(recovery.checkpoint_s);
+
+    let detect_ns = SimCostModel::ticks(recovery.detect_s);
+    let restore_ns = SimCostModel::ticks(recovery.restore_s);
+    let mut crashes = Vec::new();
+    for (worker, at) in plan.crashes() {
+        // Clamp into the run; a crash scheduled past the end never fires.
+        if at >= healthy_ns {
+            continue;
+        }
+        let iteration = (at / iter_ns) as u32;
+        let last_ckpt_iter = iteration.checked_div(every).map_or(0, |q| q * every);
+        let lost_ns = at - last_ckpt_iter as u64 * iter_ns;
+        crashes.push(CrashRecord {
+            worker,
+            iteration,
+            at_ns: at,
+            lost_ns,
+            detect_ns,
+            restore_ns,
+        });
+    }
+
+    let lost_total: u64 = crashes.iter().map(|c| c.lost_ns).sum();
+    let recover_total: u64 = crashes.iter().map(|c| c.detect_ns + c.restore_ns).sum();
+    let run_ns = healthy_ns + ckpt_overhead_ns + lost_total + recover_total;
+    rep.recovery = Some(RecoveryAccounting {
+        run_iterations,
+        checkpoint_every: every,
+        checkpoints,
+        healthy_run_s: SimCostModel::seconds(healthy_ns),
+        checkpoint_overhead_s: SimCostModel::seconds(ckpt_overhead_ns),
+        lost_work_s: SimCostModel::seconds(lost_total),
+        recovery_overhead_s: SimCostModel::seconds(recover_total),
+        run_s: SimCostModel::seconds(run_ns),
+        crashes,
+    });
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::AllReduceAlgo;
+    use crate::cost::StageCosts;
+    use crate::engine::simulate;
+    use crate::network::{NetworkModel, Topology};
+    use chimera_core::chimera::{chimera, ChimeraConfig};
+    use chimera_core::ids::{MicroId, ReplicaId};
+
+    fn cost(d: u32) -> SimCostModel {
+        SimCostModel {
+            stages: vec![
+                StageCosts {
+                    fwd_s: 10e-3,
+                    bwd_s: 20e-3,
+                    recompute_s: 10e-3,
+                    boundary_bytes: 4 << 20,
+                    act_bytes: 64 << 20,
+                    param_bytes: 80 << 20,
+                    grad_opt_bytes: 160 << 20,
+                };
+                d as usize
+            ],
+            network: NetworkModel::cray_aries(),
+            topology: Topology::one_per_node(d),
+            allreduce_participants: 16,
+            allreduce_algo: AllReduceAlgo::Rabenseifner,
+            allreduce_beta_factor: 1.0,
+            launch_overhead_s: 0.2e-3,
+            half_chunk_penalty: 1.15,
+            comm_compute_interference: 0.0,
+            p2p_host_overhead_s: 0.0,
+            p2p_host_s_per_byte: 0.0,
+            grad_compression: 1.0,
+        }
+    }
+
+    fn recovery(every: u32) -> RecoveryModel {
+        RecoveryModel {
+            detect_s: 0.5,
+            restore_s: 2.0,
+            checkpoint_s: 0.25,
+            checkpoint_every: every,
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let d = 4;
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let c = cost(d);
+        let plan = FaultPlan::new(7)
+            .with_jitter(0.2)
+            .slow_worker(1, 1.5)
+            .crash_at(2, 300_000_000);
+        let a = simulate_faulty(&sched, &c, &plan, &recovery(2), 16).unwrap();
+        let b = simulate_faulty(&sched, &c, &plan, &recovery(2), 16).unwrap();
+        assert_eq!(a.span_s.to_bits(), b.span_s.to_bits());
+        let (ra, rb) = (a.recovery.unwrap(), b.recovery.unwrap());
+        assert_eq!(ra, rb);
+        assert_eq!(ra.run_s.to_bits(), rb.run_s.to_bits());
+    }
+
+    #[test]
+    fn different_seed_changes_jittered_costs() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let p7 = FaultPlan::new(7).with_jitter(0.2);
+        let p8 = FaultPlan::new(8).with_jitter(0.2);
+        let a = PerturbedCost::new(&c, &p7, &sched.placement);
+        let b = PerturbedCost::new(&c, &p8, &sched.placement);
+        let op = Op::forward(MicroId(1), StageId(2), ReplicaId(0));
+        assert_ne!(a.op_cost(&op), b.op_cost(&op));
+    }
+
+    #[test]
+    fn straggler_stretches_the_span() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let healthy = simulate(&sched, &c).unwrap();
+        let plan = FaultPlan::new(0).slow_worker(0, 2.0);
+        let slow = simulate_faulty(&sched, &c, &plan, &recovery(0), 1).unwrap();
+        assert!(
+            slow.span_s > healthy.span_s,
+            "straggler {} vs healthy {}",
+            slow.span_s,
+            healthy.span_s
+        );
+        // The straggler's own busy time doubled exactly.
+        assert!((slow.busy_s[0] - 2.0 * healthy.busy_s[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_link_inflates_p2p() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let plan = FaultPlan::new(0).degrade_link(0, 1, 10.0);
+        let p = PerturbedCost::new(&c, &plan, &sched.placement);
+        let op = Op::forward(MicroId(0), StageId(1), ReplicaId(0));
+        let base = c.p2p_delay(WorkerId(0), WorkerId(1), &op);
+        assert_eq!(p.p2p_delay(WorkerId(0), WorkerId(1), &op), 10 * base);
+        // Other direction untouched.
+        let bop = Op::backward(MicroId(0), StageId(0), ReplicaId(0));
+        assert_eq!(
+            p.p2p_delay(WorkerId(1), WorkerId(0), &bop),
+            c.p2p_delay(WorkerId(1), WorkerId(0), &bop)
+        );
+    }
+
+    #[test]
+    fn crash_accounting_matches_the_cadence() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let healthy = simulate(&sched, &c).unwrap();
+        let iter_ns = healthy.timeline.makespan;
+        // Crash in the middle of iteration 5 with checkpoints every 2
+        // iterations: the last checkpoint is at iteration 4.
+        let at = 5 * iter_ns + iter_ns / 2;
+        let plan = FaultPlan::new(0).crash_at(1, at);
+        let rec = recovery(2);
+        let rep = simulate_faulty(&sched, &c, &plan, &rec, 8).unwrap();
+        let acc = rep.recovery.unwrap();
+        assert_eq!(acc.crashes.len(), 1);
+        let crash = &acc.crashes[0];
+        assert_eq!(crash.worker, 1);
+        assert_eq!(crash.iteration, 5);
+        assert_eq!(crash.lost_ns, iter_ns + iter_ns / 2);
+        assert_eq!(acc.checkpoints, 4);
+        let expected_run = SimCostModel::seconds(
+            8 * iter_ns + 4 * SimCostModel::ticks(rec.checkpoint_s) + crash.overhead_ns(),
+        );
+        assert!((acc.run_s - expected_run).abs() < 1e-12);
+        assert!(acc.slowdown() > 1.0);
+        assert!(acc.effective_throughput(512) < healthy.throughput(512));
+    }
+
+    #[test]
+    fn denser_checkpoints_trade_lost_work_for_overhead() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let iter_ns = simulate(&sched, &c).unwrap().timeline.makespan;
+        let plan = FaultPlan::new(0).crash_at(0, 7 * iter_ns + 1);
+        let dense = simulate_faulty(&sched, &c, &plan, &recovery(1), 8)
+            .unwrap()
+            .recovery
+            .unwrap();
+        let sparse = simulate_faulty(&sched, &c, &plan, &recovery(4), 8)
+            .unwrap()
+            .recovery
+            .unwrap();
+        assert!(dense.lost_work_s < sparse.lost_work_s);
+        assert!(dense.checkpoint_overhead_s > sparse.checkpoint_overhead_s);
+    }
+
+    #[test]
+    fn crash_past_the_run_never_fires() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let plan = FaultPlan::new(0).crash_at(3, u64::MAX);
+        let acc = simulate_faulty(&sched, &c, &plan, &recovery(1), 2)
+            .unwrap()
+            .recovery
+            .unwrap();
+        assert!(acc.crashes.is_empty());
+        assert_eq!(acc.lost_work_s, 0.0);
+    }
+
+    #[test]
+    fn mtbf_throughput_is_monotonic_and_below_fault_free() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let rep = simulate(&sched, &c).unwrap();
+        let rec = recovery(4);
+        let t1 = rep.effective_throughput_under_mtbf(512, 3600.0, &rec);
+        let t2 = rep.effective_throughput_under_mtbf(512, 36_000.0, &rec);
+        let t3 = rep.effective_throughput_under_mtbf(512, 360_000.0, &rec);
+        assert!(t1 < t2 && t2 < t3, "{t1} {t2} {t3}");
+        assert!(t3 < rep.throughput(512));
+    }
+
+    #[test]
+    fn recovery_spans_appear_in_the_trace() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let iter_ns = simulate(&sched, &c).unwrap().timeline.makespan;
+        let plan = FaultPlan::new(0)
+            .crash_at(2, iter_ns / 2)
+            .crash_at(0, 3 * iter_ns);
+        let rep = simulate_faulty(&sched, &c, &plan, &recovery(1), 4).unwrap();
+        let events = rep.to_trace();
+        for kind in [
+            SpanKind::Fault,
+            SpanKind::Detect,
+            SpanKind::Restore,
+            SpanKind::Replay,
+        ] {
+            assert_eq!(
+                events
+                    .iter()
+                    .filter(|e| matches!(e, Event::Span(s) if s.kind == kind))
+                    .count(),
+                2,
+                "expected two {kind:?} spans"
+            );
+        }
+        // Fault instants sit on the crashed workers' tracks, and the Chrome
+        // export carries them through.
+        let faults: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span(s) if s.kind == SpanKind::Fault => Some(s.track),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults, vec![2, 0]);
+        let doc = chimera_trace::chrome_trace_json(&events, &[(0, "faulty")]);
+        let cats: Vec<&str> = doc["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e["cat"].as_str())
+            .collect();
+        for cat in ["fault", "detect", "restore", "replay"] {
+            assert!(cats.contains(&cat), "no {cat} events in Chrome export");
+        }
+    }
+
+    #[test]
+    fn report_serializes_recovery_section() {
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let iter_ns = simulate(&sched, &c).unwrap().timeline.makespan;
+        let plan = FaultPlan::new(0).crash_at(1, 2 * iter_ns + 5);
+        let rep = simulate_faulty(&sched, &c, &plan, &recovery(2), 4).unwrap();
+        let v = serde_json::to_value(&rep).unwrap();
+        assert_eq!(v["recovery"]["run_iterations"].as_u64().unwrap(), 4);
+        assert_eq!(
+            v["recovery"]["crashes"].as_array().unwrap().len(),
+            1
+        );
+        assert_eq!(v["recovery"]["crashes"][0]["worker"].as_u64().unwrap(), 1);
+        assert!(v["recovery"]["effective_iter_time_s"].as_f64().unwrap() > 0.0);
+        // Healthy reports keep the field null.
+        let healthy = serde_json::to_value(&simulate(&sched, &c).unwrap()).unwrap();
+        assert!(healthy["recovery"].is_null());
+    }
+}

@@ -13,7 +13,9 @@
 //! * the Rabenseifner / ring / flat-tree collective cost models of §3.4
 //!   ([`collective`]),
 //! * per-stage compute costs and byte-accurate memory footprints ([`cost`],
-//!   [`memory`]).
+//!   [`memory`]),
+//! * seeded fault injection (stragglers, degraded links, crashes) with
+//!   checkpoint-restart recovery accounting ([`fault`]).
 //!
 //! Timing, bubbles, communication overlap (eager non-blocking allreduce,
 //! §3.2) and per-worker peak memory all emerge from executing the schedule,
@@ -22,6 +24,7 @@
 pub mod collective;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod network;
 pub mod trace;
@@ -29,5 +32,8 @@ pub mod trace;
 pub use collective::{allreduce_time, AllReduceAlgo};
 pub use cost::{SimCostModel, StageCosts};
 pub use engine::{simulate, simulate_span, Breakdown, SimReport, WorkerBreakdown};
+pub use fault::{
+    simulate_faulty, CrashRecord, FaultPlan, PerturbedCost, RecoveryAccounting, RecoveryModel,
+};
 pub use network::{LinkParams, NetworkModel, Topology};
 pub use trace::timeline_events;

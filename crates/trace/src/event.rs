@@ -28,6 +28,16 @@ pub enum SpanKind {
     AllReduce,
     /// Pipeline bubble: the worker had nothing to do.
     Idle,
+    /// An injected or simulated fault taking effect (worker crash, dropped
+    /// or delayed message, degraded link).
+    Fault,
+    /// Failure detection: the interval between a fault occurring and the
+    /// supervisor concluding a worker is gone.
+    Detect,
+    /// Checkpoint restore: rebuilding all stages from the last checkpoint.
+    Restore,
+    /// Replay of lost iterations after a restore.
+    Replay,
     /// Anything else.
     Other,
 }
@@ -43,6 +53,10 @@ impl SpanKind {
             SpanKind::AllReduceLaunch => "allreduce_launch",
             SpanKind::AllReduce => "allreduce",
             SpanKind::Idle => "idle",
+            SpanKind::Fault => "fault",
+            SpanKind::Detect => "detect",
+            SpanKind::Restore => "restore",
+            SpanKind::Replay => "replay",
             SpanKind::Other => "other",
         }
     }
@@ -58,6 +72,10 @@ impl SpanKind {
             SpanKind::AllReduceLaunch => "yellow",
             SpanKind::AllReduce => "rail_response",
             SpanKind::Idle => "grey",
+            SpanKind::Fault => "terrible",
+            SpanKind::Detect => "bad",
+            SpanKind::Restore => "vsync_highlight_color",
+            SpanKind::Replay => "rail_idle",
             SpanKind::Other => "white",
         }
     }
@@ -178,6 +196,10 @@ mod tests {
             SpanKind::AllReduceLaunch,
             SpanKind::AllReduce,
             SpanKind::Idle,
+            SpanKind::Fault,
+            SpanKind::Detect,
+            SpanKind::Restore,
+            SpanKind::Replay,
             SpanKind::Other,
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();

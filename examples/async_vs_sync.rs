@@ -33,13 +33,12 @@ fn main() {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 13,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     };
 
     // Synchronous: Chimera.
-    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts.clone());
+    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts.clone())
+        .expect("training succeeds");
 
     // Asynchronous: PipeDream steady state over the same number of
     // micro-batches (one unrolled span; per-micro stale updates).
@@ -48,7 +47,7 @@ fn main() {
         ..opts.clone()
     };
     let async_sched = pipedream_steady(d, n, iterations);
-    let asynchronous = train(&async_sched, cfg, async_opts);
+    let asynchronous = train(&async_sched, cfg, async_opts).expect("training succeeds");
 
     // Sequential mini-batch SGD reference.
     let mut reference = ReferenceTrainer::new(

@@ -34,12 +34,12 @@ fn main() {
             total: 20,
             min: 1e-4,
         }),
-        trace: None,
+        ..TrainOptions::default()
     };
 
     // Phase 1: train on a D=2 Chimera pipeline (2 threads).
     let sched2 = chimera(&ChimeraConfig::new(2, 4)).expect("valid");
-    let phase1 = train(&sched2, cfg, opts.clone());
+    let phase1 = train(&sched2, cfg, opts.clone()).expect("training succeeds");
     println!("phase 1 (D=2) losses: {:?}", phase1.iteration_losses);
 
     // Checkpoint to bytes (would be a file in production).
@@ -56,8 +56,10 @@ fn main() {
         opts.optimizer.unwrap(),
         opts.lr_schedule.unwrap(),
     );
-    // Note: optimizer moments restart at zero after resume (the checkpoint
-    // stores parameters only), as many practical setups do.
+    // Note: optimizer moments restart at zero after resume (`save` stores
+    // parameters only), as many practical setups do; the runtime's internal
+    // recovery checkpoints use `save_state`, which carries the moments for
+    // bit-identical restarts.
     let mut losses = Vec::new();
     for it in 4..8u64 {
         losses.push(resumed.train_iteration(it * 4, 4));

@@ -68,11 +68,9 @@ fn main() {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 42,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     };
-    let result = train(&sched, cfg, opts.clone());
+    let result = train(&sched, cfg, opts.clone()).expect("training succeeds");
     println!("\nPipelined training losses: {:?}", result.iteration_losses);
 
     let mut reference = ReferenceTrainer::new(

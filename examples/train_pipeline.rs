@@ -34,9 +34,7 @@ fn main() {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 99,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     };
     let n = d; // N = D micro-batches per iteration
 
@@ -54,7 +52,7 @@ fn main() {
     let mut final_params: Option<Vec<f32>> = None;
     for (name, sched) in schedules {
         let t0 = std::time::Instant::now();
-        let result = train(&sched, cfg, opts.clone());
+        let result = train(&sched, cfg, opts.clone()).expect("training succeeds");
         let dt = t0.elapsed();
         let losses: Vec<String> = result
             .iteration_losses

@@ -193,12 +193,10 @@ fn cmd_train(mut args: std::env::Args) {
         lr: 0.05,
         momentum: 0.9,
         data_seed: 7,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     };
     let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
-    let result = train(&sched, cfg, opts.clone());
+    let result = train(&sched, cfg, opts.clone()).expect("training succeeds");
     println!("Chimera D={d} N={n}, {iterations} iterations on {d} threads:");
     for (i, l) in result.iteration_losses.iter().enumerate() {
         println!("  iter {i:>3}: loss {l:.4}");

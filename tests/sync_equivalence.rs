@@ -19,9 +19,7 @@ fn opts(iterations: u32) -> TrainOptions {
         lr: 0.08,
         momentum: 0.9,
         data_seed: 2024,
-        optimizer: None,
-        lr_schedule: None,
-        trace: None,
+        ..TrainOptions::default()
     }
 }
 
@@ -40,7 +38,7 @@ fn cfg_for(d: u32) -> ModelConfig {
 fn check(sched: &Schedule, iterations: u32) {
     let cfg = cfg_for(sched.d);
     let o = opts(iterations);
-    let result = train(sched, cfg, o.clone());
+    let result = train(sched, cfg, o.clone()).expect("training succeeds");
     let mut reference = ReferenceTrainer::new(
         Stage::build_all(cfg, sched.d),
         SyntheticData::new(cfg, o.data_seed),
@@ -131,9 +129,9 @@ fn schemes_interchangeable() {
     let n = 4;
     let cfg = cfg_for(d);
     let o = opts(3);
-    let a = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, o.clone());
-    let b = train(&gpipe(d, n), cfg, o.clone());
-    let c = train(&gems(d, n), cfg, o);
+    let a = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, o.clone()).unwrap();
+    let b = train(&gpipe(d, n), cfg, o.clone()).unwrap();
+    let c = train(&gems(d, n), cfg, o).unwrap();
     assert_eq!(a.flat_params(), b.flat_params());
     assert_eq!(a.flat_params(), c.flat_params());
     assert_eq!(a.iteration_losses, b.iteration_losses);
