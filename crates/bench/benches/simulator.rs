@@ -29,7 +29,9 @@ fn bench_simulate(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("chimera", format!("d{d}_n{n}")),
             &(sched, cost),
-            |bench, (sched, cost)| bench.iter(|| simulate(black_box(sched), black_box(cost)).unwrap()),
+            |bench, (sched, cost)| {
+                bench.iter(|| simulate(black_box(sched), black_box(cost)).unwrap())
+            },
         );
     }
     g.finish();

@@ -62,7 +62,14 @@ fn main() {
     }
     print_table(
         "Ablation: allreduce algorithm, Chimera Bert-48, D=4, B=8 (samples/s)",
-        &["P", "ranks", "Rabenseifner", "Ring", "FlatTree", "raben/tree"],
+        &[
+            "P",
+            "ranks",
+            "Rabenseifner",
+            "Ring",
+            "FlatTree",
+            "raben/tree",
+        ],
         &rows,
     );
     println!(

@@ -42,7 +42,10 @@ fn main() {
         }
     }
     if failed.is_empty() {
-        println!("\nAll {} experiments regenerated; JSON under results/.", BINS.len());
+        println!(
+            "\nAll {} experiments regenerated; JSON under results/.",
+            BINS.len()
+        );
     } else {
         eprintln!("\nFAILED: {failed:?}");
         std::process::exit(1);

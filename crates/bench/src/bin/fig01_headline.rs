@@ -44,7 +44,14 @@ fn main() {
     }
     print_table(
         "Fig. 1: GPT-2 on 2,048 nodes, B̂=2,048 — best configuration per approach",
-        &["approach", "best config", "bubble", "peak mem", "recompute", "samples/s"],
+        &[
+            "approach",
+            "best config",
+            "bubble",
+            "peak mem",
+            "recompute",
+            "samples/s",
+        ],
         &rows,
     );
     println!();
@@ -82,8 +89,11 @@ fn main() {
             "chimera_report": report_json,
             "chimera_breakdown": breakdown,
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("serialize"),
+        )
+        .expect("write json");
         println!("[report saved to {path}]");
     }
 }

@@ -11,9 +11,9 @@ use chimera_bench::{print_table, save_json};
 use chimera_core::baselines::{dapple, gems, gpipe, pipedream, pipedream_2bw};
 use chimera_core::chimera::{chimera, ChimeraConfig};
 use chimera_core::schedule::{Schedule, Scheme};
+use chimera_core::unit_time::execute_with;
 use chimera_perf::{ClusterSpec, ModelSpec, TrainConfig};
 use chimera_sim::{memory, SimCostModel};
-use chimera_core::unit_time::execute_with;
 
 const GIB: f64 = (1u64 << 30) as f64;
 

@@ -31,7 +31,10 @@ fn main() {
             first[0] = format!("* {}", first[0]);
         }
         print_table(
-            &format!("Fig. 10: {} tuning space (Bert-48, P=32, B̂=512)", scheme.label()),
+            &format!(
+                "Fig. 10: {} tuning space (Bert-48, P=32, B̂=512)",
+                scheme.label()
+            ),
             &candidate_headers(),
             &rows,
         );

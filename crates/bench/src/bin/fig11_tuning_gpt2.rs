@@ -30,7 +30,10 @@ fn main() {
             first[0] = format!("* {}", first[0]);
         }
         print_table(
-            &format!("Fig. 11: {} tuning space (GPT-2, P=512, B̂=512)", scheme.label()),
+            &format!(
+                "Fig. 11: {} tuning space (GPT-2, P=512, B̂=512)",
+                scheme.label()
+            ),
             &candidate_headers(),
             &rows,
         );

@@ -37,9 +37,13 @@ fn main() {
         }
         .cost_model();
         let mut per_strategy = Vec::new();
-        for (idx, strat) in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt]
-            .into_iter()
-            .enumerate()
+        for (idx, strat) in [
+            SyncStrategy::PostHoc,
+            SyncStrategy::Eager,
+            SyncStrategy::EagerOpt,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let sched = place_sync(base.clone(), strat, UnitCosts::practical());
             let rep = simulate(&sched, &cost).expect("simulates");

@@ -53,7 +53,10 @@ fn main() {
             format!("{:.3}", a.bubble_ratio),
             format!("{:.3}", measured_bubble),
             format!("[{:.0},{:.0}]", a.weights_memory.0, a.weights_memory.1),
-            format!("[{:.0},{:.0}]", a.activations_memory.0, a.activations_memory.1),
+            format!(
+                "[{:.0},{:.0}]",
+                a.activations_memory.0, a.activations_memory.1
+            ),
             format!("[{:.1},{:.1}]", act_min, act_max),
             if a.synchronous { "sync" } else { "async" }.to_string(),
         ]);
@@ -90,5 +93,8 @@ fn main() {
         chimera_core::analysis::table2(Scheme::Chimera, d, n).bubble_ratio,
         chimera_core::analysis::chimera_practical_bubble_ratio(d, n),
     );
-    save_json("table2", serde_json::json!({ "d": d, "n": n, "rows": json }));
+    save_json(
+        "table2",
+        serde_json::json!({ "d": d, "n": n, "rows": json }),
+    );
 }

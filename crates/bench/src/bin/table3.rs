@@ -61,5 +61,8 @@ fn main() {
         ],
         &rows,
     );
-    save_json("table3", serde_json::json!({ "d": d, "n": n, "rows": json }));
+    save_json(
+        "table3",
+        serde_json::json!({ "d": d, "n": n, "rows": json }),
+    );
 }

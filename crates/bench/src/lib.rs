@@ -32,7 +32,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -44,8 +47,11 @@ pub fn save_json(name: &str, value: serde_json::Value) {
     let dir = results_dir();
     fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(&value).expect("serialize"))
-        .expect("write results file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&value).expect("serialize"),
+    )
+    .expect("write results file");
     println!("[saved {}]", path.display());
 }
 
@@ -88,7 +94,15 @@ pub fn candidate_row(c: &Candidate) -> Vec<String> {
 /// Headers matching [`candidate_row`].
 pub fn candidate_headers() -> Vec<&'static str> {
     vec![
-        "scheme", "W", "D", "B", "N", "rec", "samples/s", "bubble", "peakGiB",
+        "scheme",
+        "W",
+        "D",
+        "B",
+        "N",
+        "rec",
+        "samples/s",
+        "bubble",
+        "peakGiB",
     ]
 }
 

@@ -60,9 +60,6 @@ pub fn chimera_speedups(results: &[(String, Option<Candidate>)]) -> Vec<(String,
         .unwrap_or(0.0);
     results[..results.len() - 1]
         .iter()
-        .filter_map(|(name, c)| {
-            c.as_ref()
-                .map(|c| (name.clone(), chim / c.throughput))
-        })
+        .filter_map(|(name, c)| c.as_ref().map(|c| (name.clone(), chim / c.throughput)))
         .collect()
 }

@@ -37,7 +37,9 @@ impl Quantized {
     /// Wire size in bytes: the norm plus the packed codes at
     /// ⌈log2(2s+1)⌉ bits each.
     pub fn wire_bytes(&self) -> usize {
-        let bits_per_value = (2 * self.levels as u32 + 1).next_power_of_two().trailing_zeros();
+        let bits_per_value = (2 * self.levels as u32 + 1)
+            .next_power_of_two()
+            .trailing_zeros();
         4 + (self.codes.len() * bits_per_value as usize).div_ceil(8)
     }
 
@@ -78,7 +80,11 @@ pub fn quantize(v: &[f32], levels: u8, seed: u64) -> Quantized {
             })
             .collect()
     };
-    Quantized { norm, levels, codes }
+    Quantized {
+        norm,
+        levels,
+        codes,
+    }
 }
 
 /// Reconstruct the (unbiased) estimate.
@@ -175,10 +181,7 @@ mod tests {
         }
         for (s, &x) in sums.iter().zip(&v) {
             let mean = s / trials as f64;
-            assert!(
-                (mean - x as f64).abs() < 0.02,
-                "E[q] = {mean} vs {x}"
-            );
+            assert!((mean - x as f64).abs() < 0.02, "E[q] = {mean} vs {x}");
         }
     }
 
@@ -235,7 +238,11 @@ mod tests {
         }
         // Per-coordinate transmitted ≈ 16 · g within the final residual.
         for (t, &gi) in transmitted.iter().zip(&g) {
-            assert!((t - 16.0 * gi).abs() <= 16.0 * 0.5 / 16.0 + 0.6, "{t} vs {}", 16.0 * gi);
+            assert!(
+                (t - 16.0 * gi).abs() <= 16.0 * 0.5 / 16.0 + 0.6,
+                "{t} vs {}",
+                16.0 * gi
+            );
         }
     }
 }

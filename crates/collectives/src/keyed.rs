@@ -149,11 +149,7 @@ impl KeyedMember {
                     let round = &mut st.rounds[slot];
                     round.fetched += 1;
                     // Retire fully-fetched rounds from the front.
-                    while st
-                        .rounds
-                        .front()
-                        .is_some_and(|r| r.fetched == n)
-                    {
+                    while st.rounds.front().is_some_and(|r| r.fetched == n) {
                         st.rounds.pop_front();
                         st.base += 1;
                     }
@@ -213,7 +209,24 @@ impl KeyedMember {
     }
 }
 
-fn sum_in_key_order(items: impl IntoIterator<Item = (u64, usize, Vec<f32>)>) -> Vec<f32> {
+/// The shared-memory member satisfies the transport-neutral reduction
+/// contract the runtime programs against; [`crate::dist::TransportKeyed`]
+/// is the wire-backed implementation.
+impl chimera_comm::KeyedReduce for KeyedMember {
+    fn deposit(&self, contribution: Vec<(u64, Vec<f32>)>) {
+        KeyedMember::deposit(self, contribution);
+    }
+
+    fn fetch_deadline(&self, timeout: Duration) -> Option<Vec<f32>> {
+        KeyedMember::fetch_deadline(self, timeout)
+    }
+}
+
+/// Sum `(key, member, vector)` contributions strictly in `(key, member)`
+/// order — the one accumulation order every keyed-reduce backend (shared
+/// memory here, transport-backed in [`crate::dist`]) must reproduce for
+/// results to stay bitwise identical to the sequential reference.
+pub fn sum_in_key_order(items: impl IntoIterator<Item = (u64, usize, Vec<f32>)>) -> Vec<f32> {
     let mut all: Vec<(u64, usize, Vec<f32>)> = items.into_iter().collect();
     all.sort_by_key(|&(k, r, _)| (k, r));
     let mut iter = all.into_iter();
@@ -245,7 +258,11 @@ mod tests {
         let handles: Vec<_> = members
             .into_iter()
             .map(|m| {
-                let c = if m.rank() == 0 { g0.clone() } else { g1.clone() };
+                let c = if m.rank() == 0 {
+                    g0.clone()
+                } else {
+                    g1.clone()
+                };
                 thread::spawn(move || m.reduce(c)[0].to_bits())
             })
             .collect();
@@ -272,7 +289,11 @@ mod tests {
                     thread::spawn(move || m.reduce(mine))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).next().unwrap()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .next()
+                .unwrap()
         };
         assert_eq!(run(false), run(true));
     }

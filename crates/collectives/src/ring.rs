@@ -134,8 +134,7 @@ mod tests {
             .into_iter()
             .map(|m| {
                 thread::spawn(move || {
-                    let mut buf: Vec<f32> =
-                        (0..len).map(|i| (m.rank() * len + i) as f32).collect();
+                    let mut buf: Vec<f32> = (0..len).map(|i| (m.rank() * len + i) as f32).collect();
                     m.allreduce_sum(&mut buf);
                     buf
                 })
@@ -202,7 +201,9 @@ mod tests {
     fn short_buffers_with_empty_chunks() {
         // len < n leaves some chunks empty — must still work.
         let results = run_ring(6, 2);
-        let expect: Vec<f32> = (0..2).map(|i| (0..6).map(|r| (r * 2 + i) as f32).sum()).collect();
+        let expect: Vec<f32> = (0..2)
+            .map(|i| (0..6).map(|r| (r * 2 + i) as f32).sum())
+            .collect();
         for r in results {
             assert_eq!(r, expect);
         }

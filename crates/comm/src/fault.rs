@@ -1,0 +1,232 @@
+//! Message-level fault injection on the transport send path.
+//!
+//! The runtime's `FaultSpec` drop/delay faults are compiled down to a
+//! [`FaultInjection`] installed on the sending endpoint, so the *same*
+//! injection machinery exercises every backend: a dropped frame over TCP
+//! and a dropped crossbeam message produce identical receiver-side
+//! timeouts. Faults are one-shot (the first matching send consumes them),
+//! which keeps faulty runs exactly reproducible.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chimera_trace::{now_ns, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
+
+use crate::transport::MsgKey;
+
+/// Identify one pipeline boundary message on an endpoint's send path by its
+/// direction and global micro-batch id. Collective and control traffic is
+/// never matched — faults target the p2p plane, as in the runtime's
+/// original injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendFault {
+    /// `true` to match the backward (gradient) message, `false` the
+    /// forward (activation) message.
+    pub grad: bool,
+    /// Global micro-batch id of the message.
+    pub micro: u64,
+}
+
+impl SendFault {
+    fn matches(&self, key: &MsgKey) -> Option<(u32, u32, u64)> {
+        match *key {
+            MsgKey::Act {
+                replica,
+                stage,
+                micro,
+            } if !self.grad && micro == self.micro => Some((replica, stage, micro)),
+            MsgKey::Grad {
+                replica,
+                stage,
+                micro,
+            } if self.grad && micro == self.micro => Some((replica, stage, micro)),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic send-path fault plan for one endpoint, with one-shot
+/// firing state. Installed on a transport endpoint via its `set_fault`
+/// method; the endpoint consults [`FaultInjection::on_send`] before moving
+/// bytes.
+#[derive(Default)]
+pub struct FaultInjection {
+    drop_msg: Option<SendFault>,
+    delay_msg: Option<(SendFault, Duration)>,
+    trace: Option<(Arc<dyn TraceSink>, u32)>,
+    drop_fired: AtomicBool,
+    delay_fired: AtomicBool,
+}
+
+impl std::fmt::Debug for FaultInjection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjection")
+            .field("drop_msg", &self.drop_msg)
+            .field("delay_msg", &self.delay_msg)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl FaultInjection {
+    /// A plan combining an optional drop and an optional delay fault.
+    pub fn new(drop_msg: Option<SendFault>, delay_msg: Option<(SendFault, Duration)>) -> Self {
+        FaultInjection {
+            drop_msg,
+            delay_msg,
+            ..FaultInjection::default()
+        }
+    }
+
+    /// A plan that silently drops the first matching message.
+    pub fn drop_msg(fault: SendFault) -> Self {
+        FaultInjection {
+            drop_msg: Some(fault),
+            ..FaultInjection::default()
+        }
+    }
+
+    /// A plan that delays the first matching message by `delay` before
+    /// delivering it normally.
+    pub fn delay_msg(fault: SendFault, delay: Duration) -> Self {
+        FaultInjection {
+            delay_msg: Some((fault, delay)),
+            ..FaultInjection::default()
+        }
+    }
+
+    /// Attach a trace sink: fired faults emit `SpanKind::Fault` spans
+    /// (`drop m{micro}@s{stage}` / `delay m{micro}@s{stage}`) on `track`.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>, track: u32) -> Self {
+        self.trace = Some((sink, track));
+        self
+    }
+
+    /// True when neither fault is armed (nothing can ever fire).
+    pub fn is_empty(&self) -> bool {
+        self.drop_msg.is_none() && self.delay_msg.is_none()
+    }
+
+    /// Consult the plan for a message about to be sent under `key`.
+    /// Returns `true` when the message must be **dropped**; a delay fault
+    /// sleeps here on the sender and then lets the send proceed.
+    pub fn on_send(&self, key: &MsgKey) -> bool {
+        if let Some(dm) = &self.drop_msg {
+            if let Some((replica, stage, micro)) = dm.matches(key) {
+                if !self.drop_fired.swap(true, Ordering::Relaxed) {
+                    MetricsRegistry::global()
+                        .counter("runtime.fault.dropped_msgs")
+                        .inc();
+                    let at = now_ns();
+                    self.span("drop", at, at, replica, stage, micro);
+                    return true;
+                }
+            }
+        }
+        if let Some((dm, delay)) = &self.delay_msg {
+            if let Some((replica, stage, micro)) = dm.matches(key) {
+                if !self.delay_fired.swap(true, Ordering::Relaxed) {
+                    MetricsRegistry::global()
+                        .counter("runtime.fault.delayed_msgs")
+                        .inc();
+                    let start = now_ns();
+                    std::thread::sleep(*delay);
+                    self.span("delay", start, now_ns(), replica, stage, micro);
+                }
+            }
+        }
+        false
+    }
+
+    fn span(&self, verb: &str, start_ns: u64, end_ns: u64, replica: u32, stage: u32, micro: u64) {
+        let Some((sink, track)) = &self.trace else {
+            return;
+        };
+        sink.record(Event::Span(SpanEvent {
+            kind: SpanKind::Fault,
+            name: format!("{verb} m{micro}@s{stage}"),
+            pid: 0,
+            track: *track,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            stage: Some(stage),
+            replica: Some(replica),
+            micro: Some(micro),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(micro: u64) -> MsgKey {
+        MsgKey::Act {
+            replica: 0,
+            stage: 1,
+            micro,
+        }
+    }
+
+    #[test]
+    fn drop_is_one_shot_and_direction_selective() {
+        let f = FaultInjection::drop_msg(SendFault {
+            grad: false,
+            micro: 3,
+        });
+        assert!(!f.on_send(&act(2)), "wrong micro passes");
+        assert!(
+            !f.on_send(&MsgKey::Grad {
+                replica: 0,
+                stage: 1,
+                micro: 3
+            }),
+            "wrong direction passes"
+        );
+        assert!(f.on_send(&act(3)), "target is dropped");
+        assert!(
+            !f.on_send(&act(3)),
+            "second matching send passes (one-shot)"
+        );
+    }
+
+    #[test]
+    fn delay_sleeps_then_delivers_once() {
+        let f = FaultInjection::delay_msg(
+            SendFault {
+                grad: true,
+                micro: 1,
+            },
+            Duration::from_millis(25),
+        );
+        let key = MsgKey::Grad {
+            replica: 0,
+            stage: 0,
+            micro: 1,
+        };
+        let t0 = std::time::Instant::now();
+        assert!(!f.on_send(&key), "delayed message still delivers");
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        let t1 = std::time::Instant::now();
+        assert!(!f.on_send(&key));
+        assert!(
+            t1.elapsed() < Duration::from_millis(20),
+            "delay is one-shot"
+        );
+    }
+
+    #[test]
+    fn collective_traffic_is_never_matched() {
+        let f = FaultInjection::drop_msg(SendFault {
+            grad: false,
+            micro: 0,
+        });
+        assert!(!f.on_send(&MsgKey::Coll {
+            tag: 0,
+            round: 0,
+            from: 0
+        }));
+        assert!(!f.on_send(&MsgKey::Ctrl { tag: 0, from: 0 }));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # chimera-comm
+//!
+//! The pluggable interconnect of the training runtime: a [`Transport`]
+//! trait for **keyed, deadline-aware point-to-point messaging** between
+//! pipeline workers, with two backends:
+//!
+//! * [`local`] — crossbeam channels inside one process, preserving the
+//!   original zero-copy fast path (tensors move, they are never
+//!   serialized);
+//! * [`tcp`] — length-prefixed binary frames over `std::net` sockets, with
+//!   a rendezvous protocol for rank assignment, bounded-backoff connect
+//!   retry, and wire-byte counters flowing into the `chimera-trace`
+//!   metrics registry. This is what lets a Chimera pipeline train across
+//!   real OS process boundaries (the role GLOO plays in the paper's
+//!   implementation, §4).
+//!
+//! Messages are addressed by [`MsgKey`] — (direction, replica, stage,
+//! micro) for pipeline boundary tensors, (stage, round, sender) for
+//! collective traffic — so receivers wait for *the message they need*
+//! rather than the next one to arrive, regardless of network reordering.
+//! Every blocking receive takes a deadline and fails with
+//! [`CommError::Timeout`] instead of hanging on a dead peer.
+//!
+//! The transport layer also owns **message-level fault injection**
+//! ([`FaultInjection`]): dropping or delaying one specific message on its
+//! send path, uniformly for every backend. `chimera-runtime` builds its
+//! recovery tests on top of this.
+
+pub mod fault;
+pub mod local;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use fault::{FaultInjection, SendFault};
+pub use local::{LocalEndpoint, LocalFabric};
+pub use tcp::{TcpConfig, TcpEndpoint, TcpFabric};
+pub use transport::{CommError, KeyedReduce, MsgKey, Payload, Rank, Transport};

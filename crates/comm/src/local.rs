@@ -1,0 +1,253 @@
+//! In-process backend: crossbeam channels, one per endpoint.
+//!
+//! This preserves the runtime's original interconnect exactly: payloads
+//! *move* through an unbounded channel (a tensor is never copied or
+//! serialized), sends never block, and a dead peer is detected through the
+//! channel disconnecting. On top of that the endpoint adds the keyed inbox
+//! — messages drained off the channel are parked under their [`MsgKey`]
+//! until the owning worker asks for that exact key — which is what makes
+//! receive order independent of delivery order.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::fault::FaultInjection;
+use crate::transport::{poll_deadline, CommError, MsgKey, Payload, Rank, Transport};
+
+/// Builds the full set of in-process endpoints for one fabric.
+pub struct LocalFabric;
+
+impl LocalFabric {
+    /// Create `world` fully connected endpoints. Endpoint `k` of the
+    /// returned vector has rank `k`; move each into its worker thread
+    /// (behind an `Arc<dyn Transport>`). Dropping an endpoint disconnects
+    /// its channel, so peers sending to a dead rank get
+    /// [`CommError::PeerGone`] rather than buffering forever.
+    #[allow(clippy::new_ret_no_self)] // factory for the whole fabric, not one endpoint
+    pub fn new(world: u32) -> Vec<LocalEndpoint> {
+        let (txs, rxs): (Vec<Sender<Parcel>>, Vec<Receiver<Parcel>>) =
+            (0..world).map(|_| unbounded()).unzip();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| LocalEndpoint {
+                rank: rank as Rank,
+                world,
+                rx: Mutex::new(rx),
+                tx: txs.clone(),
+                inbox: Mutex::new(HashMap::new()),
+                fault: None,
+                sent: AtomicU64::new(0),
+                received: AtomicU64::new(0),
+            })
+            .collect()
+    }
+}
+
+type Parcel = (MsgKey, Payload);
+
+/// One rank of a [`LocalFabric`].
+pub struct LocalEndpoint {
+    rank: Rank,
+    world: u32,
+    /// The stub crossbeam `Receiver` wraps `mpsc` and is `!Sync`; draining
+    /// happens under this lock (uncontended: only the owning worker
+    /// receives).
+    rx: Mutex<Receiver<Parcel>>,
+    tx: Vec<Sender<Parcel>>,
+    inbox: Mutex<HashMap<MsgKey, VecDeque<Payload>>>,
+    fault: Option<FaultInjection>,
+    sent: AtomicU64,
+    received: AtomicU64,
+}
+
+impl LocalEndpoint {
+    /// Arm send-path fault injection on this endpoint (before it is shared
+    /// with its worker thread).
+    pub fn install_fault(&mut self, fault: FaultInjection) {
+        self.fault = Some(fault);
+    }
+
+    /// Pull everything already delivered off the channel into the keyed
+    /// inbox; returns `true` when at least one message was drained.
+    fn drain(&self) -> bool {
+        let rx = self.rx.lock();
+        let mut progressed = false;
+        while let Ok((key, payload)) = rx.try_recv() {
+            progressed = true;
+            self.received
+                .fetch_add(payload.wire_bytes(), Ordering::Relaxed);
+            self.inbox.lock().entry(key).or_default().push_back(payload);
+        }
+        progressed
+    }
+
+    fn take(&self, key: &MsgKey) -> Option<Payload> {
+        let mut inbox = self.inbox.lock();
+        let q = inbox.get_mut(key)?;
+        let payload = q.pop_front();
+        if q.is_empty() {
+            inbox.remove(key);
+        }
+        payload
+    }
+}
+
+impl Transport for LocalEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn world(&self) -> u32 {
+        self.world
+    }
+
+    fn send(&self, to: Rank, key: MsgKey, payload: Payload) -> Result<(), CommError> {
+        if let Some(fault) = &self.fault {
+            if fault.on_send(&key) {
+                return Ok(());
+            }
+        }
+        self.sent.fetch_add(payload.wire_bytes(), Ordering::Relaxed);
+        self.tx
+            .get(to as usize)
+            .ok_or(CommError::PeerGone { to })?
+            .send((key, payload))
+            .map_err(|_| CommError::PeerGone { to })
+    }
+
+    fn recv_deadline(&self, key: MsgKey, timeout: Duration) -> Result<Payload, CommError> {
+        if let Some(p) = self.take(&key) {
+            return Ok(p);
+        }
+        self.drain();
+        if let Some(p) = self.take(&key) {
+            return Ok(p);
+        }
+        poll_deadline(timeout, || {
+            self.drain();
+            self.take(&key)
+        })
+        .ok_or(CommError::Timeout {
+            key: key.describe(),
+            waited: timeout,
+        })
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::SendFault;
+    use std::sync::Arc;
+
+    fn key(micro: u64) -> MsgKey {
+        MsgKey::Act {
+            replica: 0,
+            stage: 0,
+            micro,
+        }
+    }
+
+    #[test]
+    fn keyed_receive_tolerates_reordering() {
+        let eps = LocalFabric::new(2);
+        let (a, b) = (&eps[0], &eps[1]);
+        a.send(1, key(1), Payload::Flat(vec![1.0])).unwrap();
+        a.send(1, key(0), Payload::Flat(vec![0.0])).unwrap();
+        // b asks for micro 0 first even though micro 1 arrived first.
+        let p0 = b.recv_deadline(key(0), Duration::from_secs(1)).unwrap();
+        let p1 = b.recv_deadline(key(1), Duration::from_secs(1)).unwrap();
+        assert_eq!(p0.into_flat(), vec![0.0]);
+        assert_eq!(p1.into_flat(), vec![1.0]);
+        assert!(a.bytes_sent() > 0);
+        assert_eq!(b.bytes_received(), a.bytes_sent());
+    }
+
+    #[test]
+    fn missing_message_times_out_with_key_description() {
+        let eps = LocalFabric::new(2);
+        let err = eps[1]
+            .recv_deadline(key(7), Duration::from_millis(30))
+            .unwrap_err();
+        match err {
+            CommError::Timeout { key, waited } => {
+                assert_eq!(key, "act m7@s0/r0");
+                assert_eq!(waited, Duration::from_millis(30));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_peer_surfaces_as_peer_gone() {
+        let mut eps = LocalFabric::new(2);
+        drop(eps.remove(1));
+        let err = eps[0].send(1, key(0), Payload::Flat(vec![])).unwrap_err();
+        assert_eq!(err, CommError::PeerGone { to: 1 });
+    }
+
+    #[test]
+    fn installed_drop_fault_loses_exactly_one_message() {
+        let mut eps = LocalFabric::new(2);
+        eps[0].install_fault(FaultInjection::drop_msg(SendFault {
+            grad: false,
+            micro: 0,
+        }));
+        let b = Arc::new(eps.remove(1));
+        let a = Arc::new(eps.remove(0));
+        a.send(1, key(0), Payload::Flat(vec![1.0])).unwrap();
+        assert!(b.recv_deadline(key(0), Duration::from_millis(30)).is_err());
+        // One-shot: the retransmission goes through.
+        a.send(1, key(0), Payload::Flat(vec![1.0])).unwrap();
+        assert!(b.recv_deadline(key(0), Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn concurrent_producers_one_consumer() {
+        let mut eps = LocalFabric::new(3);
+        let sink = Arc::new(eps.remove(0));
+        let producers: Vec<_> = eps.into_iter().map(Arc::new).collect();
+        let handles: Vec<_> = producers
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    for m in 0..16u64 {
+                        let k = MsgKey::Coll {
+                            tag: 0,
+                            round: m,
+                            from: ep.rank(),
+                        };
+                        ep.send(0, k, Payload::Flat(vec![ep.rank() as f32]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for m in 0..16u64 {
+            for from in 1..3u32 {
+                let k = MsgKey::Coll {
+                    tag: 0,
+                    round: m,
+                    from,
+                };
+                let v = sink.recv_deadline(k, Duration::from_secs(2)).unwrap();
+                assert_eq!(v.into_flat(), vec![from as f32]);
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

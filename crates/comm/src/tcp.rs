@@ -1,0 +1,646 @@
+//! TCP backend: length-prefixed frames over `std::net` sockets.
+//!
+//! One fabric is built in three steps:
+//!
+//! 1. **Bind.** Every rank binds a data listener on an ephemeral port.
+//! 2. **Rendezvous.** Rank 0 additionally binds the well-known coordinator
+//!    address from [`TcpConfig::coordinator`] and serves a one-shot
+//!    registration protocol: each rank connects, sends a `Ctrl` frame
+//!    carrying its data-listener address, and — once all `world` ranks have
+//!    registered — receives the full rank→address table back. Connecting to
+//!    the coordinator retries with bounded backoff, so ranks may start in
+//!    any order.
+//! 3. **Mesh.** Data connections are opened lazily on first send to a peer
+//!    (again with bounded-backoff retry). An acceptor thread on the data
+//!    listener spawns one reader thread per inbound connection; readers
+//!    decode frames and park payloads in the shared keyed inbox that
+//!    [`Transport::recv_deadline`] polls.
+//!
+//! Wire traffic is counted into the `chimera-trace` metrics registry under
+//! `comm.tcp.bytes_sent` / `comm.tcp.bytes_received` (whole frames,
+//! including the 4-byte length prefix).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use chimera_trace::{Counter, MetricsRegistry};
+
+use crate::fault::FaultInjection;
+use crate::transport::{poll_deadline, CommError, MsgKey, Payload, Rank, Transport};
+use crate::wire::{self, MAX_FRAME};
+
+/// Control-plane tag: rank registration (payload: data-listener address).
+const TAG_REGISTER: u32 = 0xC0;
+/// Control-plane tag: full rank table (payload: newline-joined addresses).
+const TAG_TABLE: u32 = 0xC1;
+
+/// How one process joins a TCP fabric.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This process's rank (`0..world`), assigned by the launcher.
+    pub rank: Rank,
+    /// Total ranks in the fabric.
+    pub world: u32,
+    /// The rendezvous address: rank 0 binds it, everyone connects to it.
+    pub coordinator: SocketAddr,
+    /// Budget for the whole rendezvous phase (coordinator connect retry,
+    /// registration, table wait).
+    pub rendezvous_timeout: Duration,
+    /// Budget for opening one lazy data connection to a peer.
+    pub connect_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// A config with default timeouts (10 s rendezvous, 5 s connect).
+    pub fn new(rank: Rank, world: u32, coordinator: SocketAddr) -> Self {
+        TcpConfig {
+            rank,
+            world,
+            coordinator,
+            rendezvous_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Builds TCP endpoints: [`TcpFabric::connect`] for one process of a real
+/// multi-process job, [`TcpFabric::loopback`] for a whole fabric inside one
+/// process (tests, benches).
+pub struct TcpFabric;
+
+impl TcpFabric {
+    /// Join the fabric described by `config`: bind, rendezvous, return the
+    /// connected endpoint. Blocks until every rank has registered or
+    /// `config.rendezvous_timeout` expires.
+    pub fn connect(config: TcpConfig) -> Result<TcpEndpoint, CommError> {
+        TcpEndpoint::connect_with_listener(config, None)
+    }
+
+    /// Build all `world` endpoints of a fabric inside this process, over
+    /// real loopback sockets — the full wire path (framing, rendezvous,
+    /// reader threads) without spawning processes.
+    pub fn loopback(world: u32) -> Result<Vec<TcpEndpoint>, CommError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| CommError::Rendezvous(format!("bind coordinator: {e}")))?;
+        let coordinator = listener
+            .local_addr()
+            .map_err(|e| CommError::Rendezvous(format!("coordinator addr: {e}")))?;
+        let mut pre_bound = Some(listener);
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let cfg = TcpConfig::new(rank, world, coordinator);
+                let listener = if rank == 0 { pre_bound.take() } else { None };
+                std::thread::spawn(move || TcpEndpoint::connect_with_listener(cfg, listener))
+            })
+            .collect();
+        let mut endpoints = Vec::with_capacity(world as usize);
+        for h in handles {
+            endpoints.push(h.join().expect("rendezvous thread panicked")?);
+        }
+        endpoints.sort_by_key(|e| e.rank);
+        Ok(endpoints)
+    }
+}
+
+/// Inbox + counters shared between the owning worker and the backend's
+/// reader threads.
+struct Shared {
+    inbox: Mutex<HashMap<MsgKey, VecDeque<Payload>>>,
+    received: AtomicU64,
+    metrics_received: Arc<Counter>,
+    shutdown: AtomicBool,
+}
+
+/// One rank of a TCP fabric.
+pub struct TcpEndpoint {
+    rank: Rank,
+    world: u32,
+    /// Data-listener address of every rank, indexed by rank.
+    peers: Vec<SocketAddr>,
+    shared: Arc<Shared>,
+    outbound: Mutex<HashMap<Rank, TcpStream>>,
+    fault: Option<FaultInjection>,
+    sent: AtomicU64,
+    metrics_sent: Arc<Counter>,
+    connect_timeout: Duration,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    fn connect_with_listener(
+        config: TcpConfig,
+        pre_bound: Option<TcpListener>,
+    ) -> Result<TcpEndpoint, CommError> {
+        assert!(config.rank < config.world, "rank out of range");
+        let data_listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| CommError::Rendezvous(format!("bind data listener: {e}")))?;
+        let data_addr = data_listener
+            .local_addr()
+            .map_err(|e| CommError::Rendezvous(format!("data listener addr: {e}")))?;
+
+        // Rank 0 hosts the coordinator (and registers with it like everyone
+        // else, over a real socket).
+        let coordinator_thread = if config.rank == 0 {
+            let listener = match pre_bound {
+                Some(l) => l,
+                None => TcpListener::bind(config.coordinator)
+                    .map_err(|e| CommError::Rendezvous(format!("bind coordinator: {e}")))?,
+            };
+            let world = config.world;
+            let deadline = config.rendezvous_timeout;
+            Some(std::thread::spawn(move || {
+                run_coordinator(listener, world, deadline)
+            }))
+        } else {
+            None
+        };
+
+        let peers = rendezvous(&config, data_addr);
+        if let Some(h) = coordinator_thread {
+            match peers {
+                Ok(_) => h
+                    .join()
+                    .map_err(|_| CommError::Rendezvous("coordinator panicked".into()))??,
+                // Client failed: the coordinator has its own deadline and
+                // will exit by itself; don't block on it.
+                Err(_) => drop(h),
+            }
+        }
+        let peers = peers?;
+
+        let reg = MetricsRegistry::global();
+        let shared = Arc::new(Shared {
+            inbox: Mutex::new(HashMap::new()),
+            received: AtomicU64::new(0),
+            metrics_received: reg.counter("comm.tcp.bytes_received"),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(data_listener, shared))
+        };
+        Ok(TcpEndpoint {
+            rank: config.rank,
+            world: config.world,
+            peers,
+            shared,
+            outbound: Mutex::new(HashMap::new()),
+            fault: None,
+            sent: AtomicU64::new(0),
+            metrics_sent: reg.counter("comm.tcp.bytes_sent"),
+            connect_timeout: config.connect_timeout,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// Arm send-path fault injection on this endpoint (before it is shared
+    /// with its worker thread).
+    pub fn install_fault(&mut self, fault: FaultInjection) {
+        self.fault = Some(fault);
+    }
+
+    /// The data-listener address of `rank` (from the rendezvous table).
+    pub fn peer_addr(&self, rank: Rank) -> Option<SocketAddr> {
+        self.peers.get(rank as usize).copied()
+    }
+
+    fn take(&self, key: &MsgKey) -> Option<Payload> {
+        let mut inbox = self.shared.inbox.lock();
+        let q = inbox.get_mut(key)?;
+        let payload = q.pop_front();
+        if q.is_empty() {
+            inbox.remove(key);
+        }
+        payload
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn world(&self) -> u32 {
+        self.world
+    }
+
+    fn send(&self, to: Rank, key: MsgKey, payload: Payload) -> Result<(), CommError> {
+        if let Some(fault) = &self.fault {
+            if fault.on_send(&key) {
+                return Ok(());
+            }
+        }
+        if to >= self.world {
+            return Err(CommError::PeerGone { to });
+        }
+        let frame = wire::encode_frame(self.rank, &key, &payload);
+        let mut outbound = self.outbound.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = outbound.entry(to) {
+            let stream = connect_with_retry(self.peers[to as usize], self.connect_timeout)
+                .map_err(|_| CommError::PeerGone { to })?;
+            slot.insert(stream);
+        }
+        let ok = outbound
+            .get_mut(&to)
+            .expect("stream just ensured")
+            .write_all(&frame)
+            .is_ok();
+        if !ok {
+            outbound.remove(&to);
+            return Err(CommError::PeerGone { to });
+        }
+        self.sent.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.metrics_sent.add(frame.len() as u64);
+        Ok(())
+    }
+
+    fn recv_deadline(&self, key: MsgKey, timeout: Duration) -> Result<Payload, CommError> {
+        if let Some(p) = self.take(&key) {
+            return Ok(p);
+        }
+        poll_deadline(timeout, || self.take(&key)).ok_or(CommError::Timeout {
+            key: key.describe(),
+            waited: timeout,
+        })
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.shared.received.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Closing outbound streams unblocks peers' readers promptly.
+        self.outbound.lock().clear();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Connect with bounded exponential backoff until `budget` is spent —
+/// peers bring their listeners up in arbitrary order.
+fn connect_with_retry(addr: SocketAddr, budget: Duration) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + budget;
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Rank 0's one-shot rendezvous service: collect `world` registrations,
+/// then send every registrant the full table.
+fn run_coordinator(listener: TcpListener, world: u32, timeout: Duration) -> Result<(), CommError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommError::Rendezvous(format!("coordinator nonblocking: {e}")))?;
+    let deadline = Instant::now() + timeout;
+    let mut addrs: Vec<Option<String>> = vec![None; world as usize];
+    let mut streams: Vec<(Rank, TcpStream)> = Vec::with_capacity(world as usize);
+    while streams.len() < world as usize {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| CommError::Rendezvous(format!("accept nonblocking: {e}")))?;
+                let _ = stream.set_read_timeout(Some(timeout));
+                let (_, key, payload) = read_frame_blocking(&mut stream)?;
+                let MsgKey::Ctrl {
+                    tag: TAG_REGISTER,
+                    from,
+                } = key
+                else {
+                    return Err(CommError::Rendezvous(format!(
+                        "expected registration, got {}",
+                        key.describe()
+                    )));
+                };
+                let slot = addrs
+                    .get_mut(from as usize)
+                    .ok_or_else(|| CommError::Rendezvous(format!("rank {from} out of range")))?;
+                if slot.is_some() {
+                    return Err(CommError::Rendezvous(format!(
+                        "rank {from} registered twice"
+                    )));
+                }
+                let Payload::Bytes(b) = payload else {
+                    return Err(CommError::Rendezvous(
+                        "registration payload not bytes".into(),
+                    ));
+                };
+                let addr = String::from_utf8(b)
+                    .map_err(|_| CommError::Rendezvous("registration addr not utf8".into()))?;
+                *slot = Some(addr);
+                streams.push((from, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    let missing: Vec<u32> = addrs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.is_none())
+                        .map(|(r, _)| r as u32)
+                        .collect();
+                    return Err(CommError::Rendezvous(format!(
+                        "timed out waiting for ranks {missing:?}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(CommError::Rendezvous(format!("accept: {e}"))),
+        }
+    }
+    let table: Vec<String> = addrs
+        .into_iter()
+        .map(|a| a.expect("all registered"))
+        .collect();
+    let payload = Payload::Bytes(table.join("\n").into_bytes());
+    for (_, mut stream) in streams {
+        write_frame(
+            &mut stream,
+            0,
+            &MsgKey::Ctrl {
+                tag: TAG_TABLE,
+                from: 0,
+            },
+            &payload,
+        )
+        .map_err(|e| CommError::Rendezvous(format!("send table: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Client side of the rendezvous: register `data_addr`, receive the table.
+fn rendezvous(config: &TcpConfig, data_addr: SocketAddr) -> Result<Vec<SocketAddr>, CommError> {
+    let mut stream = connect_with_retry(config.coordinator, config.rendezvous_timeout)
+        .map_err(|e| CommError::Rendezvous(format!("connect coordinator: {e}")))?;
+    let _ = stream.set_read_timeout(Some(config.rendezvous_timeout));
+    write_frame(
+        &mut stream,
+        config.rank,
+        &MsgKey::Ctrl {
+            tag: TAG_REGISTER,
+            from: config.rank,
+        },
+        &Payload::Bytes(data_addr.to_string().into_bytes()),
+    )
+    .map_err(|e| CommError::Rendezvous(format!("register: {e}")))?;
+    let (_, key, payload) = read_frame_blocking(&mut stream)?;
+    if !matches!(key, MsgKey::Ctrl { tag: TAG_TABLE, .. }) {
+        return Err(CommError::Rendezvous(format!(
+            "expected rank table, got {}",
+            key.describe()
+        )));
+    }
+    let Payload::Bytes(b) = payload else {
+        return Err(CommError::Rendezvous("table payload not bytes".into()));
+    };
+    let text = String::from_utf8(b).map_err(|_| CommError::Rendezvous("table not utf8".into()))?;
+    let peers: Vec<SocketAddr> = text
+        .lines()
+        .map(|l| {
+            l.parse()
+                .map_err(|_| CommError::Rendezvous(format!("bad peer addr {l:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if peers.len() != config.world as usize {
+        return Err(CommError::Rendezvous(format!(
+            "table has {} ranks, expected {}",
+            peers.len(),
+            config.world
+        )));
+    }
+    Ok(peers)
+}
+
+fn write_frame(
+    stream: &mut TcpStream,
+    from: Rank,
+    key: &MsgKey,
+    payload: &Payload,
+) -> std::io::Result<()> {
+    stream.write_all(&wire::encode_frame(from, key, payload))
+}
+
+/// Blocking read of exactly one frame (control plane only; relies on the
+/// stream's read timeout for deadlines).
+fn read_frame_blocking(stream: &mut TcpStream) -> Result<(Rank, MsgKey, Payload), CommError> {
+    let mut len_buf = [0u8; 4];
+    stream
+        .read_exact(&mut len_buf)
+        .map_err(|e| CommError::Rendezvous(format!("read frame header: {e}")))?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(CommError::Protocol(format!(
+            "frame of {len} bytes exceeds cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| CommError::Rendezvous(format!("read frame body: {e}")))?;
+    wire::decode_body(&body)
+}
+
+/// Acceptor thread: poll the data listener, spawn one reader per inbound
+/// connection, join readers on shutdown.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                readers.push(std::thread::spawn(move || reader_loop(stream, shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// Reader thread: accumulate bytes, decode complete frames, park payloads
+/// in the keyed inbox. Short read timeouts keep the shutdown flag live
+/// without ever splitting a frame (partial reads stay in the buffer).
+fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    if buf.len() < 4 {
+                        break;
+                    }
+                    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                    if len > MAX_FRAME {
+                        // Corrupt stream: nothing downstream is trustworthy.
+                        MetricsRegistry::global()
+                            .counter("comm.tcp.protocol_errors")
+                            .inc();
+                        return;
+                    }
+                    if buf.len() < 4 + len {
+                        break;
+                    }
+                    match wire::decode_body(&buf[4..4 + len]) {
+                        Ok((_, key, payload)) => {
+                            let frame_len = (4 + len) as u64;
+                            shared.received.fetch_add(frame_len, Ordering::Relaxed);
+                            shared.metrics_received.add(frame_len);
+                            shared
+                                .inbox
+                                .lock()
+                                .entry(key)
+                                .or_default()
+                                .push_back(payload);
+                        }
+                        Err(_) => {
+                            MetricsRegistry::global()
+                                .counter("comm.tcp.protocol_errors")
+                                .inc();
+                            return;
+                        }
+                    }
+                    buf.drain(..4 + len);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_tensor::Tensor;
+
+    fn act(micro: u64) -> MsgKey {
+        MsgKey::Act {
+            replica: 0,
+            stage: 0,
+            micro,
+        }
+    }
+
+    #[test]
+    fn loopback_fabric_moves_tensors_both_ways() {
+        let eps = TcpFabric::loopback(2).expect("fabric");
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        eps[0].send(1, act(0), Payload::Tensor(t.clone())).unwrap();
+        let got = eps[1]
+            .recv_deadline(act(0), Duration::from_secs(5))
+            .unwrap()
+            .into_tensor();
+        assert_eq!(got.data(), t.data());
+        eps[1]
+            .send(
+                0,
+                MsgKey::Ctrl { tag: 9, from: 1 },
+                Payload::Flat(vec![5.0]),
+            )
+            .unwrap();
+        let back = eps[0]
+            .recv_deadline(MsgKey::Ctrl { tag: 9, from: 1 }, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(back.into_flat(), vec![5.0]);
+        assert!(eps[0].bytes_sent() > 0);
+    }
+
+    #[test]
+    fn wire_reordering_is_absorbed_by_keys() {
+        let eps = TcpFabric::loopback(2).expect("fabric");
+        for m in (0..8u64).rev() {
+            eps[0]
+                .send(1, act(m), Payload::Flat(vec![m as f32]))
+                .unwrap();
+        }
+        for m in 0..8u64 {
+            let v = eps[1]
+                .recv_deadline(act(m), Duration::from_secs(5))
+                .unwrap()
+                .into_flat();
+            assert_eq!(v, vec![m as f32]);
+        }
+        // Every frame sent was received, byte for byte.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while eps[1].bytes_received() < eps[0].bytes_sent() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(eps[1].bytes_received(), eps[0].bytes_sent());
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_arrives() {
+        let eps = TcpFabric::loopback(2).expect("fabric");
+        let err = eps[1]
+            .recv_deadline(act(42), Duration::from_millis(40))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Timeout { .. }));
+    }
+
+    #[test]
+    fn rendezvous_times_out_when_a_rank_never_shows() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let coordinator = listener.local_addr().unwrap();
+        let mut cfg = TcpConfig::new(0, 2, coordinator);
+        cfg.rendezvous_timeout = Duration::from_millis(200);
+        // world=2 but rank 1 never starts.
+        let err = match TcpEndpoint::connect_with_listener(cfg, Some(listener)) {
+            Ok(_) => panic!("rendezvous unexpectedly succeeded"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, CommError::Rendezvous(_)), "got {err:?}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Wire format of the TCP backend: length-prefixed binary frames.
+//!
+//! ```text
+//! frame   := u32 body_len (LE) · body
+//! body    := u32 from_rank · key · payload
+//! key     := u8 kind · fields        (Act/Grad/Coll/Ctrl)
+//! payload := u8 kind · data          (Tensor/Keyed/Flat/Losses/Bytes)
+//! ```
+//!
+//! All integers are little-endian; `f32` vectors are raw LE bytes. The
+//! format is versionless on purpose — both ends of a connection are always
+//! the same build (the launcher spawns its own binary) — but every decoder
+//! validates lengths and tags so a corrupt or truncated frame surfaces as
+//! [`CommError::Protocol`] rather than a panic or a mis-typed payload.
+
+use chimera_tensor::Tensor;
+
+use crate::transport::{CommError, MsgKey, Payload, Rank};
+
+/// Frames larger than this are rejected as corrupt (64 MiB of payload is
+/// two orders of magnitude above the largest boundary tensor we ship).
+pub const MAX_FRAME: usize = 64 << 20;
+
+const KEY_ACT: u8 = 0;
+const KEY_GRAD: u8 = 1;
+const KEY_COLL: u8 = 2;
+const KEY_CTRL: u8 = 3;
+
+const PAY_TENSOR: u8 = 0;
+const PAY_KEYED: u8 = 1;
+const PAY_FLAT: u8 = 2;
+const PAY_LOSSES: u8 = 3;
+const PAY_BYTES: u8 = 4;
+
+/// Encode one frame (including the 4-byte length prefix).
+pub fn encode_frame(from: Rank, key: &MsgKey, payload: &Payload) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + payload.wire_bytes() as usize);
+    put_u32(&mut body, from);
+    match *key {
+        MsgKey::Act {
+            replica,
+            stage,
+            micro,
+        } => {
+            body.push(KEY_ACT);
+            put_u32(&mut body, replica);
+            put_u32(&mut body, stage);
+            put_u64(&mut body, micro);
+        }
+        MsgKey::Grad {
+            replica,
+            stage,
+            micro,
+        } => {
+            body.push(KEY_GRAD);
+            put_u32(&mut body, replica);
+            put_u32(&mut body, stage);
+            put_u64(&mut body, micro);
+        }
+        MsgKey::Coll { tag, round, from } => {
+            body.push(KEY_COLL);
+            put_u32(&mut body, tag);
+            put_u64(&mut body, round);
+            put_u32(&mut body, from);
+        }
+        MsgKey::Ctrl { tag, from } => {
+            body.push(KEY_CTRL);
+            put_u32(&mut body, tag);
+            put_u32(&mut body, from);
+        }
+    }
+    match payload {
+        Payload::Tensor(t) => {
+            body.push(PAY_TENSOR);
+            put_u32(&mut body, t.rows() as u32);
+            put_u32(&mut body, t.cols() as u32);
+            put_f32s(&mut body, t.data());
+        }
+        Payload::Keyed(pairs) => {
+            body.push(PAY_KEYED);
+            put_u32(&mut body, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_u64(&mut body, *k);
+                put_u32(&mut body, v.len() as u32);
+                put_f32s(&mut body, v);
+            }
+        }
+        Payload::Flat(v) => {
+            body.push(PAY_FLAT);
+            put_u32(&mut body, v.len() as u32);
+            put_f32s(&mut body, v);
+        }
+        Payload::Losses(l) => {
+            body.push(PAY_LOSSES);
+            put_u32(&mut body, l.len() as u32);
+            for (micro, loss) in l {
+                put_u64(&mut body, *micro);
+                put_f32s(&mut body, std::slice::from_ref(loss));
+            }
+        }
+        Payload::Bytes(b) => {
+            body.push(PAY_BYTES);
+            put_u32(&mut body, b.len() as u32);
+            body.extend_from_slice(b);
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    put_u32(&mut frame, body.len() as u32);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Decode one frame body (the bytes after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<(Rank, MsgKey, Payload), CommError> {
+    let mut r = Reader { buf: body, pos: 0 };
+    let from = r.u32()?;
+    let key = match r.u8()? {
+        KEY_ACT => MsgKey::Act {
+            replica: r.u32()?,
+            stage: r.u32()?,
+            micro: r.u64()?,
+        },
+        KEY_GRAD => MsgKey::Grad {
+            replica: r.u32()?,
+            stage: r.u32()?,
+            micro: r.u64()?,
+        },
+        KEY_COLL => MsgKey::Coll {
+            tag: r.u32()?,
+            round: r.u64()?,
+            from: r.u32()?,
+        },
+        KEY_CTRL => MsgKey::Ctrl {
+            tag: r.u32()?,
+            from: r.u32()?,
+        },
+        tag => return Err(CommError::Protocol(format!("unknown key tag {tag}"))),
+    };
+    let payload = match r.u8()? {
+        PAY_TENSOR => {
+            let rows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .filter(|&n| n * 4 <= MAX_FRAME)
+                .ok_or_else(|| CommError::Protocol(format!("tensor {rows}x{cols} too large")))?;
+            Payload::Tensor(Tensor::from_vec(rows, cols, r.f32s(n)?))
+        }
+        PAY_KEYED => {
+            let n = r.u32()? as usize;
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = r.u64()?;
+                let len = r.u32()? as usize;
+                pairs.push((k, r.f32s(len)?));
+            }
+            Payload::Keyed(pairs)
+        }
+        PAY_FLAT => {
+            let len = r.u32()? as usize;
+            Payload::Flat(r.f32s(len)?)
+        }
+        PAY_LOSSES => {
+            let n = r.u32()? as usize;
+            let mut l = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let micro = r.u64()?;
+                let loss = r.f32s(1)?[0];
+                l.push((micro, loss));
+            }
+            Payload::Losses(l)
+        }
+        PAY_BYTES => {
+            let len = r.u32()? as usize;
+            Payload::Bytes(r.bytes(len)?.to_vec())
+        }
+        tag => return Err(CommError::Protocol(format!("unknown payload tag {tag}"))),
+    };
+    if r.pos != body.len() {
+        return Err(CommError::Protocol(format!(
+            "{} trailing bytes after payload",
+            body.len() - r.pos
+        )));
+    }
+    Ok((from, key, payload))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], CommError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CommError::Protocol(format!(
+                "truncated frame: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CommError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CommError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CommError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CommError> {
+        if n * 4 > MAX_FRAME {
+            return Err(CommError::Protocol(format!("f32 vector of {n} too large")));
+        }
+        let b = self.bytes(n * 4)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    buf.reserve(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(from: Rank, key: MsgKey, payload: Payload) {
+        let frame = encode_frame(from, &key, &payload);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let (f, k, p) = decode_body(&frame[4..]).expect("decodes");
+        assert_eq!(f, from);
+        assert_eq!(k, key);
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn all_payload_kinds_roundtrip() {
+        roundtrip(
+            3,
+            MsgKey::Act {
+                replica: 1,
+                stage: 2,
+                micro: 77,
+            },
+            Payload::Tensor(Tensor::from_vec(
+                2,
+                3,
+                vec![1.0, -2.5, 0.0, 3.25, f32::MIN, 9.0],
+            )),
+        );
+        roundtrip(
+            0,
+            MsgKey::Grad {
+                replica: 0,
+                stage: 1,
+                micro: u64::MAX,
+            },
+            Payload::Flat(vec![0.125; 7]),
+        );
+        roundtrip(
+            7,
+            MsgKey::Coll {
+                tag: 2,
+                round: 41,
+                from: 7,
+            },
+            Payload::Keyed(vec![(0, vec![1.0]), (9, vec![]), (2, vec![0.5, 0.25])]),
+        );
+        roundtrip(
+            1,
+            MsgKey::Ctrl { tag: 0x10, from: 1 },
+            Payload::Losses(vec![(0, 2.5), (3, 0.75)]),
+        );
+        roundtrip(
+            2,
+            MsgKey::Ctrl { tag: 1, from: 2 },
+            Payload::Bytes(vec![0, 255, 128, 7]),
+        );
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        // Non-associativity-sensitive values must cross the wire bit-exact.
+        let vals = vec![1e8f32, -1e8, 1.0, f32::EPSILON, -0.0];
+        let frame = encode_frame(
+            0,
+            &MsgKey::Ctrl { tag: 0, from: 0 },
+            &Payload::Flat(vals.clone()),
+        );
+        let (_, _, p) = decode_body(&frame[4..]).unwrap();
+        let got = p.into_flat();
+        for (a, b) in vals.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_are_rejected() {
+        let frame = encode_frame(
+            0,
+            &MsgKey::Act {
+                replica: 0,
+                stage: 0,
+                micro: 0,
+            },
+            &Payload::Flat(vec![1.0, 2.0]),
+        );
+        // Truncation anywhere in the body fails cleanly.
+        for cut in 4..frame.len() - 1 {
+            assert!(decode_body(&frame[4..cut]).is_err(), "cut at {cut}");
+        }
+        // Unknown key tag.
+        let mut bad = frame[4..].to_vec();
+        bad[4] = 99;
+        assert!(matches!(decode_body(&bad), Err(CommError::Protocol(_))));
+        // Trailing garbage.
+        let mut long = frame[4..].to_vec();
+        long.push(0);
+        assert!(decode_body(&long).is_err());
+    }
+}

@@ -71,8 +71,14 @@ pub fn dapple(d: u32, n: u32) -> Schedule {
 ///
 /// `n` must be even (pairs).
 pub fn gems(d: u32, n: u32) -> Schedule {
-    assert!(d >= 2 && d.is_multiple_of(2), "GEMS uses a reversed replica; even D");
-    assert!(n >= 2 && n.is_multiple_of(2), "GEMS schedules micro-batch pairs");
+    assert!(
+        d >= 2 && d.is_multiple_of(2),
+        "GEMS uses a reversed replica; even D"
+    );
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "GEMS schedules micro-batch pairs"
+    );
     let placement = Placement::bidirectional(d, 1);
     let mut workers: Vec<Vec<Op>> = vec![Vec::new(); d as usize];
     for pair in 0..n / 2 {

@@ -19,8 +19,7 @@ use crate::schedule::{Schedule, Scheme, SyncStrategy};
 use crate::unit_time::{execute, UnitCosts};
 
 /// How Chimera scales to more micro-batches than pipeline stages (§3.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScaleMethod {
     /// Concatenate basic scheduling units of `D` micro-batches; the next
     /// unit's forwards occupy the previous unit's draining bubbles
@@ -40,7 +39,6 @@ pub enum ScaleMethod {
     /// compute less efficiently.
     BackwardHalving,
 }
-
 
 /// Configuration of a Chimera schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,7 +175,13 @@ pub fn chimera(cfg: &ChimeraConfig) -> Result<Schedule, GenError> {
         prio_offset = unit_max_prio;
     }
 
-    let workers = compact(d, &placement, streams, merge_costs_for(scale), Some(micro_window))?;
+    let workers = compact(
+        d,
+        &placement,
+        streams,
+        merge_costs_for(scale),
+        Some(micro_window),
+    )?;
     let sched = Schedule {
         scheme: Scheme::Chimera,
         d,
@@ -351,10 +355,7 @@ mod tests {
     use crate::op::Op;
 
     fn render(ops: &[Op]) -> String {
-        ops.iter()
-            .map(Op::to_string)
-            .collect::<Vec<_>>()
-            .join(" ")
+        ops.iter().map(Op::to_string).collect::<Vec<_>>().join(" ")
     }
 
     /// The D=4, N=4 schedule of Figures 3/5: exact per-worker op orders.
@@ -384,7 +385,15 @@ mod tests {
     /// under equal forward/backward workloads (Table 3 ⇒ D - 2 for f = 1).
     #[test]
     fn bubbles_match_table_formula_equal_costs() {
-        for (d, f) in [(4u32, 1u32), (6, 1), (8, 1), (8, 2), (12, 2), (16, 4), (32, 1)] {
+        for (d, f) in [
+            (4u32, 1u32),
+            (6, 1),
+            (8, 1),
+            (8, 2),
+            (12, 2),
+            (16, 4),
+            (32, 1),
+        ] {
             let s = chimera(&ChimeraConfig {
                 d,
                 n: d,

@@ -254,10 +254,7 @@ mod tests {
     #[test]
     fn priority_breaks_ties_deterministically() {
         // Two independent forward streams on one worker; priorities decide.
-        let placement = Placement::new(
-            1,
-            vec![vec![WorkerId(0)], vec![WorkerId(0)]],
-        );
+        let placement = Placement::new(1, vec![vec![WorkerId(0)], vec![WorkerId(0)]]);
         let a = Stream {
             ops: vec![Op::forward(MicroId(0), StageId(0), ReplicaId(0))],
             priority: vec![5],

@@ -83,7 +83,12 @@ impl DepTracker {
 
     /// Earliest tick at which `op`'s dependencies are satisfied, or `None`
     /// if a dependency has not executed yet.
-    pub(crate) fn ready_time<C: CostProvider>(&self, costs: &C, w: WorkerId, op: &Op) -> Option<u64> {
+    pub(crate) fn ready_time<C: CostProvider>(
+        &self,
+        costs: &C,
+        w: WorkerId,
+        op: &Op,
+    ) -> Option<u64> {
         match op.kind {
             OpKind::Forward => {
                 if op.stage.0 == 0 {
@@ -136,7 +141,8 @@ impl DepTracker {
                     _ => 2,
                 };
                 for m in op.covered_micros() {
-                    self.bwd_finish.insert((m, op.stage, op.replica, tag), finish);
+                    self.bwd_finish
+                        .insert((m, op.stage, op.replica, tag), finish);
                 }
             }
             OpKind::AllReduceLaunch => {

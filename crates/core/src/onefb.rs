@@ -154,8 +154,14 @@ mod tests {
         assert_eq!(
             render(&p.stage_ops(StageId(3))),
             vec![
-                "Fm0@s3/r0", "Bm0@s3/r0", "Fm1@s3/r0", "Bm1@s3/r0", "Fm2@s3/r0", "Bm2@s3/r0",
-                "Fm3@s3/r0", "Bm3@s3/r0"
+                "Fm0@s3/r0",
+                "Bm0@s3/r0",
+                "Fm1@s3/r0",
+                "Bm1@s3/r0",
+                "Fm2@s3/r0",
+                "Bm2@s3/r0",
+                "Fm3@s3/r0",
+                "Bm3@s3/r0"
             ]
         );
     }
@@ -211,7 +217,11 @@ mod tests {
         assert_eq!(
             render(&ops),
             vec![
-                "Fm0@s1/r0", "Bm0.0@s1/r0", "Bm0.1@s1/r0", "Fm1@s1/r0", "Bm1.0@s1/r0",
+                "Fm0@s1/r0",
+                "Bm0.0@s1/r0",
+                "Bm0.1@s1/r0",
+                "Fm1@s1/r0",
+                "Bm1.0@s1/r0",
                 "Bm1.1@s1/r0"
             ]
         );

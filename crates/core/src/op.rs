@@ -193,7 +193,11 @@ impl std::fmt::Display for Op {
                     Chunk::Pair => "+".to_string(),
                     Chunk::Half(h) => format!(".{h}"),
                 };
-                write!(f, "{}{}{}@{}/{}", tag, self.micro, c, self.stage, self.replica)
+                write!(
+                    f,
+                    "{}{}{}@{}/{}",
+                    tag, self.micro, c, self.stage, self.replica
+                )
             }
         }
     }

@@ -22,7 +22,11 @@ impl Placement {
     pub fn new(d: u32, map: Vec<Vec<WorkerId>>) -> Self {
         assert!(!map.is_empty(), "placement needs at least one replica");
         for row in &map {
-            assert_eq!(row.len(), d as usize, "each replica must place all D stages");
+            assert_eq!(
+                row.len(),
+                d as usize,
+                "each replica must place all D stages"
+            );
             for w in row {
                 assert!(w.0 < d, "worker id out of range");
             }
@@ -50,9 +54,7 @@ impl Placement {
         for i in 0..f {
             let base = i * (d / f);
             let down: Vec<WorkerId> = (0..d).map(|j| WorkerId((base + j) % d)).collect();
-            let up: Vec<WorkerId> = (0..d)
-                .map(|j| WorkerId((base + (d - 1 - j)) % d))
-                .collect();
+            let up: Vec<WorkerId> = (0..d).map(|j| WorkerId((base + (d - 1 - j)) % d)).collect();
             map.push(down);
             map.push(up);
         }
@@ -93,11 +95,7 @@ impl Placement {
     /// Workers holding a replica of `stage` (the allreduce group for that
     /// stage within one pipeline group), deduplicated and sorted.
     pub fn stage_holders(&self, stage: StageId) -> Vec<WorkerId> {
-        let mut holders: Vec<WorkerId> = self
-            .map
-            .iter()
-            .map(|row| row[stage.idx()])
-            .collect();
+        let mut holders: Vec<WorkerId> = self.map.iter().map(|row| row[stage.idx()]).collect();
         holders.sort_unstable();
         holders.dedup();
         holders

@@ -116,7 +116,10 @@ mod tests {
                 .collect();
             assert_eq!(launch_idx.len(), 2);
             assert_eq!(wait_idx.len(), 2);
-            assert!(wait_idx[0] > launch_idx[1], "wait deferred past next launch");
+            assert!(
+                wait_idx[0] > launch_idx[1],
+                "wait deferred past next launch"
+            );
         }
         execute(&u, UnitCosts::practical()).unwrap();
     }

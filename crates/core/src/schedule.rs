@@ -157,7 +157,10 @@ impl Schedule {
         let mut last: Vec<(ReplicaId, StageId, usize)> = Vec::new();
         for (i, op) in self.workers[w.idx()].iter().enumerate() {
             if op.is_backward() {
-                match last.iter_mut().find(|(r, s, _)| *r == op.replica && *s == op.stage) {
+                match last
+                    .iter_mut()
+                    .find(|(r, s, _)| *r == op.replica && *s == op.stage)
+                {
                     Some(entry) => entry.2 = i,
                     None => last.push((op.replica, op.stage, i)),
                 }
@@ -170,7 +173,11 @@ impl Schedule {
     /// Sanity-check basic structural invariants; panics with a description on
     /// violation. Deep semantic validation lives in [`crate::validate`].
     pub fn assert_well_formed(&self) {
-        assert_eq!(self.workers.len(), self.d as usize, "one op list per worker");
+        assert_eq!(
+            self.workers.len(),
+            self.d as usize,
+            "one op list per worker"
+        );
         assert_eq!(self.placement.d(), self.d);
         for (w, ops) in self.workers.iter().enumerate() {
             for op in ops {
@@ -209,8 +216,14 @@ impl Schedule {
 
     /// Count forward/backward ops per worker — useful in tests.
     pub fn compute_op_counts(&self, w: WorkerId) -> (usize, usize) {
-        let fwd = self.workers[w.idx()].iter().filter(|o| o.is_forward()).count();
-        let bwd = self.workers[w.idx()].iter().filter(|o| o.is_backward()).count();
+        let fwd = self.workers[w.idx()]
+            .iter()
+            .filter(|o| o.is_forward())
+            .count();
+        let bwd = self.workers[w.idx()]
+            .iter()
+            .filter(|o| o.is_backward())
+            .count();
         (fwd, bwd)
     }
 

@@ -91,7 +91,10 @@ pub fn place_sync(mut sched: Schedule, strategy: SyncStrategy, costs: UnitCosts)
 /// with no compute at all — e.g. the up pipeline's stages when `N = 1` runs
 /// on the down pipeline only. Those must still join their stage's allreduce
 /// (their weight copy has to stay synchronized), contributing nothing.
-fn sync_order(sched: &Schedule, w: usize) -> Vec<(crate::ids::ReplicaId, crate::ids::StageId, usize)> {
+fn sync_order(
+    sched: &Schedule,
+    w: usize,
+) -> Vec<(crate::ids::ReplicaId, crate::ids::StageId, usize)> {
     let wid = WorkerId(w as u32);
     let mut order = sched.stage_replicas_by_last_backward(wid);
     let tail_idx = sched.workers[w].len();
@@ -179,9 +182,9 @@ mod tests {
             for (i, op) in ops.iter().enumerate() {
                 if op.kind == OpKind::AllReduceLaunch {
                     // No backward of the same (replica, stage) after the launch.
-                    assert!(!ops[i + 1..]
-                        .iter()
-                        .any(|o| o.is_backward() && o.stage == op.stage && o.replica == op.replica));
+                    assert!(!ops[i + 1..].iter().any(|o| o.is_backward()
+                        && o.stage == op.stage
+                        && o.replica == op.replica));
                 }
             }
         }
@@ -231,7 +234,11 @@ mod tests {
 
     #[test]
     fn every_launch_has_matching_wait() {
-        for strat in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt] {
+        for strat in [
+            SyncStrategy::PostHoc,
+            SyncStrategy::Eager,
+            SyncStrategy::EagerOpt,
+        ] {
             let s = place_sync(sched(), strat, UnitCosts::practical());
             for w in 0..4 {
                 let (l, wt) = launches_and_waits(&s, w);

@@ -175,11 +175,7 @@ impl Timeline {
         if self.makespan == 0 || self.busy.is_empty() {
             return 0.0;
         }
-        let total_idle: u64 = self
-            .busy
-            .iter()
-            .map(|&b| self.makespan - b)
-            .sum();
+        let total_idle: u64 = self.busy.iter().map(|&b| self.makespan - b).sum();
         total_idle as f64 / (self.makespan as f64 * self.busy.len() as f64)
     }
 
@@ -254,7 +250,11 @@ pub enum ExecError {
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::Deadlock { worker, op_index, op } => write!(
+            ExecError::Deadlock {
+                worker,
+                op_index,
+                op,
+            } => write!(
                 f,
                 "schedule deadlock: {worker} cannot execute op #{op_index} ({op}); \
                  missing dependency or cyclic worker orders"
@@ -323,7 +323,10 @@ pub fn execute(schedule: &Schedule, costs: UnitCosts) -> Result<Timeline, ExecEr
 }
 
 /// Execute `schedule` under any [`CostProvider`].
-pub fn execute_with<C: CostProvider>(schedule: &Schedule, costs: &C) -> Result<Timeline, ExecError> {
+pub fn execute_with<C: CostProvider>(
+    schedule: &Schedule,
+    costs: &C,
+) -> Result<Timeline, ExecError> {
     let nw = schedule.num_workers();
     let mut next = vec![0usize; nw];
     let mut free = vec![0u64; nw];
@@ -407,10 +410,7 @@ pub fn execute_with<C: CostProvider>(schedule: &Schedule, costs: &C) -> Result<T
         .into_iter()
         .map(|mut ev| {
             // Frees (negative deltas) apply before allocations at the same tick.
-            ev.sort_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then_with(|| a.1.partial_cmp(&b.1).unwrap())
-            });
+            ev.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.partial_cmp(&b.1).unwrap()));
             let mut cur = 0.0f64;
             let mut peak = 0.0f64;
             for (_, delta) in ev {
@@ -713,11 +713,17 @@ mod tests {
     fn validate_span_rejects_bad_iteration_counts() {
         assert!(matches!(
             validate_span(&gpipe2(4), 0),
-            Err(ExecError::InvalidIterations { iterations: 0, n: 4 })
+            Err(ExecError::InvalidIterations {
+                iterations: 0,
+                n: 4
+            })
         ));
         assert!(matches!(
             validate_span(&gpipe2(4), 3),
-            Err(ExecError::InvalidIterations { iterations: 3, n: 4 })
+            Err(ExecError::InvalidIterations {
+                iterations: 3,
+                n: 4
+            })
         ));
         let msg = validate_span(&gpipe2(4), 0).unwrap_err().to_string();
         assert!(msg.contains("0 iteration"), "{msg}");

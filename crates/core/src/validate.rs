@@ -48,14 +48,24 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::Deadlock(m) => write!(f, "deadlock: {m}"),
-            ValidationError::Coverage { micro, stage, detail } => {
+            ValidationError::Coverage {
+                micro,
+                stage,
+                detail,
+            } => {
                 write!(f, "coverage error for {micro} at {stage}: {detail}")
             }
             ValidationError::PrematureSync { worker, stage } => {
-                write!(f, "allreduce for {stage} launched before its last backward on {worker}")
+                write!(
+                    f,
+                    "allreduce for {stage} launched before its last backward on {worker}"
+                )
             }
             ValidationError::UnbalancedSync { worker, stage } => {
-                write!(f, "unbalanced allreduce launch/wait for {stage} on {worker}")
+                write!(
+                    f,
+                    "unbalanced allreduce launch/wait for {stage} on {worker}"
+                )
             }
         }
     }
@@ -72,8 +82,8 @@ pub fn validate(sched: &Schedule) -> Result<u64, ValidationError> {
     // syncs after every micro-batch), so the launch-after-last-backward rule
     // only applies to flushing schedules; balance is checked for all.
     sync_placement(sched, sched.flushes)?;
-    let tl = execute(sched, UnitCosts::equal())
-        .map_err(|e| ValidationError::Deadlock(e.to_string()))?;
+    let tl =
+        execute(sched, UnitCosts::equal()).map_err(|e| ValidationError::Deadlock(e.to_string()))?;
     Ok(tl.makespan)
 }
 
@@ -155,9 +165,9 @@ fn sync_placement(sched: &Schedule, check_premature: bool) -> Result<(), Validat
                 OpKind::AllReduceLaunch => {
                     *balance.entry((op.stage, op.replica)).or_default() += 1;
                     if check_premature
-                        && ops[i + 1..]
-                        .iter()
-                        .any(|o| o.is_backward() && o.stage == op.stage && o.replica == op.replica)
+                        && ops[i + 1..].iter().any(|o| {
+                            o.is_backward() && o.stage == op.stage && o.replica == op.replica
+                        })
                     {
                         return Err(ValidationError::PrematureSync {
                             worker,
@@ -283,8 +293,8 @@ pub fn weight_analysis(sched: &Schedule, rule: UpdateRule) -> WeightReport {
                                     // requires them computed at `produced-1`.
                                     // The shortfall is the *application*
                                     // staleness (PipeDream-2BW: 1).
-                                    max_staleness =
-                                        max_staleness.max((st.produced - 1).saturating_sub(st.version));
+                                    max_staleness = max_staleness
+                                        .max((st.produced - 1).saturating_sub(st.version));
                                     st.pending.push(st.produced);
                                     if st.pending.len() > delay as usize {
                                         st.version = st.pending.remove(0).max(st.version);
@@ -410,7 +420,11 @@ mod tests {
         let s = concat_iterations(&pipedream(d, 8), 3, false);
         let rep = weight_analysis(&s, UpdateRule::PerMicro);
         assert_eq!(rep.max_versions[0], d, "first stage stashes D versions");
-        assert_eq!(rep.max_versions[(d - 1) as usize], 1, "last stage stashes 1");
+        assert_eq!(
+            rep.max_versions[(d - 1) as usize],
+            1,
+            "last stage stashes 1"
+        );
         assert!(rep.max_staleness > 0, "PipeDream is asynchronous");
         // Monotone decrease along the pipeline.
         for w in 1..d as usize {

@@ -63,7 +63,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated or has trailing bytes"),
             CheckpointError::ShapeMismatch { expected, got } => {
-                write!(f, "parameter count mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "parameter count mismatch: expected {expected}, got {got}"
+                )
             }
             CheckpointError::BadDepth(d) => {
                 write!(f, "layers do not divide evenly into {d} stages")
@@ -126,12 +129,16 @@ pub fn save_state(stages: &[Stage], optimizers: &[Optimizer]) -> Bytes {
     let kind = optimizers[0].kind();
     let (_, _, t) = optimizers[0].state();
     for (stage, opt) in stages.iter().zip(optimizers) {
-        assert_eq!(opt.len(), stage.num_params(), "optimizer/stage size mismatch");
+        assert_eq!(
+            opt.len(),
+            stage.num_params(),
+            "optimizer/stage size mismatch"
+        );
         assert_eq!(opt.kind(), kind, "stages must share one optimizer kind");
         assert_eq!(opt.steps(), t, "stages must share one step count");
     }
     let per_param = match kind {
-        OptimizerKind::Sgd { .. } => 2, // params + m
+        OptimizerKind::Sgd { .. } => 2,  // params + m
         OptimizerKind::Adam { .. } => 3, // params + m + v
     };
     let mut buf = BytesMut::with_capacity(96 + total * 4 * per_param);
@@ -386,7 +393,10 @@ mod tests {
     fn version_checked() {
         let mut bytes = save(&trained_model()).to_vec();
         bytes[4] = 99;
-        assert_eq!(load(&bytes, 2).unwrap_err(), CheckpointError::BadVersion(99));
+        assert_eq!(
+            load(&bytes, 2).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        );
     }
 
     #[test]
@@ -417,8 +427,9 @@ mod tests {
         for step in 0..3u64 {
             for (stage, opt) in stages.iter_mut().zip(&mut optimizers) {
                 let n = stage.num_params();
-                let grad: Vec<f32> =
-                    (0..n).map(|i| ((i as f32) + step as f32).sin() * 0.01).collect();
+                let grad: Vec<f32> = (0..n)
+                    .map(|i| ((i as f32) + step as f32).sin() * 0.01)
+                    .collect();
                 let mut params = stage.params();
                 opt.step(&mut params, &grad, 0.05);
                 stage.set_params(&params);
@@ -429,8 +440,16 @@ mod tests {
         assert_eq!(restored.len(), load_depth as usize);
         assert_eq!(ropts.len(), load_depth as usize);
 
-        let p0: Vec<u32> = stages.iter().flat_map(Stage::params).map(f32::to_bits).collect();
-        let p1: Vec<u32> = restored.iter().flat_map(Stage::params).map(f32::to_bits).collect();
+        let p0: Vec<u32> = stages
+            .iter()
+            .flat_map(Stage::params)
+            .map(f32::to_bits)
+            .collect();
+        let p1: Vec<u32> = restored
+            .iter()
+            .flat_map(Stage::params)
+            .map(f32::to_bits)
+            .collect();
         assert_eq!(p0, p1, "params differ after re-partition");
 
         let flat = |opts: &[Optimizer], pick: fn(&Optimizer) -> Vec<f32>| -> Vec<u32> {

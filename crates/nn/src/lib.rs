@@ -21,8 +21,8 @@
 //!   matching the "R" configurations of §4.
 
 pub mod attention;
-pub mod checkpoint;
 pub mod block;
+pub mod checkpoint;
 pub mod data;
 pub mod embedding;
 pub mod head;
@@ -32,11 +32,11 @@ pub mod reference;
 pub mod stage;
 
 pub use attention::Attention;
+pub use block::{LayerNorm, TransformerBlock};
 pub use checkpoint::{
     load as load_checkpoint, load_state as load_checkpoint_state, save as save_checkpoint,
     save_state as save_checkpoint_state, CheckpointError,
 };
-pub use block::{LayerNorm, TransformerBlock};
 pub use data::SyntheticData;
 pub use embedding::Embedding;
 pub use head::OutputHead;

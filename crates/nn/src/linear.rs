@@ -109,7 +109,11 @@ mod tests {
             let a: f32 = lp.forward(&x).hadamard(&w).data().iter().sum();
             let b: f32 = lm.forward(&x).hadamard(&w).data().iter().sum();
             let num = (a - b) / (2.0 * eps);
-            assert!((grad[i] - num).abs() < 2e-2, "dW[{i}]: {} vs {num}", grad[i]);
+            assert!(
+                (grad[i] - num).abs() < 2e-2,
+                "dW[{i}]: {} vs {num}",
+                grad[i]
+            );
         }
     }
 

@@ -71,8 +71,7 @@ impl LrSchedule {
                 } else if t >= total {
                     min
                 } else {
-                    let progress =
-                        (t - warmup) as f64 / (total - warmup).max(1) as f64;
+                    let progress = (t - warmup) as f64 / (total - warmup).max(1) as f64;
                     let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
                     min + (base - min) * cos as f32
                 }

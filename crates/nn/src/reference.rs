@@ -21,7 +21,13 @@ pub struct ReferenceTrainer {
 
 impl ReferenceTrainer {
     /// New trainer with momentum SGD at a constant learning rate.
-    pub fn new(stages: Vec<Stage>, data: SyntheticData, micro_batch: usize, lr: f32, momentum: f32) -> Self {
+    pub fn new(
+        stages: Vec<Stage>,
+        data: SyntheticData,
+        micro_batch: usize,
+        lr: f32,
+        momentum: f32,
+    ) -> Self {
         Self::with_optimizer(
             stages,
             data,
@@ -94,12 +100,7 @@ impl ReferenceTrainer {
             }
         }
         // Update: the learning rate follows the schedule by update step.
-        for ((stage, opt), g) in self
-            .stages
-            .iter_mut()
-            .zip(&mut self.optimizers)
-            .zip(&grads)
-        {
+        for ((stage, opt), g) in self.stages.iter_mut().zip(&mut self.optimizers).zip(&grads) {
             let lr = self.lr_schedule.at(opt.steps());
             let mut p = stage.params();
             opt.step(&mut p, g, lr);

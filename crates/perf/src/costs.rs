@@ -110,9 +110,8 @@ impl TrainConfig {
                     bwd_s: 2.0 * fwd_s,
                     recompute_s: fwd_s,
                     boundary_bytes: m.boundary_bytes_per_sample() * self.b as u64,
-                    act_bytes: (m.act_bytes_per_layer_per_sample() as f64
-                        * lps
-                        * self.b as f64) as u64,
+                    act_bytes: (m.act_bytes_per_layer_per_sample() as f64 * lps * self.b as f64)
+                        as u64,
                     param_bytes: params * m.bytes_per_value as u64,
                     // One gradient buffer + one SGD-momentum buffer.
                     grad_opt_bytes: 2 * params * m.bytes_per_value as u64,
@@ -191,8 +190,18 @@ mod tests {
 
     #[test]
     fn coarser_stages_cost_more_compute_less_p2p_relative() {
-        let deep = TrainConfig { d: 16, w: 2, ..cfg() }.cost_model();
-        let shallow = TrainConfig { d: 2, w: 16, ..cfg() }.cost_model();
+        let deep = TrainConfig {
+            d: 16,
+            w: 2,
+            ..cfg()
+        }
+        .cost_model();
+        let shallow = TrainConfig {
+            d: 2,
+            w: 16,
+            ..cfg()
+        }
+        .cost_model();
         assert!(shallow.stages[0].fwd_s > deep.stages[0].fwd_s);
         // Boundary message size does not depend on D.
         assert_eq!(

@@ -45,10 +45,7 @@ pub fn predict(sched: &Schedule, cost: &SimCostModel) -> PerfPrediction {
         recompute_extra: 0,
         ..UnitCosts::equal()
     };
-    let costs_b = UnitCosts {
-        bwd: 12,
-        ..costs_a
-    };
+    let costs_b = UnitCosts { bwd: 12, ..costs_a };
     let ma = execute(&compute_only, costs_a)
         .expect("schedule must execute")
         .makespan as f64;
@@ -62,9 +59,7 @@ pub fn predict(sched: &Schedule, cost: &SimCostModel) -> PerfPrediction {
     // measures them with micro-benchmarks: a representative middle-stage
     // forward/backward including its host-side communication shares. ---
     let st = &cost.stages[0];
-    let recomputes = compute_only
-        .iter_ops()
-        .any(|(_, _, op)| op.recomputes());
+    let recomputes = compute_only.iter_ops().any(|(_, _, op)| op.recomputes());
     let mid = StageId(sched.d / 2);
     let probe_f = Op::forward(MicroId(0), mid, ReplicaId(0));
     let probe_b = if recomputes {

@@ -413,22 +413,20 @@ mod tests {
         let (m, c) = bert_setup();
         assert!(evaluate(PlanScheme::Dapple, m, c, 32, 512, 4, 4, 4).is_none()); // W*D != P
         assert!(evaluate(PlanScheme::Dapple, m, c, 32, 512, 8, 4, 3).is_none()); // not divisible
-        assert!(
-            evaluate(
-                PlanScheme::Chimera {
-                    f: 1,
-                    scale: ScaleMethod::Direct
-                },
-                m,
-                c,
-                32,
-                512,
-                16,
-                2,
-                2
-            )
-            .is_some()
-        );
+        assert!(evaluate(
+            PlanScheme::Chimera {
+                f: 1,
+                scale: ScaleMethod::Direct
+            },
+            m,
+            c,
+            32,
+            512,
+            16,
+            2,
+            2
+        )
+        .is_some());
     }
 
     /// The paper's Fig. 10 headline: DAPPLE's and GPipe's best configuration

@@ -1,0 +1,331 @@
+//! Multi-process training: the per-process worker entry point behind
+//! `chimera-cli launch` / `chimera-cli worker`.
+//!
+//! Every OS process owns exactly one pipeline worker (one transport rank);
+//! [`train_worker_process`] builds that worker against any
+//! [`chimera_comm::Transport`] endpoint — the TCP backend for real
+//! multi-process runs, the local backend in tests — wires its gradient
+//! synchronization through [`chimera_collectives::TransportKeyed`], runs the
+//! whole schedule, and gathers results at rank 0 over the control plane.
+//!
+//! Determinism is preserved end to end: stage initialization, data order,
+//! and the keyed-ordered reduction are all identical to the in-process
+//! [`crate::train_hybrid`] path, so a distributed run's final parameters are
+//! **bit-identical** to the threaded run's (and therefore to sequential
+//! SGD). Checkpoint-restart recovery is an in-process supervisor feature and
+//! is not available here; injected faults surface as [`TrainError`]s.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chimera_collectives::TransportKeyed;
+use chimera_comm::{KeyedReduce, MsgKey, Payload, Rank, Transport};
+use chimera_core::schedule::Schedule;
+use chimera_core::{StageId, WorkerId};
+use chimera_nn::{ModelConfig, Optimizer, Stage, SyntheticData};
+
+use crate::error::{TrainError, WorkerError};
+use crate::worker::{SegmentSpec, TrainOptions, Worker};
+
+/// Control-plane tag carrying a worker's `(micro, loss)` pairs to rank 0.
+const LOSS_TAG: u32 = u32::MAX;
+
+/// Control-plane tag for the final parameters of one `(replica, stage)`
+/// copy. Replica and stage ids are far below 2^16 in any runnable config.
+fn stage_tag(replica: u32, stage: u32) -> u32 {
+    (replica << 16) | stage
+}
+
+/// What rank 0 assembles after a distributed run. Ranks other than 0 ship
+/// their slice to rank 0 and get `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistOutcome {
+    /// Mean loss per iteration, over all `N·W` micro-batches.
+    pub iteration_losses: Vec<f32>,
+    /// Concatenated final parameters of stages `0..D`, every replica copy
+    /// verified bit-identical — comparable with
+    /// [`crate::TrainResult::flat_params`] and
+    /// [`chimera_nn::ReferenceTrainer::flat_params`].
+    pub flat_params: Vec<f32>,
+}
+
+fn escalate(e: WorkerError) -> TrainError {
+    let (group, worker, iteration) = e.location();
+    match e {
+        WorkerError::Killed { .. } => TrainError::WorkerLost {
+            group,
+            worker,
+            iteration,
+            recoveries: 0,
+        },
+        WorkerError::RecvTimeout { op, waited, .. } => TrainError::Timeout {
+            group,
+            worker,
+            iteration,
+            op,
+            waited,
+        },
+        WorkerError::AllReduceTimeout { stage, waited, .. } => TrainError::Timeout {
+            group,
+            worker,
+            iteration,
+            op: format!("allreduce wait for stage {stage}"),
+            waited,
+        },
+        WorkerError::PeerGone { to, .. } => TrainError::Timeout {
+            group,
+            worker,
+            iteration,
+            op: format!("send to dead peer w{to}"),
+            waited: Duration::ZERO,
+        },
+    }
+}
+
+/// A gather at rank 0 that never completed.
+fn gather_timeout(iterations: u32, key: MsgKey, waited: Duration) -> TrainError {
+    TrainError::Timeout {
+        group: 0,
+        worker: 0,
+        iteration: iterations,
+        op: format!("gather {}", key.describe()),
+        waited,
+    }
+}
+
+/// Run this process's single pipeline worker of a `W·D` fabric and take
+/// part in the final result gather.
+///
+/// The fabric must have exactly `W · sched.num_workers()` ranks laid out
+/// group-major (rank = `group · D + local worker id`); `ep.rank()` decides
+/// which worker this process executes. Rank 0 returns the assembled
+/// [`DistOutcome`]; every other rank returns `Ok(None)` after shipping its
+/// losses and stage copies to rank 0.
+pub fn train_worker_process(
+    ep: Arc<dyn Transport>,
+    sched: &Schedule,
+    cfg: ModelConfig,
+    opts: TrainOptions,
+    w: u32,
+) -> Result<Option<DistOutcome>, TrainError> {
+    let d = sched.d;
+    let per_group = sched.num_workers() as u32;
+    assert_eq!(
+        ep.world(),
+        per_group * w,
+        "fabric size must be W·D (group-major)"
+    );
+    let rank = ep.rank();
+    let group = rank / per_group;
+    let lw = rank % per_group;
+    let wid = WorkerId(lw);
+
+    let data = SyntheticData::new(cfg, opts.data_seed);
+    let kind = opts.optimizer_kind();
+    let canon_stages = Stage::build_all(cfg, d);
+
+    // One keyed-ordered allreduce group per held stage, spanning every
+    // data-parallel group's holders in (group, holder) member order — the
+    // exact order the in-process runtime assigns, so the key-ordered sum is
+    // bitwise identical.
+    let mut sync: HashMap<u32, Box<dyn KeyedReduce>> = HashMap::new();
+    for s in 0..d {
+        let holders = sched.placement.stage_holders(StageId(s));
+        if !holders.contains(&wid) {
+            continue;
+        }
+        let mut members: Vec<Rank> = Vec::with_capacity(holders.len() * w as usize);
+        for g in 0..w {
+            for h in &holders {
+                members.push(g * per_group + h.0);
+            }
+        }
+        sync.insert(
+            s,
+            Box::new(TransportKeyed::new(ep.clone(), s, members)) as _,
+        );
+    }
+
+    let stages: Vec<(u32, u32, Stage, Optimizer)> = sched
+        .placement
+        .held_by(wid)
+        .into_iter()
+        .map(|(r, s)| {
+            let stage = canon_stages[s.0 as usize].clone();
+            let opt = Optimizer::new(kind, stage.num_params());
+            (r.0, s.0, stage, opt)
+        })
+        .collect();
+
+    let seg = SegmentSpec {
+        start_iter: 0,
+        iterations: opts.iterations,
+        micro_base: 0,
+    };
+    let timeout = opts.recv_timeout;
+    let iterations = opts.iterations;
+    let worker = Worker::new(
+        wid,
+        d,
+        group,
+        w,
+        sched.n,
+        sched.workers[lw as usize].clone(),
+        sched.placement.clone(),
+        stages,
+        sync,
+        ep.clone(),
+        data,
+        opts,
+        seg,
+        sched.flushes,
+    );
+    let result = worker.run().map_err(escalate)?;
+
+    if rank != 0 {
+        // Ship this worker's slice to rank 0. A failed send means rank 0 is
+        // gone; there is nobody left to report to, so exit quietly.
+        let _ = ep.send(
+            0,
+            MsgKey::Ctrl {
+                tag: LOSS_TAG,
+                from: rank,
+            },
+            Payload::Losses(result.losses),
+        );
+        for (r, s, stage, _) in result.stages {
+            let _ = ep.send(
+                0,
+                MsgKey::Ctrl {
+                    tag: stage_tag(r, s),
+                    from: rank,
+                },
+                Payload::Flat(stage.params()),
+            );
+        }
+        return Ok(None);
+    }
+
+    // Rank 0: gather losses and every (replica, stage) parameter copy.
+    let mut losses = result.losses;
+    for from in 1..ep.world() {
+        let key = MsgKey::Ctrl {
+            tag: LOSS_TAG,
+            from,
+        };
+        let payload = ep
+            .recv_deadline(key, timeout)
+            .map_err(|_| gather_timeout(iterations, key, timeout))?;
+        losses.extend(payload.into_losses());
+    }
+    losses.sort_unstable_by_key(|&(g, _)| g);
+
+    let mut replica_params: HashMap<u32, Vec<Vec<f32>>> = HashMap::new();
+    for (_, s, stage, _) in &result.stages {
+        replica_params.entry(*s).or_default().push(stage.params());
+    }
+    for from in 1..ep.world() {
+        let peer = WorkerId(from % per_group);
+        for (r, s) in sched.placement.held_by(peer) {
+            let key = MsgKey::Ctrl {
+                tag: stage_tag(r.0, s.0),
+                from,
+            };
+            let payload = ep
+                .recv_deadline(key, timeout)
+                .map_err(|_| gather_timeout(iterations, key, timeout))?;
+            replica_params
+                .entry(s.0)
+                .or_default()
+                .push(payload.into_flat());
+        }
+    }
+
+    // Verify all 2f·W replica copies of each stage agree bit-for-bit, then
+    // deduplicate — same contract as the in-process supervisor.
+    let mut flat_params = Vec::new();
+    for s in 0..d {
+        let copies = replica_params
+            .remove(&s)
+            .ok_or(TrainError::MissingStage { stage: s })?;
+        let (canonical, rest) = copies.split_first().expect("at least one replica");
+        if rest.iter().any(|c| c != canonical) {
+            return Err(TrainError::ReplicaDivergence { stage: s });
+        }
+        flat_params.extend_from_slice(canonical);
+    }
+
+    let per = sched.n as usize * w as usize;
+    let iteration_losses = (0..iterations as usize)
+        .map(|i| {
+            let slice = &losses[i * per..(i + 1) * per];
+            (slice.iter().map(|&(_, l)| l as f64).sum::<f64>() / per as f64) as f32
+        })
+        .collect();
+    Ok(Some(DistOutcome {
+        iteration_losses,
+        flat_params,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::train_hybrid;
+    use chimera_comm::LocalFabric;
+    use chimera_core::chimera::{chimera, ChimeraConfig};
+    use std::thread;
+
+    fn opts(iterations: u32) -> TrainOptions {
+        TrainOptions {
+            micro_batch: 2,
+            iterations,
+            lr: 0.05,
+            momentum: 0.9,
+            data_seed: 11,
+            ..TrainOptions::default()
+        }
+    }
+
+    /// Every rank in its own "process" (thread + its own endpoint of a
+    /// local fabric, no shared state beyond the transport): the distributed
+    /// path must be bit-identical to the in-process supervisor.
+    #[test]
+    fn distributed_run_matches_in_process_bitwise() {
+        let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+        let cfg = ModelConfig::tiny();
+        let w = 2u32;
+        let world = sched.num_workers() as u32 * w;
+
+        let handles: Vec<_> = LocalFabric::new(world)
+            .into_iter()
+            .map(|e| {
+                let sched = sched.clone();
+                thread::spawn(move || {
+                    train_worker_process(Arc::new(e), &sched, cfg, opts(3), w).unwrap()
+                })
+            })
+            .collect();
+        let mut outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let dist = outcomes.remove(0).expect("rank 0 assembles the outcome");
+        assert!(outcomes.iter().all(Option::is_none));
+
+        let reference = train_hybrid(&sched, cfg, opts(3), w).unwrap();
+        let dist_bits: Vec<u32> = dist.flat_params.iter().map(|f| f.to_bits()).collect();
+        let ref_bits: Vec<u32> = reference
+            .flat_params()
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        assert_eq!(dist_bits, ref_bits);
+        assert_eq!(dist.iteration_losses.len(), 3);
+        for (a, b) in dist
+            .iteration_losses
+            .iter()
+            .zip(&reference.iteration_losses)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

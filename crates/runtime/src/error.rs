@@ -275,7 +275,10 @@ mod tests {
     #[test]
     fn checkpoint_errors_convert() {
         let e: TrainError = CheckpointError::BadMagic.into();
-        assert!(matches!(e, TrainError::Checkpoint(CheckpointError::BadMagic)));
+        assert!(matches!(
+            e,
+            TrainError::Checkpoint(CheckpointError::BadMagic)
+        ));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -2,9 +2,10 @@
 
 //! # chimera-runtime
 //!
-//! A real multi-threaded pipeline-parallel training runtime: one thread per
-//! pipeline worker, crossbeam channels as the interconnect, and keyed-ordered
-//! allreduce for gradient synchronization.
+//! A real pipeline-parallel training runtime: one worker per pipeline rank,
+//! a pluggable [`chimera_comm::Transport`] as the interconnect (in-process
+//! channels by default, TCP across OS processes via [`dist`]), and
+//! keyed-ordered allreduce for gradient synchronization.
 //!
 //! It executes any `chimera-core` schedule — Chimera's bidirectional
 //! schedules as well as the baselines — on actual `chimera-nn` transformer
@@ -13,11 +14,13 @@
 //! **bit-identical** to sequential mini-batch SGD (see
 //! `tests/sync_equivalence.rs` at the workspace root).
 
+pub mod dist;
 pub mod error;
 pub mod fault;
 pub mod runtime;
 pub mod worker;
 
+pub use dist::{train_worker_process, DistOutcome};
 pub use error::{TrainError, WorkerError};
 pub use fault::{FaultSpec, KillFault, MsgFault, RecoveryPolicy};
 pub use runtime::{train, train_hybrid, TrainResult};

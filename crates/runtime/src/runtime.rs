@@ -1,6 +1,7 @@
 //! Orchestration and supervision: spawn one thread per pipeline worker,
-//! wire channels and allreduce groups, execute a schedule for several
-//! training iterations, and reassemble the model.
+//! wire transport endpoints ([`chimera_comm::LocalFabric`]) and allreduce
+//! groups, execute a schedule for several training iterations, and
+//! reassemble the model.
 //!
 //! Supports the paper's hybrid of pipeline and data parallelism (§3.3): the
 //! bidirectional pipeline group of `D` workers is replicated `W` times
@@ -27,11 +28,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel::unbounded;
-
+use chimera_collectives::keyed_group;
+use chimera_comm::{FaultInjection, KeyedReduce, LocalFabric, SendFault, Transport};
 use chimera_core::schedule::Schedule;
 use chimera_core::{StageId, WorkerId};
-use chimera_collectives::keyed_group;
 use chimera_nn::checkpoint;
 use chimera_nn::{ModelConfig, Optimizer, Stage, SyntheticData};
 use chimera_trace::{now_ns, CounterEvent, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
@@ -381,18 +381,44 @@ fn run_segment(
     let per_group = sched.num_workers();
     let total_workers = per_group * w as usize;
 
-    // Channels: one inbox per global worker (group-major layout).
-    let mut txs = Vec::with_capacity(total_workers);
-    let mut rxs = Vec::with_capacity(total_workers);
-    for _ in 0..total_workers {
-        let (tx, rx) = unbounded();
-        txs.push(tx);
-        rxs.push(rx);
+    // Interconnect: one in-process fabric endpoint per global worker
+    // (group-major layout). Injected message faults compile down to
+    // transport-level send faults installed on the faulty sender's endpoint,
+    // so the same injection path exercises every backend.
+    let mut endpoints = LocalFabric::new(total_workers as u32);
+    if let Some(f) = &fault {
+        // Per-sender plan: (message to drop, message to delay + how long).
+        type FaultPlan = (Option<SendFault>, Option<(SendFault, Duration)>);
+        let mut plans: HashMap<usize, FaultPlan> = HashMap::new();
+        if let Some(dm) = f.drop_msg {
+            let global = dm.group as usize * per_group + dm.from_worker as usize;
+            plans.entry(global).or_default().0 = Some(SendFault {
+                grad: dm.grad,
+                micro: dm.micro,
+            });
+        }
+        if let Some((dm, delay)) = f.delay_msg {
+            let global = dm.group as usize * per_group + dm.from_worker as usize;
+            plans.entry(global).or_default().1 = Some((
+                SendFault {
+                    grad: dm.grad,
+                    micro: dm.micro,
+                },
+                delay,
+            ));
+        }
+        for (global, (drop_msg, delay_msg)) in plans {
+            let mut inj = FaultInjection::new(drop_msg, delay_msg);
+            if let Some(sink) = &opts.trace {
+                inj = inj.with_trace(sink.clone(), global as u32);
+            }
+            endpoints[global].install_fault(inj);
+        }
     }
 
     // Allreduce groups: one keyed group per stage spanning every group's
     // holders, ranked (group, holder) for determinism.
-    let mut sync_per_worker: Vec<HashMap<u32, _>> =
+    let mut sync_per_worker: Vec<HashMap<u32, Box<dyn KeyedReduce>>> =
         (0..total_workers).map(|_| HashMap::new()).collect();
     for s in 0..d {
         let holders = sched.placement.stage_holders(StageId(s));
@@ -401,7 +427,8 @@ fn run_segment(
         for g in 0..w {
             for h in &holders {
                 let global = g as usize * per_group + h.idx();
-                sync_per_worker[global].insert(s, members.pop().expect("member per holder"));
+                sync_per_worker[global]
+                    .insert(s, Box::new(members.pop().expect("member per holder")) as _);
             }
         }
     }
@@ -413,11 +440,11 @@ fn run_segment(
     };
     let mut handles = Vec::with_capacity(total_workers);
     let mut sync_iter = sync_per_worker.into_iter();
-    let mut rx_iter = rxs.into_iter();
+    let mut ep_iter = endpoints.into_iter();
     for g in 0..w {
         for lw in 0..per_group {
             let wid = WorkerId(lw as u32);
-            let rx = rx_iter.next().expect("one inbox per worker");
+            let ep: Arc<dyn Transport> = Arc::new(ep_iter.next().expect("endpoint per worker"));
             let sync = sync_iter.next().expect("sync map per worker");
             let stages: Vec<(u32, u32, Stage, Optimizer)> = sched
                 .placement
@@ -442,8 +469,7 @@ fn run_segment(
                 sched.placement.clone(),
                 stages,
                 sync,
-                rx,
-                txs.clone(),
+                ep,
                 data,
                 wopts.clone(),
                 seg,
@@ -459,7 +485,6 @@ fn run_segment(
             ));
         }
     }
-    drop(txs);
 
     // Join everyone, then classify. A kill makes its peers fail too (send
     // errors, deadlined waits), so a detected death takes precedence over

@@ -1,23 +1,25 @@
 //! One pipeline worker: a thread executing its schedule ops on real model
 //! stages.
 //!
+//! Workers are generic over the interconnect: all point-to-point traffic
+//! goes through a [`chimera_comm::Transport`] endpoint (crossbeam channels
+//! in-process, TCP frames across processes) and gradient synchronization
+//! through a [`chimera_comm::KeyedReduce`] member per held stage.
+//!
 //! Every blocking wait in a worker (p2p receive, allreduce completion) has
 //! a deadline ([`TrainOptions::recv_timeout`]): instead of hanging on a dead
 //! peer, a worker returns a [`WorkerError`] naming the worker, iteration,
 //! and blocked op, and the supervisor in [`crate::runtime`] decides whether
-//! to recover. The stub-friendly implementation polls `try_recv` with a
-//! bounded exponential backoff rather than relying on `recv_timeout`.
+//! to recover.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
-
+use chimera_comm::{KeyedReduce, MsgKey, Payload, Transport};
 use chimera_core::op::{Chunk, Op, OpKind};
 use chimera_core::placement::Placement;
 use chimera_core::{StageId, WorkerId};
-use chimera_collectives::KeyedMember;
 use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
 use chimera_tensor::Tensor;
 use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
@@ -25,21 +27,6 @@ use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind
 use crate::error::WorkerError;
 use crate::fault::{FaultSpec, RecoveryPolicy};
 
-/// A boundary message between pipeline workers.
-pub struct Msg {
-    /// Producing replica.
-    pub replica: u32,
-    /// Producing stage.
-    pub stage: u32,
-    /// Global micro-batch id.
-    pub micro: u64,
-    /// `true` for a backward (gradient) message.
-    pub grad: bool,
-    /// The tensor.
-    pub tensor: Tensor,
-}
-
-type InboxKey = (bool, u32, u32, u64);
 type StageKey = (u32, u32); // (replica, stage)
 
 /// Training hyper-parameters shared by every worker.
@@ -195,19 +182,15 @@ pub struct Worker {
     placement: Placement,
     stages: HashMap<StageKey, Stage>,
     optimizers: HashMap<StageKey, Optimizer>,
-    sync: HashMap<u32, KeyedMember>, // by stage
-    rx: Receiver<Msg>,
-    tx: Vec<Sender<Msg>>,
+    sync: HashMap<u32, Box<dyn KeyedReduce>>, // by stage
+    /// This worker's interconnect endpoint; global rank `group · D + id`.
+    ep: Arc<dyn Transport>,
     data: SyntheticData,
     opts: TrainOptions,
     seg: SegmentSpec,
     /// Global iteration currently executing (for fault matching and error
     /// diagnostics).
     cur_iter: u32,
-    /// One-shot flags for the injected message faults.
-    drop_fired: bool,
-    delay_fired: bool,
-    inbox: HashMap<InboxKey, Tensor>,
     stashes: HashMap<(u32, u32, u64), MicroStash>,
     grads: HashMap<StageKey, Vec<(u64, Vec<f32>)>>,
     recomputing: Vec<StageKey>,
@@ -236,9 +219,8 @@ impl Worker {
         ops: Vec<Op>,
         placement: Placement,
         stages: Vec<(u32, u32, Stage, Optimizer)>,
-        sync: HashMap<u32, KeyedMember>,
-        rx: Receiver<Msg>,
-        tx: Vec<Sender<Msg>>,
+        sync: HashMap<u32, Box<dyn KeyedReduce>>,
+        ep: Arc<dyn Transport>,
         data: SyntheticData,
         opts: TrainOptions,
         seg: SegmentSpec,
@@ -290,15 +272,11 @@ impl Worker {
             stages: stage_map,
             optimizers,
             sync,
-            rx,
-            tx,
+            ep,
             data,
             opts,
             seg,
             cur_iter: seg.start_iter,
-            drop_fired: false,
-            delay_fired: false,
-            inbox: HashMap::new(),
             stashes: HashMap::new(),
             grads: HashMap::new(),
             recomputing,
@@ -375,12 +353,13 @@ impl Worker {
         let Some(kill) = self.opts.fault.as_ref().and_then(|f| f.kill) else {
             return Ok(());
         };
-        if kill.group != self.group || kill.worker != self.id.0 || kill.iteration != self.cur_iter
-        {
+        if kill.group != self.group || kill.worker != self.id.0 || kill.iteration != self.cur_iter {
             return Ok(());
         }
         let at = now_ns();
-        MetricsRegistry::global().counter("runtime.fault.kills").inc();
+        MetricsRegistry::global()
+            .counter("runtime.fault.kills")
+            .inc();
         if let Some(tr) = &self.tracer {
             tr.span(
                 SpanKind::Fault,
@@ -500,13 +479,7 @@ impl Worker {
         }
         if let Some(act) = out.activation {
             let to = self.placement.worker(op.replica, StageId(s + 1));
-            self.send(to, Msg {
-                replica: r,
-                stage: s,
-                micro: g,
-                grad: false,
-                tensor: act,
-            })?;
+            self.send(to, r, s, g, false, act)?;
         }
         if let Some(loss) = out.loss {
             self.losses.push((g, loss));
@@ -551,13 +524,7 @@ impl Worker {
         self.grads.entry((r, s)).or_default().push((g, grad));
         if let Some(dx) = dx {
             let to = self.placement.worker(op.replica, StageId(s - 1));
-            self.send(to, Msg {
-                replica: r,
-                stage: s,
-                micro: g,
-                grad: true,
-                tensor: dx,
-            })?;
+            self.send(to, r, s, g, true, dx)?;
         }
         Ok(())
     }
@@ -574,73 +541,43 @@ impl Worker {
         stage.set_params(&params);
     }
 
-    /// True when `fault` targets the message this worker is about to send.
-    fn msg_fault_matches(&self, fault: &crate::fault::MsgFault, msg: &Msg) -> bool {
-        fault.group == self.group
-            && fault.from_worker == self.id.0
-            && fault.grad == msg.grad
-            && fault.micro == msg.micro
-    }
-
-    fn send(&mut self, to: WorkerId, msg: Msg) -> Result<(), WorkerError> {
-        if let Some(fault) = &self.opts.fault {
-            if let Some(dm) = fault.drop_msg {
-                if !self.drop_fired && self.msg_fault_matches(&dm, &msg) {
-                    // Lose the message: the receiver will hit its deadline
-                    // and report the blocked op.
-                    self.drop_fired = true;
-                    MetricsRegistry::global()
-                        .counter("runtime.fault.dropped_msgs")
-                        .inc();
-                    if let Some(tr) = &self.tracer {
-                        let at = now_ns();
-                        tr.span(
-                            SpanKind::Fault,
-                            format!("drop m{}@s{}", msg.micro, msg.stage),
-                            at,
-                            at,
-                            Some(msg.stage),
-                            Some(msg.replica),
-                            Some(msg.micro),
-                        );
-                    }
-                    return Ok(());
-                }
+    /// Ship one pipeline boundary tensor to worker `to` in this group.
+    ///
+    /// p2p stays within the pipeline group (§3.3): transport ranks are
+    /// global worker ids `group · D + local id`. Fault injection (message
+    /// drop/delay) lives inside the transport, so it behaves identically
+    /// across backends.
+    fn send(
+        &mut self,
+        to: WorkerId,
+        replica: u32,
+        stage: u32,
+        micro: u64,
+        grad: bool,
+        tensor: Tensor,
+    ) -> Result<(), WorkerError> {
+        let global = self.group * self.d + to.0;
+        let key = if grad {
+            MsgKey::Grad {
+                replica,
+                stage,
+                micro,
             }
-            if let Some((dm, delay)) = fault.delay_msg {
-                if !self.delay_fired && self.msg_fault_matches(&dm, &msg) {
-                    self.delay_fired = true;
-                    MetricsRegistry::global()
-                        .counter("runtime.fault.delayed_msgs")
-                        .inc();
-                    let start = self.tracer.as_ref().map(|_| now_ns());
-                    std::thread::sleep(delay);
-                    if let (Some(tr), Some(start)) = (&self.tracer, start) {
-                        tr.span(
-                            SpanKind::Fault,
-                            format!("delay m{}@s{}", msg.micro, msg.stage),
-                            start,
-                            now_ns(),
-                            Some(msg.stage),
-                            Some(msg.replica),
-                            Some(msg.micro),
-                        );
-                    }
-                }
+        } else {
+            MsgKey::Act {
+                replica,
+                stage,
+                micro,
             }
-        }
-        // p2p stays within the pipeline group (§3.3): `tx` is indexed by
-        // global worker id = group · D + local id.
-        let global = self.group as usize * self.d as usize + to.idx();
-        if self.tx[global].send(msg).is_err() {
-            return Err(WorkerError::PeerGone {
+        };
+        self.ep
+            .send(global, key, Payload::Tensor(tensor))
+            .map_err(|_| WorkerError::PeerGone {
                 group: self.group,
                 worker: self.id.0,
                 iteration: self.cur_iter,
                 to: to.0,
-            });
-        }
-        Ok(())
+            })
     }
 
     fn recv(
@@ -650,31 +587,23 @@ impl Worker {
         stage: u32,
         micro: u64,
     ) -> Result<Tensor, WorkerError> {
-        let key = (grad, replica, stage, micro);
-        if let Some(t) = self.inbox.remove(&key) {
-            // Already delivered — no wait, no span.
-            return Ok(t);
-        }
+        let key = if grad {
+            MsgKey::Grad {
+                replica,
+                stage,
+                micro,
+            }
+        } else {
+            MsgKey::Act {
+                replica,
+                stage,
+                micro,
+            }
+        };
         let start = self.tracer.as_ref().map(|_| now_ns());
-        let deadline = Instant::now() + self.opts.recv_timeout;
-        let mut backoff_us = 10u64;
-        let tensor = loop {
-            // Drain everything already delivered, then check for our key.
-            let mut progressed = false;
-            while let Ok(msg) = self.rx.try_recv() {
-                progressed = true;
-                if let Some(tr) = &self.tracer {
-                    // Each message is pulled off its channel exactly once, so
-                    // this counts total p2p traffic, not just this key's bytes.
-                    tr.p2p_bytes.add(msg.tensor.len() as u64 * 4);
-                }
-                self.inbox
-                    .insert((msg.grad, msg.replica, msg.stage, msg.micro), msg.tensor);
-            }
-            if let Some(t) = self.inbox.remove(&key) {
-                break t;
-            }
-            if Instant::now() >= deadline {
+        let tensor = match self.ep.recv_deadline(key, self.opts.recv_timeout) {
+            Ok(payload) => payload.into_tensor(),
+            Err(_) => {
                 let dir = if grad { "grad" } else { "act" };
                 return Err(WorkerError::RecvTimeout {
                     group: self.group,
@@ -684,15 +613,12 @@ impl Worker {
                     waited: self.opts.recv_timeout,
                 });
             }
-            if progressed {
-                backoff_us = 10;
-            } else {
-                std::thread::sleep(Duration::from_micros(backoff_us));
-                backoff_us = (backoff_us * 2).min(500);
-            }
         };
         if let (Some(tr), Some(start)) = (&self.tracer, start) {
             let end = now_ns();
+            // Each boundary tensor is received exactly once, so counting on
+            // the receive side totals all p2p traffic.
+            tr.p2p_bytes.add(tensor.len() as u64 * 4);
             tr.p2p_wait_ns.add(end.saturating_sub(start));
             let dir = if grad { "grad" } else { "act" };
             tr.span(

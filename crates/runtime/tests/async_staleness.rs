@@ -61,7 +61,10 @@ fn pipedream_long_run_remains_stable() {
     let result = train(&sched, cfg, o).expect("training succeeds");
     let l = &result.iteration_losses; // one entry (single unrolled span)
     assert_eq!(l.len(), 1);
-    assert!(l[0].is_finite() && l[0] > 0.0, "async training stayed stable");
+    assert!(
+        l[0].is_finite() && l[0] > 0.0,
+        "async training stayed stable"
+    );
 }
 
 #[test]

@@ -104,8 +104,13 @@ fn hybrid_equals_pure_pipeline_result() {
     // order — data parallelism is algorithmically invisible (§2).
     let cfg = ModelConfig::tiny();
     let o = opts(2);
-    let hybrid =
-        train_hybrid(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), cfg, o.clone(), 2).unwrap();
+    let hybrid = train_hybrid(
+        &chimera(&ChimeraConfig::new(2, 2)).unwrap(),
+        cfg,
+        o.clone(),
+        2,
+    )
+    .unwrap();
     let pure = train_hybrid(&chimera(&ChimeraConfig::new(2, 4)).unwrap(), cfg, o, 1).unwrap();
     assert_eq!(hybrid.flat_params(), pure.flat_params());
     assert_eq!(hybrid.iteration_losses, pure.iteration_losses);

@@ -2,9 +2,7 @@
 //! warmup must stay bit-identical to sequential training, like SGD.
 
 use chimera_core::chimera::{chimera, ChimeraConfig};
-use chimera_nn::{
-    LrSchedule, ModelConfig, OptimizerKind, ReferenceTrainer, Stage, SyntheticData,
-};
+use chimera_nn::{LrSchedule, ModelConfig, OptimizerKind, ReferenceTrainer, Stage, SyntheticData};
 use chimera_runtime::{train, train_hybrid, TrainOptions};
 
 fn adam_opts(iterations: u32) -> TrainOptions {
@@ -80,7 +78,10 @@ fn adam_trains_the_tiny_model() {
     let result = train(&sched, cfg, o).expect("training succeeds");
     let first = result.iteration_losses[0];
     let last = *result.iteration_losses.last().unwrap();
-    assert!(last < first, "Adam failed to reduce loss: {first} -> {last}");
+    assert!(
+        last < first,
+        "Adam failed to reduce loss: {first} -> {last}"
+    );
 }
 
 #[test]

@@ -112,6 +112,11 @@ fn disabled_trace_emits_nothing() {
         iterations: 1,
         ..TrainOptions::default()
     };
-    train(&chimera(&ChimeraConfig::new(2, 2)).unwrap(), ModelConfig::tiny(), opts).expect("trains");
+    train(
+        &chimera(&ChimeraConfig::new(2, 2)).unwrap(),
+        ModelConfig::tiny(),
+        opts,
+    )
+    .expect("trains");
     assert!(sink.is_empty());
 }

@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn trivial_cases_are_free() {
-        assert_eq!(allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 20, 1, link()), 0.0);
+        assert_eq!(
+            allreduce_time(AllReduceAlgo::Rabenseifner, 1 << 20, 1, link()),
+            0.0
+        );
         assert_eq!(allreduce_time(AllReduceAlgo::Ring, 0, 8, link()), 0.0);
     }
 

@@ -97,9 +97,13 @@ impl SimCostModel {
             alpha_s: self.network.inter.alpha_s,
             beta_s_per_byte: self.network.inter.beta_s_per_byte * self.allreduce_beta_factor,
         };
-        let bytes =
-            (self.stages[stage.idx()].param_bytes as f64 * self.grad_compression) as u64;
-        allreduce_time(self.allreduce_algo, bytes, self.allreduce_participants, link)
+        let bytes = (self.stages[stage.idx()].param_bytes as f64 * self.grad_compression) as u64;
+        allreduce_time(
+            self.allreduce_algo,
+            bytes,
+            self.allreduce_participants,
+            link,
+        )
     }
 
     fn chunk_scale(op: &Op) -> f64 {
@@ -138,9 +142,7 @@ impl SimCostModel {
             OpKind::Backward { .. } => (op.stage.0 + 1 < d, op.stage.0 > 0),
             _ => (false, false),
         };
-        let per_msg = |bytes: f64| {
-            self.p2p_host_overhead_s + bytes * self.p2p_host_s_per_byte
-        };
+        let per_msg = |bytes: f64| self.p2p_host_overhead_s + bytes * self.p2p_host_s_per_byte;
         let mut cost = 0.0;
         if recv {
             let idx = match op.kind {
@@ -160,9 +162,7 @@ impl CostProvider for SimCostModel {
     fn op_cost(&self, op: &Op) -> u64 {
         let st = &self.stages[op.stage.idx()];
         let s = match op.kind {
-            OpKind::Forward => {
-                st.fwd_s * Self::chunk_scale(op) + self.p2p_host_s(op)
-            }
+            OpKind::Forward => st.fwd_s * Self::chunk_scale(op) + self.p2p_host_s(op),
             OpKind::Backward { recompute } => {
                 let full = st.bwd_s + if recompute { st.recompute_s } else { 0.0 };
                 let compute = match op.chunk {
@@ -173,8 +173,7 @@ impl CostProvider for SimCostModel {
                 compute + self.p2p_host_s(op)
             }
             OpKind::AllReduceLaunch => {
-                self.launch_overhead_s
-                    + self.comm_compute_interference * self.allreduce_s(op.stage)
+                self.launch_overhead_s + self.comm_compute_interference * self.allreduce_s(op.stage)
             }
             OpKind::AllReduceWait => 0.0,
         };

@@ -75,8 +75,8 @@ impl SimReport {
         recovery: &RecoveryModel,
     ) -> f64 {
         assert!(mtbf_s > 0.0, "MTBF must be positive");
-        let ckpt_frac = recovery.checkpoint_s
-            / (recovery.checkpoint_every.max(1) as f64 * self.iter_time_s);
+        let ckpt_frac =
+            recovery.checkpoint_s / (recovery.checkpoint_every.max(1) as f64 * self.iter_time_s);
         let fail_frac = recovery.expected_failure_overhead_s(self.iter_time_s) / mtbf_s;
         self.throughput(b_hat) / (1.0 + ckpt_frac + fail_frac)
     }
@@ -295,7 +295,12 @@ mod tests {
             &c,
         )
         .unwrap();
-        assert!(chim.iter_time_s < dap.iter_time_s, "{} vs DAPPLE {}", chim.iter_time_s, dap.iter_time_s);
+        assert!(
+            chim.iter_time_s < dap.iter_time_s,
+            "{} vs DAPPLE {}",
+            chim.iter_time_s,
+            dap.iter_time_s
+        );
         assert!(chim.iter_time_s < gp.iter_time_s);
         assert!(chim.iter_time_s < gm.iter_time_s);
         // GEMS is the slowest synchronous scheme (highest bubble ratio).
@@ -381,10 +386,7 @@ mod tests {
         let rep = simulate(&dapple(d, 4), &c).unwrap();
         let v = serde_json::to_value(&rep).unwrap();
         assert_eq!(v["span_s"].as_f64().unwrap(), rep.span_s);
-        assert_eq!(
-            v["busy_s"].as_array().unwrap().len(),
-            rep.busy_s.len()
-        );
+        assert_eq!(v["busy_s"].as_array().unwrap().len(), rep.busy_s.len());
         assert!(v.get("timeline").is_none());
         // And round-trips through text.
         let text = serde_json::to_string(&v).unwrap();

@@ -317,7 +317,12 @@ impl RecoveryAccounting {
                     micro: None,
                 })
             };
-            out.push(span(SpanKind::Fault, &format!("crash w{}", c.worker), at, 0));
+            out.push(span(
+                SpanKind::Fault,
+                &format!("crash w{}", c.worker),
+                at,
+                0,
+            ));
             out.push(span(SpanKind::Detect, "detect", at, c.detect_ns));
             out.push(span(
                 SpanKind::Restore,
@@ -383,7 +388,11 @@ pub fn simulate_faulty(
         span_s,
         iter_time_s: span_s,
         bubble_ratio: timeline.bubble_ratio(),
-        busy_s: timeline.busy.iter().map(|&b| SimCostModel::seconds(b)).collect(),
+        busy_s: timeline
+            .busy
+            .iter()
+            .map(|&b| SimCostModel::seconds(b))
+            .collect(),
         peak_act_bytes: timeline
             .peak_activations
             .iter()
@@ -685,10 +694,7 @@ mod tests {
         let rep = simulate_faulty(&sched, &c, &plan, &recovery(2), 4).unwrap();
         let v = serde_json::to_value(&rep).unwrap();
         assert_eq!(v["recovery"]["run_iterations"].as_u64().unwrap(), 4);
-        assert_eq!(
-            v["recovery"]["crashes"].as_array().unwrap().len(),
-            1
-        );
+        assert_eq!(v["recovery"]["crashes"].as_array().unwrap().len(), 1);
         assert_eq!(v["recovery"]["crashes"][0]["worker"].as_u64().unwrap(), 1);
         assert!(v["recovery"]["effective_iter_time_s"].as_f64().unwrap() > 0.0);
         // Healthy reports keep the field null.

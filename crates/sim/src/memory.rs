@@ -40,11 +40,7 @@ pub fn weights_bytes(sched: &Schedule, cost: &SimCostModel) -> Vec<u64> {
 }
 
 /// Peak memory per worker: weights + measured activation peak.
-pub fn peak_memory_bytes(
-    sched: &Schedule,
-    cost: &SimCostModel,
-    timeline: &Timeline,
-) -> Vec<u64> {
+pub fn peak_memory_bytes(sched: &Schedule, cost: &SimCostModel, timeline: &Timeline) -> Vec<u64> {
     weights_bytes(sched, cost)
         .into_iter()
         .zip(&timeline.peak_activations)

@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn intra_faster_than_inter() {
-        for net in [NetworkModel::cray_aries(), NetworkModel::nvlink_infiniband()] {
+        for net in [
+            NetworkModel::cray_aries(),
+            NetworkModel::nvlink_infiniband(),
+        ] {
             let big = 1 << 24;
             assert!(net.p2p_time(big, true) < net.p2p_time(big, false));
         }

@@ -194,7 +194,9 @@ mod tests {
             .collect();
         assert_eq!(kinds, vec![SpanKind::Recompute, SpanKind::AllReduceLaunch]);
         // Allreduce markers carry no micro id.
-        let Event::Span(ar) = &events[1] else { unreachable!() };
+        let Event::Span(ar) = &events[1] else {
+            unreachable!()
+        };
         assert_eq!(ar.micro, None);
     }
 }

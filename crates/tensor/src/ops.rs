@@ -138,11 +138,7 @@ mod tests {
 
     /// Central-difference numerical gradient check for a scalar loss
     /// `L = Σ y ⊙ w` of a tensor op.
-    fn num_grad(
-        x: &Tensor,
-        weights: &Tensor,
-        f: impl Fn(&Tensor) -> Tensor,
-    ) -> Tensor {
+    fn num_grad(x: &Tensor, weights: &Tensor, f: impl Fn(&Tensor) -> Tensor) -> Tensor {
         let eps = 1e-3f32;
         let mut g = Tensor::zeros(x.rows(), x.cols());
         for i in 0..x.len() {
@@ -209,7 +205,12 @@ mod tests {
         let (y, _) = layernorm(&x, &gamma, &beta);
         for r in 0..3 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 64.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 64.0;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-2);
         }
@@ -225,7 +226,11 @@ mod tests {
         let (_, stash) = layernorm(&x, &gamma, &beta);
         let (dx, dgamma, dbeta) = layernorm_backward(&stash, &gamma, &w);
         let numeric = num_grad(&x, &w, |t| layernorm(t, &gamma, &beta).0);
-        assert!(dx.max_abs_diff(&numeric) < 3e-3, "{}", dx.max_abs_diff(&numeric));
+        assert!(
+            dx.max_abs_diff(&numeric) < 3e-3,
+            "{}",
+            dx.max_abs_diff(&numeric)
+        );
         // dβ = column sums of dy.
         for (c, &db) in dbeta.iter().enumerate() {
             let expect: f32 = (0..2).map(|r| w.get(r, c)).sum();

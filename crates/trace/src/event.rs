@@ -204,8 +204,7 @@ mod tests {
         ];
         let labels: std::collections::HashSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
-        let colors: std::collections::HashSet<_> =
-            kinds.iter().map(|k| k.chrome_color()).collect();
+        let colors: std::collections::HashSet<_> = kinds.iter().map(|k| k.chrome_color()).collect();
         assert_eq!(colors.len(), kinds.len());
     }
 

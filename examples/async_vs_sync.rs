@@ -37,8 +37,12 @@ fn main() {
     };
 
     // Synchronous: Chimera.
-    let sync = train(&chimera(&ChimeraConfig::new(d, n)).unwrap(), cfg, opts.clone())
-        .expect("training succeeds");
+    let sync = train(
+        &chimera(&ChimeraConfig::new(d, n)).unwrap(),
+        cfg,
+        opts.clone(),
+    )
+    .expect("training succeeds");
 
     // Asynchronous: PipeDream steady state over the same number of
     // micro-batches (one unrolled span; per-micro stale updates).

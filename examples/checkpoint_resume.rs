@@ -8,7 +8,9 @@
 //! ```
 
 use chimera::core::chimera::{chimera, ChimeraConfig};
-use chimera::nn::{checkpoint, ModelConfig, OptimizerKind, LrSchedule, ReferenceTrainer, Stage, SyntheticData};
+use chimera::nn::{
+    checkpoint, LrSchedule, ModelConfig, OptimizerKind, ReferenceTrainer, Stage, SyntheticData,
+};
 use chimera::runtime::{train, TrainOptions};
 
 fn main() {

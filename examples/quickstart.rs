@@ -47,7 +47,11 @@ fn main() {
         stage_replicas: 2,
     }
     .cost_model();
-    let synced = place_sync(sched.clone(), SyncStrategy::EagerOpt, UnitCosts::practical());
+    let synced = place_sync(
+        sched.clone(),
+        SyncStrategy::EagerOpt,
+        UnitCosts::practical(),
+    );
     let report = simulate(&synced, &cost).expect("simulates");
     println!(
         "Simulated on 32 P100 nodes (W=8, B=8): {:.3} s/iteration, {:.0} samples/s, peak {:.1} GiB",

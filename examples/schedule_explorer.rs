@@ -79,7 +79,11 @@ fn main() {
             a.bubble_ratio,
             a.weights_memory,
             a.activations_memory,
-            if a.synchronous { "synchronous" } else { "asynchronous" }
+            if a.synchronous {
+                "synchronous"
+            } else {
+                "asynchronous"
+            }
         );
     }
 }

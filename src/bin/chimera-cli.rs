@@ -5,8 +5,20 @@
 //! chimera-cli plan    <bert48|gpt2> [P] [B̂]       best (W,D,B) per scheme
 //! chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B̂>
 //! chimera-cli train   [D] [N] [iters]             real pipelined training
+//! chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N]
+//!                     [--iters I]                 multi-process training
 //! ```
+//!
+//! `launch` spawns `P` worker **processes** (one pipeline worker each, `W =
+//! P/D` data-parallel groups) connected over the TCP transport, then re-runs
+//! the identical configuration in-process and verifies the two parameter
+//! sets are bit-identical. The hidden `worker` subcommand is what each
+//! spawned process executes.
 
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+use chimera::comm::{TcpConfig, TcpFabric, Transport};
 use chimera::core::analysis;
 use chimera::core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
 use chimera::core::chimera::{chimera as chimera_sched, ChimeraConfig, ScaleMethod};
@@ -17,12 +29,12 @@ use chimera::core::unit_time::{execute, UnitCosts};
 use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
 use chimera::perf::planner::{best, plan_chimera, PlanScheme};
 use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
-use chimera::runtime::{train, TrainOptions};
+use chimera::runtime::{train, train_hybrid, train_worker_process, TrainOptions};
 use chimera::sim::simulate;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -216,6 +228,231 @@ fn cmd_train(mut args: std::env::Args) {
     println!("✓ bit-identical to sequential mini-batch SGD");
 }
 
+/// `--flag value` pairs for the launch/worker subcommands.
+fn parse_flags(args: std::env::Args) -> std::collections::HashMap<String, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.peekable();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("unexpected argument: {flag}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("--{name} needs a value");
+            usage();
+        };
+        flags.insert(name.to_string(), value);
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> T {
+    match flags.get(name) {
+        Some(v) => v.parse().ok().unwrap_or_else(|| {
+            eprintln!("bad value for --{name}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+/// The fixed hyper-parameters `launch`/`worker` share — every process must
+/// build the identical run for the bit-identity check to be meaningful.
+fn launch_opts(iterations: u32) -> TrainOptions {
+    TrainOptions {
+        micro_batch: 2,
+        iterations,
+        lr: 0.05,
+        momentum: 0.9,
+        data_seed: 7,
+        ..TrainOptions::default()
+    }
+}
+
+fn launch_model(d: u32) -> ModelConfig {
+    ModelConfig {
+        layers: d as usize,
+        ..ModelConfig::tiny()
+    }
+}
+
+fn write_f32s(out: &mut Vec<u8>, vals: &[f32]) {
+    out.extend_from_slice(&(vals.len() as u32).to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f32s(bytes: &[u8], pos: &mut usize) -> Vec<f32> {
+    let n = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().unwrap()) as usize;
+    *pos += 4;
+    let vals = bytes[*pos..*pos + n * 4]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    *pos += n * 4;
+    vals
+}
+
+/// Spawn `P` worker processes over TCP, then verify the distributed result
+/// is bit-identical to the in-process run of the same configuration.
+fn cmd_launch(args: std::env::Args) {
+    let flags = parse_flags(args);
+    let workers: u32 = flag(&flags, "workers", 4);
+    let d: u32 = flag(&flags, "d", workers);
+    let n: u32 = flag(&flags, "n", d);
+    let iterations: u32 = flag(&flags, "iters", 4);
+    let transport = flags
+        .get("transport")
+        .map(String::as_str)
+        .unwrap_or("tcp")
+        .to_string();
+    if workers == 0 || d == 0 || !workers.is_multiple_of(d) {
+        eprintln!("--workers must be a positive multiple of --d (P = W·D)");
+        std::process::exit(2);
+    }
+    let w = workers / d;
+    let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
+    let cfg = launch_model(d);
+    let opts = launch_opts(iterations);
+
+    let (dist_losses, dist_params) = match transport.as_str() {
+        "local" => {
+            // One process, thread-per-worker over the in-process fabric —
+            // the baseline the TCP path is checked against.
+            let result =
+                train_hybrid(&sched, cfg, opts.clone(), w).expect("in-process training succeeds");
+            (result.iteration_losses.clone(), result.flat_params())
+        }
+        "tcp" => {
+            // A free rendezvous port: bind ephemeral, remember, release.
+            // Rank 0 rebinds it immediately, so reuse races are negligible.
+            let coordinator = {
+                let l = TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral port");
+                l.local_addr().expect("local addr")
+            };
+            let exe = std::env::current_exe().expect("own executable path");
+            let out_path = std::env::temp_dir().join(format!(
+                "chimera-launch-{}-{coordinator}.bin",
+                std::process::id()
+            ));
+            let mut children: Vec<std::process::Child> = (0..workers)
+                .map(|rank| {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.arg("worker")
+                        .args(["--rank", &rank.to_string()])
+                        .args(["--workers", &workers.to_string()])
+                        .args(["--d", &d.to_string()])
+                        .args(["--n", &n.to_string()])
+                        .args(["--iters", &iterations.to_string()])
+                        .args(["--coordinator", &coordinator.to_string()]);
+                    if rank == 0 {
+                        cmd.args(["--out", &out_path.display().to_string()]);
+                    }
+                    cmd.spawn().expect("spawn worker process")
+                })
+                .collect();
+            let mut failed = false;
+            for (rank, child) in children.iter_mut().enumerate() {
+                let status = child.wait().expect("wait for worker");
+                if !status.success() {
+                    eprintln!("worker rank {rank} exited with {status}");
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            let bytes = std::fs::read(&out_path).expect("rank 0 result file");
+            let _ = std::fs::remove_file(&out_path);
+            let mut pos = 0;
+            let losses = read_f32s(&bytes, &mut pos);
+            let params = read_f32s(&bytes, &mut pos);
+            (losses, params)
+        }
+        other => {
+            eprintln!("unknown transport {other:?} (use tcp or local)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("chimera launch: {workers} {transport} workers (W={w} D={d} N={n}), {iterations} iterations:");
+    for (i, l) in dist_losses.iter().enumerate() {
+        println!("  iter {i:>3}: loss {l:.4}");
+    }
+
+    // Re-run the identical configuration in-process and demand bitwise
+    // agreement.
+    let reference = train_hybrid(&sched, cfg, opts, w).expect("in-process training succeeds");
+    let ref_params = reference.flat_params();
+    let params_match = dist_params.len() == ref_params.len()
+        && dist_params
+            .iter()
+            .zip(&ref_params)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let losses_match = dist_losses.len() == reference.iteration_losses.len()
+        && dist_losses
+            .iter()
+            .zip(&reference.iteration_losses)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !params_match || !losses_match {
+        eprintln!(
+            "✗ {transport} run diverged from the in-process run (params match: \
+             {params_match}, losses match: {losses_match})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "✓ bit-identical to the in-process run ({} parameters)",
+        ref_params.len()
+    );
+}
+
+/// One spawned worker process (hidden subcommand used by `launch`).
+fn cmd_worker(args: std::env::Args) {
+    let flags = parse_flags(args);
+    let rank: u32 = flag(&flags, "rank", 0);
+    let workers: u32 = flag(&flags, "workers", 1);
+    let d: u32 = flag(&flags, "d", workers);
+    let n: u32 = flag(&flags, "n", d);
+    let iterations: u32 = flag(&flags, "iters", 4);
+    let coordinator: SocketAddr = match flags.get("coordinator").map(|s| s.parse()) {
+        Some(Ok(a)) => a,
+        _ => {
+            eprintln!("worker needs --coordinator <addr>");
+            std::process::exit(2);
+        }
+    };
+    let w = workers / d;
+    let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
+    let ep = match TcpFabric::connect(TcpConfig::new(rank, workers, coordinator)) {
+        Ok(ep) => Arc::new(ep) as Arc<dyn Transport>,
+        Err(e) => {
+            eprintln!("rank {rank}: joining fabric failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match train_worker_process(ep, &sched, launch_model(d), launch_opts(iterations), w) {
+        Ok(Some(outcome)) => {
+            if let Some(path) = flags.get("out") {
+                let mut bytes = Vec::new();
+                write_f32s(&mut bytes, &outcome.iteration_losses);
+                write_f32s(&mut bytes, &outcome.flat_params);
+                std::fs::write(path, bytes).expect("write result file");
+            }
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("rank {rank}: training failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args();
     let _ = args.next();
@@ -224,6 +461,8 @@ fn main() {
         Some("plan") => cmd_plan(args),
         Some("simulate") => cmd_simulate(args),
         Some("train") => cmd_train(args),
+        Some("launch") => cmd_launch(args),
+        Some("worker") => cmd_worker(args),
         _ => usage(),
     }
 }

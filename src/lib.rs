@@ -15,16 +15,20 @@
 //!   configuration planner;
 //! * [`tensor`] / [`nn`] — a from-scratch CPU tensor library and transformer
 //!   layers with explicit backward passes;
-//! * [`collectives`] — shared-memory allreduce/broadcast/barrier
-//!   implementations across threads;
-//! * [`runtime`] — a thread-per-worker pipeline training runtime executing
-//!   any schedule on a real model;
+//! * [`comm`] — the pluggable transport layer (keyed, deadline-aware p2p
+//!   messaging): in-process channels and a TCP backend with the same
+//!   semantics;
+//! * [`collectives`] — allreduce/broadcast/barrier implementations, both
+//!   shared-memory across threads and transport-backed across processes;
+//! * [`runtime`] — a worker-per-rank pipeline training runtime executing
+//!   any schedule on a real model, in-process or multi-process;
 //! * [`trace`] — structured tracing, a metrics registry, and Chrome/Perfetto
 //!   trace export for both the simulator and the runtime.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
 pub use chimera_collectives as collectives;
+pub use chimera_comm as comm;
 pub use chimera_core as core;
 pub use chimera_nn as nn;
 pub use chimera_perf as perf;

@@ -97,7 +97,11 @@ fn gems_bubble_vs_table2() {
         for n in [8u32, 32] {
             let tl = execute(&gems(d, n), UnitCosts::practical()).unwrap();
             let err = (tl.bubble_ratio() - expected).abs() / expected;
-            assert!(err < 0.12, "D={d} N={n}: {} vs {expected}", tl.bubble_ratio());
+            assert!(
+                err < 0.12,
+                "D={d} N={n}: {} vs {expected}",
+                tl.bubble_ratio()
+            );
         }
     }
     // At D=4 our reconstruction overlaps a bit more than the formula
@@ -128,7 +132,11 @@ fn weight_versions_match_table2() {
     assert!(rep.max_versions.iter().all(|&v| v <= 2));
     assert!(rep.max_staleness >= 1, "2BW uses stale weights");
 
-    for sched in [gpipe(d, n), dapple(d, n), chimera(&ChimeraConfig::new(d, n)).unwrap()] {
+    for sched in [
+        gpipe(d, n),
+        dapple(d, n),
+        chimera(&ChimeraConfig::new(d, n)).unwrap(),
+    ] {
         let rep = weight_analysis(
             &sched,
             UpdateRule::PerIteration {
@@ -145,10 +153,15 @@ fn weight_versions_match_table2() {
 #[test]
 fn fifty_percent_bubble_reduction() {
     for d in [4u32, 8, 16, 32] {
-        let chim = execute(&chimera(&ChimeraConfig::new(d, d)).unwrap(), UnitCosts::equal())
+        let chim = execute(
+            &chimera(&ChimeraConfig::new(d, d)).unwrap(),
+            UnitCosts::equal(),
+        )
+        .unwrap()
+        .per_worker_bubbles()[0];
+        let dap = execute(&dapple(d, d), UnitCosts::equal())
             .unwrap()
             .per_worker_bubbles()[0];
-        let dap = execute(&dapple(d, d), UnitCosts::equal()).unwrap().per_worker_bubbles()[0];
         let reduction = 1.0 - chim as f64 / dap as f64;
         assert!(
             reduction >= 0.45,

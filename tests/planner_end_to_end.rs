@@ -139,5 +139,8 @@ fn memory_balance_claim() {
     assert!(memory::imbalance(&peaks_c) < 0.5 * memory::imbalance(&peaks_d));
     let max_c = *peaks_c.iter().max().unwrap() as f64;
     let max_d = *peaks_d.iter().max().unwrap() as f64;
-    assert!(max_c < 1.25 * max_d, "chimera peak {max_c} vs dapple {max_d}");
+    assert!(
+        max_c < 1.25 * max_d,
+        "chimera peak {max_c} vs dapple {max_d}"
+    );
 }

@@ -2,15 +2,18 @@
 //! Table 2, executed. Synchronous schedules of every scheme and shape train
 //! bit-identically to sequential mini-batch SGD on a real transformer.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
+use chimera::comm::{TcpFabric, Transport};
 use chimera::core::baselines::{dapple, gems, gpipe};
 use chimera::core::chimera::{chimera, ChimeraConfig, ScaleMethod};
 use chimera::core::schedule::{Schedule, SyncStrategy};
 use chimera::core::sync::place_sync;
 use chimera::core::unit_time::UnitCosts;
 use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
-use chimera::runtime::{train, TrainOptions};
+use chimera::runtime::{train, train_worker_process, TrainOptions};
 
 fn opts(iterations: u32) -> TrainOptions {
     TrainOptions {
@@ -98,7 +101,11 @@ fn chimera_f2_d8_bitexact() {
 
 #[test]
 fn all_sync_strategies_bitexact() {
-    for strat in [SyncStrategy::PostHoc, SyncStrategy::Eager, SyncStrategy::EagerOpt] {
+    for strat in [
+        SyncStrategy::PostHoc,
+        SyncStrategy::Eager,
+        SyncStrategy::EagerOpt,
+    ] {
         let sched = place_sync(
             chimera(&ChimeraConfig::new(4, 8)).unwrap(),
             strat,
@@ -117,8 +124,44 @@ fn baselines_bitexact() {
 
 #[test]
 fn recompute_bitexact_everywhere() {
-    check(&chimera(&ChimeraConfig::new(4, 4)).unwrap().with_recompute(), 2);
+    check(
+        &chimera(&ChimeraConfig::new(4, 4)).unwrap().with_recompute(),
+        2,
+    );
     check(&dapple(4, 4).with_recompute(), 2);
+}
+
+/// D=4 Chimera over the TCP transport (real loopback sockets, the full wire
+/// path: framing, rendezvous, reader threads) trains bit-identically to the
+/// in-process channel fabric — and therefore to sequential SGD.
+#[test]
+fn chimera_d4_over_tcp_bitexact() {
+    let sched = chimera(&ChimeraConfig::new(4, 4)).unwrap();
+    let cfg = cfg_for(sched.d);
+    let o = opts(2);
+
+    let endpoints = TcpFabric::loopback(sched.num_workers() as u32).expect("loopback fabric");
+    let handles: Vec<_> = endpoints
+        .into_iter()
+        .map(|ep| {
+            let sched = sched.clone();
+            let o = o.clone();
+            std::thread::spawn(move || {
+                train_worker_process(Arc::new(ep) as Arc<dyn Transport>, &sched, cfg, o, 1)
+                    .expect("tcp worker trains")
+            })
+        })
+        .collect();
+    let mut outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let tcp = outcomes.remove(0).expect("rank 0 assembles the outcome");
+
+    let local = train(&sched, cfg, o).expect("in-process training succeeds");
+    let tcp_bits: Vec<u32> = tcp.flat_params.iter().map(|f| f.to_bits()).collect();
+    let local_bits: Vec<u32> = local.flat_params().iter().map(|f| f.to_bits()).collect();
+    assert_eq!(tcp_bits, local_bits, "tcp fabric diverged from in-process");
+    for (a, b) in tcp.iteration_losses.iter().zip(&local.iteration_losses) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }
 
 /// Different synchronous schemes produce the same model as each other, so
