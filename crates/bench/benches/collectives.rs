@@ -1,5 +1,7 @@
 //! Criterion: exact (rank-ordered) vs ring allreduce across threads.
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use std::thread;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -47,10 +49,10 @@ fn bench_collectives(c: &mut Criterion) {
     g.sample_size(20);
     for len in [1usize << 10, 1 << 16, 1 << 20] {
         g.bench_with_input(BenchmarkId::new("exact", len), &len, |b, &len| {
-            b.iter(|| run_exact(4, len))
+            b.iter(|| run_exact(4, len));
         });
         g.bench_with_input(BenchmarkId::new("ring", len), &len, |b, &len| {
-            b.iter(|| run_ring(4, len))
+            b.iter(|| run_ring(4, len));
         });
     }
     g.finish();

@@ -1,5 +1,7 @@
 //! Criterion: schedule-generation throughput for Chimera and the baselines.
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use chimera_core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady};
@@ -9,16 +11,16 @@ fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("schedule_generation");
     for d in [4u32, 8, 16, 32] {
         g.bench_with_input(BenchmarkId::new("chimera_n_eq_d", d), &d, |b, &d| {
-            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, d))).unwrap())
+            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, d))).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("chimera_n_4d_direct", d), &d, |b, &d| {
-            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, 4 * d))).unwrap())
+            b.iter(|| chimera(black_box(&ChimeraConfig::new(d, 4 * d))).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("dapple", d), &d, |b, &d| {
-            b.iter(|| dapple(black_box(d), black_box(4 * d)))
+            b.iter(|| dapple(black_box(d), black_box(4 * d)));
         });
         g.bench_with_input(BenchmarkId::new("gpipe", d), &d, |b, &d| {
-            b.iter(|| gpipe(black_box(d), black_box(4 * d)))
+            b.iter(|| gpipe(black_box(d), black_box(4 * d)));
         });
     }
     g.finish();
@@ -33,7 +35,7 @@ fn bench_generation(c: &mut Criterion) {
                 scale: ScaleMethod::Direct,
             })
             .unwrap()
-        })
+        });
     });
     g.bench_function("chimera_fwd_doubling_d8_n32", |b| {
         b.iter(|| {
@@ -44,11 +46,11 @@ fn bench_generation(c: &mut Criterion) {
                 scale: ScaleMethod::ForwardDoubling { recompute: true },
             })
             .unwrap()
-        })
+        });
     });
     g.bench_function("gems_d8_n16", |b| b.iter(|| gems(8, 16)));
     g.bench_function("pipedream_2bw_steady_d8_n8x6", |b| {
-        b.iter(|| pipedream_2bw_steady(8, 8, 6))
+        b.iter(|| pipedream_2bw_steady(8, 8, 6));
     });
     g.finish();
 }

@@ -1,5 +1,7 @@
 //! Criterion: discrete-event simulator throughput.
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use chimera_core::chimera::{chimera, ChimeraConfig};
@@ -30,7 +32,7 @@ fn bench_simulate(c: &mut Criterion) {
             BenchmarkId::new("chimera", format!("d{d}_n{n}")),
             &(sched, cost),
             |bench, (sched, cost)| {
-                bench.iter(|| simulate(black_box(sched), black_box(cost)).unwrap())
+                bench.iter(|| simulate(black_box(sched), black_box(cost)).unwrap());
             },
         );
     }
@@ -43,7 +45,7 @@ fn bench_unit_executor(c: &mut Criterion) {
     for d in [8u32, 32] {
         let sched = chimera(&ChimeraConfig::new(d, 4 * d)).unwrap();
         g.bench_with_input(BenchmarkId::new("practical", d), &sched, |b, sched| {
-            b.iter(|| execute(black_box(sched), UnitCosts::practical()).unwrap())
+            b.iter(|| execute(black_box(sched), UnitCosts::practical()).unwrap());
         });
     }
     g.finish();

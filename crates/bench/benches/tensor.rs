@@ -1,6 +1,8 @@
 //! Criterion: tensor-kernel throughput (the compute substrate of the real
 //! training runtime).
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use chimera_tensor::{gelu, layernorm, softmax_rows, Rng, Tensor};
@@ -12,7 +14,7 @@ fn bench_matmul(c: &mut Criterion) {
         let a = Tensor::normal(n, n, 1.0, &mut rng);
         let b = Tensor::normal(n, n, 1.0, &mut rng);
         g.bench_with_input(BenchmarkId::new("square", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(a).matmul(black_box(b)))
+            bench.iter(|| black_box(a).matmul(black_box(b)));
         });
     }
     g.finish();
@@ -27,7 +29,7 @@ fn bench_pointwise(c: &mut Criterion) {
     g.bench_function("softmax_rows", |b| b.iter(|| softmax_rows(black_box(&x))));
     g.bench_function("gelu", |b| b.iter(|| gelu(black_box(&x))));
     g.bench_function("layernorm", |b| {
-        b.iter(|| layernorm(black_box(&x), &gamma, &beta))
+        b.iter(|| layernorm(black_box(&x), &gamma, &beta));
     });
     g.finish();
 }

@@ -6,6 +6,8 @@
 //! instrumentation including clock reads, so the disabled configuration must
 //! not be measurably slower than the seed runtime.
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -41,14 +43,14 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("disabled", |b| b.iter(|| train_once(None)));
     g.bench_function("null_sink", |b| {
-        b.iter(|| train_once(Some(Arc::new(NullSink))))
+        b.iter(|| train_once(Some(Arc::new(NullSink))));
     });
     g.bench_function("buffer_sink", |b| {
         b.iter(|| {
             let sink = Arc::new(BufferSink::new());
             train_once(Some(sink.clone()));
             assert!(!sink.is_empty());
-        })
+        });
     });
     g.finish();
 }

@@ -2,6 +2,8 @@
 //! synchronous baselines — the laptop-scale analogue of the paper's
 //! throughput comparison.
 
+// criterion_group! expands to an undocumented public fn.
+#![allow(missing_docs)]
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use chimera_core::baselines::{dapple, gems, gpipe};

@@ -20,6 +20,15 @@ fn main() {
     let mut json = Vec::new();
     for (name, c) in &results {
         if let Some(c) = c {
+            // Static verification gate: rebuild each winning candidate's
+            // exact schedule and require a clean report before publishing
+            // its numbers.
+            let (sched, _, iters) = rebuild(c, model, cluster).expect("candidate rebuilds");
+            let verdict = chimera_verify::verify_span(&sched, iters);
+            assert!(
+                verdict.is_clean(),
+                "{name} best candidate fails static verification:\n{verdict}"
+            );
             rows.push(vec![
                 name.clone(),
                 format!("D={} W={} B={}", c.d, c.w, c.b),

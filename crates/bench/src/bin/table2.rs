@@ -43,11 +43,20 @@ fn main() {
     for scheme in schemes {
         let a = table2(scheme, d, n);
         let sched = build(scheme, d, n);
+        // Static verification gate: a benchmark must never measure (and
+        // publish numbers for) a schedule that deadlocks or has hazards.
+        let span_iters = if sched.flushes { 1 } else { 8 };
+        let verdict = chimera_verify::verify_span(&sched, span_iters);
+        assert!(
+            verdict.is_clean(),
+            "{} fails static verification:\n{verdict}",
+            scheme.name()
+        );
         let tl = execute(&sched, UnitCosts::practical()).unwrap();
         let measured_bubble = tl.bubble_ratio();
         let acts = &tl.peak_activations;
-        let act_min = acts.iter().cloned().fold(f64::INFINITY, f64::min);
-        let act_max = acts.iter().cloned().fold(0.0f64, f64::max);
+        let act_min = acts.iter().copied().fold(f64::INFINITY, f64::min);
+        let act_max = acts.iter().copied().fold(0.0f64, f64::max);
         rows.push(vec![
             scheme.name().to_string(),
             format!("{:.3}", a.bubble_ratio),

@@ -24,8 +24,8 @@ fn main() {
         .unwrap();
         let tl = execute(&sched, UnitCosts::equal()).unwrap();
         let acts = &tl.peak_activations;
-        let act_min = acts.iter().cloned().fold(f64::INFINITY, f64::min);
-        let act_max = acts.iter().cloned().fold(0.0f64, f64::max);
+        let act_min = acts.iter().copied().fold(f64::INFINITY, f64::min);
+        let act_max = acts.iter().copied().fold(0.0f64, f64::max);
         // Weights replicas held per worker.
         let held = sched.placement.held_by(WorkerId(0)).len();
         rows.push(vec![

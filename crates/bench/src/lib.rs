@@ -30,7 +30,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     println!(
         "{}",
-        line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+        line(
+            &headers
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+        )
     );
     println!(
         "{}",

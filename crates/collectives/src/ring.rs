@@ -171,7 +171,7 @@ mod tests {
         for (len, n) in [(10usize, 3usize), (7, 7), (5, 8), (0, 2)] {
             let ranges = chunk_ranges(len, n);
             assert_eq!(ranges.len(), n);
-            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            let total: usize = ranges.iter().map(std::iter::ExactSizeIterator::len).sum();
             assert_eq!(total, len);
             // Contiguous.
             let mut next = 0;

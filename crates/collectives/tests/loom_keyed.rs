@@ -1,0 +1,170 @@
+//! Exhaustive-interleaving checks for the keyed allreduce
+//! (`KeyedMember`), driven by the `chimera_comm::modelcheck` explorer
+//! (run with `RUSTFLAGS="--cfg loom"`, see the CI `loom` job).
+//!
+//! The properties: every member of every interleaving observes the same
+//! bit-exact, key-ordered sum; rounds never bleed into each other even when
+//! a fast member runs a round ahead; and round state is retired once all
+//! members have fetched.
+#![cfg(loom)]
+
+use chimera_collectives::{keyed_group, sum_in_key_order, KeyedMember};
+use chimera_comm::modelcheck::{explore, StepOutcome};
+
+struct World {
+    members: Vec<KeyedMember>,
+    pc: Vec<usize>,
+    /// `results[rank]` = fetched vectors in that member's round order.
+    results: Vec<Vec<Vec<f32>>>,
+}
+
+impl World {
+    fn new(n: usize) -> Self {
+        World {
+            members: keyed_group(n),
+            pc: vec![0; n],
+            results: vec![Vec::new(); n],
+        }
+    }
+}
+
+/// One member's step through a fixed program of `rounds` deposit+fetch
+/// pairs; `contrib(rank, round)` supplies the deposit.
+fn run_member(
+    w: &mut World,
+    rank: usize,
+    rounds: usize,
+    contrib: impl Fn(usize, usize) -> Vec<(u64, Vec<f32>)>,
+) -> StepOutcome {
+    let pc = w.pc[rank];
+    let round = pc / 2;
+    if pc % 2 == 0 {
+        w.members[rank].deposit(contrib(rank, round));
+        w.pc[rank] += 1;
+        StepOutcome::Progress
+    } else {
+        match w.members[rank].try_fetch() {
+            None => StepOutcome::Blocked,
+            Some(v) => {
+                w.results[rank].push(v);
+                w.pc[rank] += 1;
+                if round + 1 == rounds {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Progress
+                }
+            }
+        }
+    }
+}
+
+/// Three members whose contributions are adversarial to float reassociation
+/// (1e8 + 1 + -1e8): the reduction must be the *key-ordered* sum, bit-exact
+/// and identical on every member, in every interleaving — arrival order
+/// must never leak into the result.
+#[test]
+fn reduction_is_bit_exact_and_order_independent() {
+    let vals = [1e8f32, 1.0, -1e8];
+    let contrib = move |rank: usize, _round: usize| vec![(0u64, vec![vals[rank]])];
+    let expected = sum_in_key_order(vals.iter().enumerate().map(|(r, &v)| (0u64, r, vec![v])));
+    // Key-order is rank order here, and f32 addition is not associative:
+    // a different reduction order would visibly change the bits.
+    assert_eq!(expected, vec![(1e8f32 + 1.0) + -1e8]);
+
+    let ex = explore(
+        3,
+        || World::new(3),
+        move |w, t| run_member(w, t, 1, contrib),
+        |w, sched| {
+            for (rank, res) in w.results.iter().enumerate() {
+                assert_eq!(
+                    res,
+                    &vec![expected.clone()],
+                    "schedule {sched:?}: member {rank} saw a reassociated sum"
+                );
+            }
+        },
+    );
+    assert!(
+        ex.deadlock_free(),
+        "deadlocked schedules: {:?}",
+        ex.deadlocks
+    );
+    assert!(
+        ex.executions >= 3,
+        "only {} schedules explored",
+        ex.executions
+    );
+}
+
+/// Two members, two overlapping rounds: one member may deposit round 1
+/// before the other has touched round 0. Rounds must stay isolated (round
+/// `k`'s result only ever contains round-`k` contributions) and retired
+/// round state must not resurface.
+#[test]
+fn overlapping_rounds_stay_isolated() {
+    let contrib = |rank: usize, round: usize| vec![(0u64, vec![(round * 10 + rank + 1) as f32])];
+    // Round 0: 1 + 2; round 1: 11 + 12.
+    let expected = [vec![3.0f32], vec![23.0f32]];
+
+    let ex = explore(
+        2,
+        || World::new(2),
+        move |w, t| run_member(w, t, 2, contrib),
+        |w, sched| {
+            for (rank, res) in w.results.iter().enumerate() {
+                assert_eq!(
+                    res.as_slice(),
+                    &expected,
+                    "schedule {sched:?}: member {rank} mixed rounds"
+                );
+            }
+        },
+    );
+    assert!(
+        ex.deadlock_free(),
+        "deadlocked schedules: {:?}",
+        ex.deadlocks
+    );
+    // A fast member running a full round ahead is among the schedules.
+    assert!(
+        ex.executions >= 5,
+        "only {} schedules explored",
+        ex.executions
+    );
+}
+
+/// A member that never deposits wedges everyone: every interleaving of the
+/// remaining members deadlocks rather than completing with a partial sum.
+#[test]
+fn missing_contribution_never_yields_a_partial_sum() {
+    let ex = explore(
+        2,
+        || World::new(3), // three-member group, member 2 never shows up
+        |w, t| match w.pc[t] {
+            0 => {
+                w.members[t].deposit(vec![(0, vec![1.0])]);
+                w.pc[t] += 1;
+                StepOutcome::Progress
+            }
+            _ => match w.members[t].try_fetch() {
+                None => StepOutcome::Blocked,
+                Some(v) => {
+                    w.results[t].push(v);
+                    StepOutcome::Done
+                }
+            },
+        },
+        |w, sched| {
+            for res in &w.results {
+                assert!(res.is_empty(), "schedule {sched:?} produced a partial sum");
+            }
+        },
+    );
+    assert!(ex.executions >= 1);
+    assert_eq!(
+        ex.deadlocks.len(),
+        ex.executions,
+        "some interleaving completed without member 2's contribution"
+    );
+}

@@ -30,11 +30,13 @@
 
 pub mod fault;
 pub mod local;
+pub mod modelcheck;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use fault::{FaultInjection, SendFault};
 pub use local::{LocalEndpoint, LocalFabric};
+pub use modelcheck::{explore, Exploration, StepOutcome};
 pub use tcp::{TcpConfig, TcpEndpoint, TcpFabric};
 pub use transport::{CommError, KeyedReduce, MsgKey, Payload, Rank, Transport};

@@ -94,6 +94,18 @@ impl LocalEndpoint {
         }
         payload
     }
+
+    /// Non-blocking receive: one keyed-inbox lookup (draining anything
+    /// already delivered) without the deadline poll loop. A `None` result
+    /// consumes nothing, which is what lets the [`crate::modelcheck`]
+    /// explorer drive an endpoint one step at a time.
+    pub fn try_recv(&self, key: &MsgKey) -> Option<Payload> {
+        if let Some(p) = self.take(key) {
+            return Some(p);
+        }
+        self.drain();
+        self.take(key)
+    }
 }
 
 impl Transport for LocalEndpoint {

@@ -145,7 +145,7 @@ impl Schedule {
     /// [`SyncStrategy`]).
     pub fn strip_sync(&mut self) {
         for ops in &mut self.workers {
-            ops.retain(|op| op.is_compute());
+            ops.retain(super::op::Op::is_compute);
         }
         self.sync = SyncStrategy::None;
     }

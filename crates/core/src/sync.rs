@@ -207,7 +207,10 @@ mod tests {
             .position(|o| o.kind == OpKind::AllReduceLaunch && o.stage == StageId(0))
             .unwrap();
         // S3 launch is eager (before the final backwards), S0 post-hoc (after).
-        let last_backward = ops.iter().rposition(|o| o.is_backward()).unwrap();
+        let last_backward = ops
+            .iter()
+            .rposition(super::super::op::Op::is_backward)
+            .unwrap();
         assert!(launch_s3 < last_backward, "stage3 synced eagerly");
         assert!(launch_s0 > last_backward, "stage0 synced post-hoc");
         execute(&s, UnitCosts::practical()).unwrap();
@@ -220,7 +223,10 @@ mod tests {
         let s = place_sync(sched(), SyncStrategy::EagerOpt, UnitCosts::practical());
         for w in [1usize, 2] {
             let ops = &s.workers[w];
-            let last_backward = ops.iter().rposition(|o| o.is_backward()).unwrap();
+            let last_backward = ops
+                .iter()
+                .rposition(super::super::op::Op::is_backward)
+                .unwrap();
             for (i, op) in ops.iter().enumerate() {
                 if op.kind == OpKind::AllReduceLaunch {
                     assert!(

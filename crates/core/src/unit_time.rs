@@ -210,18 +210,35 @@ impl Timeline {
     }
 }
 
+/// One worker stuck at its next op when dependency-driven execution stops
+/// making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedOp {
+    /// The stuck worker.
+    pub worker: WorkerId,
+    /// Index of the stuck op in the worker's sequence.
+    pub op_index: usize,
+    /// Textual rendering of the stuck op.
+    pub op: String,
+}
+
+impl std::fmt::Display for BlockedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} op #{} ({})", self.worker, self.op_index, self.op)
+    }
+}
+
 /// Why execution failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// No worker could make progress: a dependency is missing from the
-    /// schedule or the per-worker orders form a cross-worker cycle.
+    /// schedule or the per-worker orders form a cross-worker cycle. Carries
+    /// every blocked `(worker, op index)` so static analysis
+    /// (`chimera-verify`) and this dynamic path report comparable
+    /// diagnostics.
     Deadlock {
-        /// Worker that is stuck (the first one found).
-        worker: WorkerId,
-        /// Index of the stuck op in the worker's sequence.
-        op_index: usize,
-        /// Textual rendering of the stuck op.
-        op: String,
+        /// All workers stuck at their next op, in worker order.
+        blocked: Vec<BlockedOp>,
     },
     /// The iteration count passed to `simulate_span` cannot describe the
     /// schedule: zero, or not a divisor of the schedule's total micro-batch
@@ -250,15 +267,16 @@ pub enum ExecError {
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::Deadlock {
-                worker,
-                op_index,
-                op,
-            } => write!(
-                f,
-                "schedule deadlock: {worker} cannot execute op #{op_index} ({op}); \
-                 missing dependency or cyclic worker orders"
-            ),
+            ExecError::Deadlock { blocked } => {
+                write!(f, "schedule deadlock: {} worker(s) stuck (", blocked.len())?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                f.write_str("); missing dependency or cyclic worker orders")
+            }
             ExecError::InvalidIterations { iterations, n } => write!(
                 f,
                 "invalid span: {iterations} iteration(s) cannot cover a schedule \
@@ -389,19 +407,17 @@ pub fn execute_with<C: CostProvider>(
             }
         }
         if !progressed {
-            // Find the first stuck worker for diagnostics.
-            #[allow(clippy::needless_range_loop)] // w indexes two parallel arrays
-            for w in 0..nw {
-                if next[w] < schedule.workers[w].len() {
-                    let op = schedule.workers[w][next[w]];
-                    return Err(ExecError::Deadlock {
-                        worker: WorkerId(w as u32),
-                        op_index: next[w],
-                        op: op.to_string(),
-                    });
-                }
-            }
-            unreachable!("no progress but all workers done");
+            // Collect every stuck worker for diagnostics.
+            let blocked: Vec<BlockedOp> = (0..nw)
+                .filter(|&w| next[w] < schedule.workers[w].len())
+                .map(|w| BlockedOp {
+                    worker: WorkerId(w as u32),
+                    op_index: next[w],
+                    op: schedule.workers[w][next[w]].to_string(),
+                })
+                .collect();
+            assert!(!blocked.is_empty(), "no progress but all workers done");
+            return Err(ExecError::Deadlock { blocked });
         }
     }
 

@@ -11,13 +11,18 @@ use std::collections::HashMap;
 use crate::ids::{MicroId, ReplicaId, StageId, WorkerId};
 use crate::op::{Chunk, OpKind};
 use crate::schedule::Schedule;
-use crate::unit_time::{execute, UnitCosts};
+use crate::unit_time::{execute, BlockedOp, ExecError, UnitCosts};
 
 /// A semantic violation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
-    /// The schedule deadlocks under dependency-driven execution.
-    Deadlock(String),
+    /// The schedule deadlocks under dependency-driven execution. Carries the
+    /// full blocked `(worker, op index)` set so this dynamic path and the
+    /// static `chimera-verify` analysis report comparable diagnostics.
+    Deadlock {
+        /// Every worker stuck at its next op when progress stopped.
+        blocked: Vec<BlockedOp>,
+    },
     /// A micro-batch's coverage at some stage is wrong (missing, duplicated,
     /// or inconsistent halves).
     Coverage {
@@ -47,7 +52,16 @@ pub enum ValidationError {
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ValidationError::Deadlock(m) => write!(f, "deadlock: {m}"),
+            ValidationError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} worker(s) blocked (", blocked.len())?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                f.write_str(")")
+            }
             ValidationError::Coverage {
                 micro,
                 stage,
@@ -82,8 +96,17 @@ pub fn validate(sched: &Schedule) -> Result<u64, ValidationError> {
     // syncs after every micro-batch), so the launch-after-last-backward rule
     // only applies to flushing schedules; balance is checked for all.
     sync_placement(sched, sched.flushes)?;
-    let tl =
-        execute(sched, UnitCosts::equal()).map_err(|e| ValidationError::Deadlock(e.to_string()))?;
+    let tl = execute(sched, UnitCosts::equal()).map_err(|e| match e {
+        ExecError::Deadlock { blocked } => ValidationError::Deadlock { blocked },
+        // `execute` only fails by deadlocking; keep the mapping total anyway.
+        other => ValidationError::Deadlock {
+            blocked: vec![BlockedOp {
+                worker: WorkerId(0),
+                op_index: 0,
+                op: other.to_string(),
+            }],
+        },
+    })?;
     Ok(tl.makespan)
 }
 
@@ -215,7 +238,7 @@ pub enum UpdateRule {
 
 /// Weight-version requirements and staleness of a schedule under an update
 /// rule (Table 2's "weights memory" and "convergence friendly" columns).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightReport {
     /// Maximum weight versions simultaneously alive, per worker (in units of
     /// one stage replica's weights, summed over the replicas it holds).
@@ -371,11 +394,14 @@ mod tests {
     fn missing_backward_detected() {
         let mut s = gpipe(2, 2);
         // Drop the last backward on worker 1.
-        let idx = s.workers[1].iter().rposition(|o| o.is_backward()).unwrap();
+        let idx = s.workers[1]
+            .iter()
+            .rposition(super::super::op::Op::is_backward)
+            .unwrap();
         s.workers[1].remove(idx);
         match validate(&s) {
             Err(ValidationError::Coverage { detail, .. }) => {
-                assert!(detail.contains("backward coverage"))
+                assert!(detail.contains("backward coverage"));
             }
             other => panic!("expected coverage error, got {other:?}"),
         }

@@ -453,7 +453,7 @@ mod tests {
         assert_eq!(p0, p1, "params differ after re-partition");
 
         let flat = |opts: &[Optimizer], pick: fn(&Optimizer) -> Vec<f32>| -> Vec<u32> {
-            opts.iter().flat_map(pick).map(|x| x.to_bits()).collect()
+            opts.iter().flat_map(pick).map(f32::to_bits).collect()
         };
         let m = |o: &Optimizer| o.state().0.to_vec();
         let v = |o: &Optimizer| o.state().1.to_vec();

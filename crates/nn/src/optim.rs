@@ -162,7 +162,7 @@ impl Optimizer {
         match kind {
             OptimizerKind::Sgd { .. } => assert!(v.is_empty(), "SGD carries no second moment"),
             OptimizerKind::Adam { .. } => {
-                assert_eq!(v.len(), m.len(), "Adam moments must have equal length")
+                assert_eq!(v.len(), m.len(), "Adam moments must have equal length");
             }
         }
         Optimizer { kind, m, v, t }

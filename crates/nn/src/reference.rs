@@ -111,7 +111,10 @@ impl ReferenceTrainer {
 
     /// Concatenated flat parameters of the whole model.
     pub fn flat_params(&self) -> Vec<f32> {
-        self.stages.iter().flat_map(|s| s.params()).collect()
+        self.stages
+            .iter()
+            .flat_map(super::stage::Stage::params)
+            .collect()
     }
 }
 

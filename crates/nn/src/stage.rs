@@ -310,8 +310,9 @@ mod tests {
         let d2 = Stage::build_all(cfg, 2);
         let d4 = Stage::build_all(cfg, 4);
         // Concatenated parameters are identical for every partitioning.
-        let flat =
-            |stages: &[Stage]| -> Vec<f32> { stages.iter().flat_map(|s| s.params()).collect() };
+        let flat = |stages: &[Stage]| -> Vec<f32> {
+            stages.iter().flat_map(super::Stage::params).collect()
+        };
         assert_eq!(flat(&d1), flat(&d2));
         assert_eq!(flat(&d1), flat(&d4));
     }

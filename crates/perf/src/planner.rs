@@ -11,6 +11,7 @@ use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
 use chimera_core::sync::place_sync;
 use chimera_core::unit_time::UnitCosts;
 use chimera_sim::{simulate_span, SimCostModel, SimReport};
+use chimera_verify::verify_span;
 
 use crate::costs::{ClusterSpec, TrainConfig};
 use crate::eq1;
@@ -205,6 +206,7 @@ pub fn evaluate(
         report = run(&sched)?;
     }
     let fits = report.fits(cluster.usable_mem());
+    assert_verified(&sched, iters);
 
     // Per-iteration time normalized to b_hat samples.
     let samples_per_span = sched.n as u64 * b as u64 * w as u64;
@@ -236,6 +238,20 @@ fn already_recomputes(sched: &Schedule) -> bool {
     sched.iter_ops().any(|(_, _, op)| op.recomputes())
 }
 
+/// Every schedule the planner hands out must pass static verification: a
+/// deadlocked or hazardous candidate would only fail later, inside a
+/// benchmark or a multi-process run, where the diagnosis is far worse.
+fn assert_verified(sched: &Schedule, iters: u32) {
+    let report = verify_span(sched, iters);
+    assert!(
+        report.is_clean(),
+        "planner produced an invalid {} schedule (D={} N={}):\n{report}",
+        sched.scheme,
+        sched.d,
+        sched.n
+    );
+}
+
 /// Rebuild the exact schedule, cost model and span iteration count a
 /// [`Candidate`] was evaluated with — e.g. to re-execute the winning
 /// configuration and export its timeline as a trace. Returns `None` only if
@@ -265,6 +281,7 @@ pub fn rebuild(
     if c.recompute && !already_recomputes(&sched) {
         sched = sched.with_recompute();
     }
+    assert_verified(&sched, iters);
     Some((sched, cost, iters))
 }
 

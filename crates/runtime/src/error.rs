@@ -149,7 +149,7 @@ impl std::error::Error for WorkerError {}
 
 /// A training run failed in a way the supervisor could not (or was not
 /// allowed to) recover from.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
     /// A worker died and the recovery budget
     /// ([`crate::TrainOptions::max_recoveries`]) was exhausted.

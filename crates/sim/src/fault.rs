@@ -216,7 +216,7 @@ impl CostProvider for PerturbedCost<'_> {
 }
 
 /// One crash survived during a simulated run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashRecord {
     /// Worker that crashed.
     pub worker: u32,

@@ -82,7 +82,7 @@ impl SpanKind {
 }
 
 /// A completed interval of work on one track.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
     /// What the interval was spent on.
     pub kind: SpanKind,

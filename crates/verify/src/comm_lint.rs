@@ -1,0 +1,480 @@
+//! Communication-matching lint: prove the keyed-inbox transport semantics of
+//! `chimera-comm` are sufficient for a schedule.
+//!
+//! Every cross-worker data dependency is lowered to messages in *half-micro*
+//! units (so §3.5's backward-halving chunks compare against full backwards):
+//! a forward at stage `s` sends both halves of each covered micro's output
+//! activation to stage `s+1`'s holder; a backward at stage `s` sends the
+//! covered halves of the input gradient to stage `s-1`'s holder. The lint
+//! checks, per channel `(src, dst)`:
+//!
+//! - **bijection** — each recv matches exactly one send with the same
+//!   `(direction, replica, consumer stage, micro, half)` and vice versa
+//!   (`unmatched_recv`, `duplicate_send`, `duplicate_recv`,
+//!   `unconsumed_send`);
+//! - **ordering** — the runtime `MsgKey` carries no half index, so two half
+//!   messages from *different* producer ops that share a coarse key must be
+//!   consumed in send order or the inbox silently delivers the wrong payload
+//!   (`misordered_channel`);
+//! - **bounded parking** — an upper bound on messages parked in the
+//!   receiver's inbox, reported per channel (see
+//!   [`crate::ChannelStats::max_parked`]).
+
+use std::collections::HashMap;
+
+use chimera_core::ids::StageId;
+use chimera_core::op::{Chunk, OpKind};
+use chimera_core::schedule::Schedule;
+
+use crate::{ChannelStats, Diagnostic, OpLoc, Severity};
+
+/// Message direction, mirroring the runtime's `MsgKey::Act` / `MsgKey::Grad`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Dir {
+    Act,
+    Grad,
+}
+
+/// Full message identity: direction, replica, *consumer* stage, micro, half.
+/// The runtime's coarse `MsgKey` is this without the half.
+type Key = (Dir, u32, u32, u32, u8);
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    key: Key,
+    /// Producer (for sends) or consumer (for recvs) op location.
+    worker: usize,
+    op_index: usize,
+    /// Position in the channel's send/recv order.
+    seq: usize,
+}
+
+/// Lint outcome: diagnostics plus per-channel statistics.
+pub struct CommLint {
+    /// Findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-channel stats, sorted by `(src, dst)`.
+    pub channels: Vec<ChannelStats>,
+}
+
+fn fmt_key(k: Key) -> String {
+    let (dir, r, s, m, h) = k;
+    let d = match dir {
+        Dir::Act => "act",
+        Dir::Grad => "grad",
+    };
+    format!("{d} m{m}.{h}@s{s}/r{r}")
+}
+
+/// Run the communication lint on `sched`.
+pub fn lint(sched: &Schedule) -> CommLint {
+    // channel (src, dst) -> ordered send / recv event lists.
+    let mut sends: HashMap<(usize, usize), Vec<Event>> = HashMap::new();
+    let mut recvs: HashMap<(usize, usize), Vec<Event>> = HashMap::new();
+
+    for (w, ops) in sched.workers.iter().enumerate() {
+        for (i, op) in ops.iter().enumerate() {
+            let halves: &[u8] = match op.chunk {
+                Chunk::Half(h) => std::slice::from_ref(if h == 0 { &0 } else { &1 }),
+                _ => &[0, 1],
+            };
+            match op.kind {
+                OpKind::Forward => {
+                    // Send activations downstream.
+                    if op.stage.0 + 1 < sched.d {
+                        let consumer = StageId(op.stage.0 + 1);
+                        let dst = sched.placement.worker(op.replica, consumer).idx();
+                        if dst != w {
+                            for m in op.covered_micros() {
+                                for &h in halves {
+                                    push(
+                                        &mut sends,
+                                        (w, dst),
+                                        (Dir::Act, op.replica.0, consumer.0, m.0, h),
+                                        w,
+                                        i,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Receive the previous stage's activations.
+                    if op.stage.0 > 0 {
+                        let src = sched
+                            .placement
+                            .worker(op.replica, StageId(op.stage.0 - 1))
+                            .idx();
+                        if src != w {
+                            for m in op.covered_micros() {
+                                for &h in halves {
+                                    push(
+                                        &mut recvs,
+                                        (src, w),
+                                        (Dir::Act, op.replica.0, op.stage.0, m.0, h),
+                                        w,
+                                        i,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                OpKind::Backward { .. } => {
+                    // Send input gradients upstream.
+                    if op.stage.0 > 0 {
+                        let consumer = StageId(op.stage.0 - 1);
+                        let dst = sched.placement.worker(op.replica, consumer).idx();
+                        if dst != w {
+                            for m in op.covered_micros() {
+                                for &h in halves {
+                                    push(
+                                        &mut sends,
+                                        (w, dst),
+                                        (Dir::Grad, op.replica.0, consumer.0, m.0, h),
+                                        w,
+                                        i,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Receive the next stage's output gradient.
+                    if op.stage.0 + 1 < sched.d {
+                        let src = sched
+                            .placement
+                            .worker(op.replica, StageId(op.stage.0 + 1))
+                            .idx();
+                        if src != w {
+                            for m in op.covered_micros() {
+                                for &h in halves {
+                                    push(
+                                        &mut recvs,
+                                        (src, w),
+                                        (Dir::Grad, op.replica.0, op.stage.0, m.0, h),
+                                        w,
+                                        i,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut channels = Vec::new();
+    let mut keys: Vec<(usize, usize)> = sends.keys().chain(recvs.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+
+    for ch in keys {
+        let empty = Vec::new();
+        let s = sends.get(&ch).unwrap_or(&empty);
+        let r = recvs.get(&ch).unwrap_or(&empty);
+        let mut by_key_send: HashMap<Key, Vec<&Event>> = HashMap::new();
+        for e in s {
+            by_key_send.entry(e.key).or_default().push(e);
+        }
+        let mut by_key_recv: HashMap<Key, Vec<&Event>> = HashMap::new();
+        for e in r {
+            by_key_recv.entry(e.key).or_default().push(e);
+        }
+
+        for (key, rs) in sorted(&by_key_recv) {
+            if rs.len() > 1 {
+                diagnostics.push(Diagnostic {
+                    code: "duplicate_recv",
+                    severity: Severity::Error,
+                    message: format!(
+                        "P{} receives {} from P{} {} times",
+                        ch.1,
+                        fmt_key(key),
+                        ch.0,
+                        rs.len()
+                    ),
+                    locations: locs(sched, rs),
+                });
+            }
+            if !by_key_send.contains_key(&key) {
+                diagnostics.push(Diagnostic {
+                    code: "unmatched_recv",
+                    severity: Severity::Error,
+                    message: format!(
+                        "P{} expects {} from P{}, but P{} never sends it on this channel",
+                        ch.1,
+                        fmt_key(key),
+                        ch.0,
+                        ch.0
+                    ),
+                    locations: locs(sched, rs),
+                });
+            }
+        }
+        for (key, ss) in sorted(&by_key_send) {
+            if ss.len() > 1 {
+                diagnostics.push(Diagnostic {
+                    code: "duplicate_send",
+                    severity: Severity::Error,
+                    message: format!(
+                        "P{} sends {} to P{} {} times",
+                        ch.0,
+                        fmt_key(key),
+                        ch.1,
+                        ss.len()
+                    ),
+                    locations: locs(sched, ss),
+                });
+            }
+            if !by_key_recv.contains_key(&key) {
+                diagnostics.push(Diagnostic {
+                    code: "unconsumed_send",
+                    severity: Severity::Warning,
+                    message: format!(
+                        "P{} sends {} to P{}, but no op on P{} receives it",
+                        ch.0,
+                        fmt_key(key),
+                        ch.1,
+                        ch.1
+                    ),
+                    locations: locs(sched, ss),
+                });
+            }
+        }
+
+        // Ordering under the coarse runtime key (no half index): halves of
+        // one micro produced by *different* ops must be consumed in send
+        // order, or the inbox hands the consumer the wrong half's payload.
+        let mut coarse_send: HashMap<(Dir, u32, u32, u32), Vec<&Event>> = HashMap::new();
+        for e in s {
+            let (d, r_, s_, m, _) = e.key;
+            coarse_send.entry((d, r_, s_, m)).or_default().push(e);
+        }
+        let mut coarse_recv: HashMap<(Dir, u32, u32, u32), Vec<&Event>> = HashMap::new();
+        for e in r {
+            let (d, r_, s_, m, _) = e.key;
+            coarse_recv.entry((d, r_, s_, m)).or_default().push(e);
+        }
+        for (coarse, ss) in sorted(&coarse_send) {
+            let Some(rs) = coarse_recv.get(&coarse) else {
+                continue;
+            };
+            // Same producer op ⇒ one runtime message; nothing to misorder.
+            if ss.len() < 2
+                || ss
+                    .iter()
+                    .all(|e| e.op_index == ss[0].op_index && e.worker == ss[0].worker)
+            {
+                continue;
+            }
+            let send_halves: Vec<u8> = ss.iter().map(|e| e.key.4).collect();
+            let recv_halves: Vec<u8> = rs.iter().map(|e| e.key.4).collect();
+            if send_halves != recv_halves {
+                let mut locations = locs(sched, ss);
+                locations.extend(locs(sched, rs));
+                diagnostics.push(Diagnostic {
+                    code: "misordered_channel",
+                    severity: Severity::Error,
+                    message: format!(
+                        "halves of {} travel P{}->P{} in send order {send_halves:?} but are \
+                         consumed in order {recv_halves:?}; the runtime MsgKey does not carry \
+                         the half index, so the inbox would deliver the wrong payload",
+                        fmt_key((coarse.0, coarse.1, coarse.2, coarse.3, 0)),
+                        ch.0,
+                        ch.1
+                    ),
+                    locations,
+                });
+            }
+        }
+
+        // Parking bound: match each recv (in consumer order) to its send's
+        // channel position; the k-th recv matching the p-th send parks at
+        // most p - k messages.
+        let send_pos: HashMap<Key, usize> = s.iter().map(|e| (e.key, e.seq)).collect();
+        let mut max_parked = 0usize;
+        let mut matched = 0usize;
+        for e in r {
+            if let Some(&p) = send_pos.get(&e.key) {
+                max_parked = max_parked.max(p.saturating_sub(e.seq));
+                matched += 1;
+            }
+        }
+        channels.push(ChannelStats {
+            src: ch.0 as u32,
+            dst: ch.1 as u32,
+            messages: matched,
+            max_parked,
+        });
+    }
+
+    CommLint {
+        diagnostics,
+        channels,
+    }
+}
+
+fn push(
+    map: &mut HashMap<(usize, usize), Vec<Event>>,
+    ch: (usize, usize),
+    key: Key,
+    worker: usize,
+    op_index: usize,
+) {
+    let list = map.entry(ch).or_default();
+    let seq = list.len();
+    list.push(Event {
+        key,
+        worker,
+        op_index,
+        seq,
+    });
+}
+
+fn locs(sched: &Schedule, events: &[&Event]) -> Vec<OpLoc> {
+    let mut out: Vec<OpLoc> = events
+        .iter()
+        .map(|e| OpLoc::of(sched, e.worker, e.op_index))
+        .collect();
+    out.dedup();
+    out
+}
+
+fn sorted<K: Copy + Ord, V>(map: &HashMap<K, V>) -> Vec<(K, &V)> {
+    let mut v: Vec<(K, &V)> = map.iter().map(|(k, val)| (*k, val)).collect();
+    v.sort_by_key(|&(k, _)| k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_core::baselines::{dapple, gpipe};
+    use chimera_core::chimera::{chimera, ChimeraConfig};
+
+    #[test]
+    fn clean_schedules_have_no_findings() {
+        for s in [gpipe(4, 8), dapple(4, 8)] {
+            let l = lint(&s);
+            assert!(l.diagnostics.is_empty(), "{:?}", l.diagnostics);
+        }
+        let l = lint(&chimera(&ChimeraConfig::new(4, 8)).unwrap());
+        assert!(l.diagnostics.is_empty(), "{:?}", l.diagnostics);
+    }
+
+    #[test]
+    fn gpipe_linear_channels_are_neighbors_only() {
+        let l = lint(&gpipe(4, 4));
+        for c in &l.channels {
+            assert_eq!(
+                (c.src as i64 - c.dst as i64).abs(),
+                1,
+                "linear pipeline only talks to neighbors"
+            );
+            assert!(c.messages > 0);
+        }
+    }
+
+    #[test]
+    fn dropped_send_is_unmatched_recv() {
+        let mut s = gpipe(2, 2);
+        // Remove F(m1)@s0: worker 1 still expects its activation.
+        s.workers[0].remove(1);
+        let l = lint(&s);
+        assert!(
+            l.diagnostics.iter().any(|d| d.code == "unmatched_recv"),
+            "{:?}",
+            l.diagnostics
+        );
+    }
+
+    #[test]
+    fn dropped_recv_is_unconsumed_send_warning() {
+        let mut s = gpipe(2, 2);
+        // Remove F(m1)@s1: worker 0's activation send has no consumer.
+        s.workers[1].remove(1);
+        let l = lint(&s);
+        let d = l
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "unconsumed_send")
+            .expect("unconsumed send");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn duplicated_forward_is_duplicate_send() {
+        let mut s = gpipe(2, 2);
+        let dup = s.workers[0][0];
+        s.workers[0].insert(1, dup);
+        let l = lint(&s);
+        assert!(l.diagnostics.iter().any(|d| d.code == "duplicate_send"));
+    }
+
+    #[test]
+    fn inverted_halves_are_misordered() {
+        // Stage 1 produces gradient halves in order [0, 1]; stage 0 consumes
+        // them as [1, 0]. The dynamic executor accepts this (both halves
+        // exist when needed) — but the runtime's coarse MsgKey would deliver
+        // half 0's payload to the half-1 recv. Only the static lint sees it.
+        use chimera_core::ids::{MicroId, ReplicaId, StageId};
+        use chimera_core::op::{Chunk, Op, OpKind};
+        use chimera_core::placement::Placement;
+        use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
+        use chimera_core::unit_time::{execute, UnitCosts};
+        let half = |h, s| Op {
+            kind: OpKind::Backward { recompute: false },
+            micro: MicroId(0),
+            stage: StageId(s),
+            replica: ReplicaId(0),
+            chunk: Chunk::Half(h),
+        };
+        let s = Schedule {
+            scheme: Scheme::Chimera,
+            d: 2,
+            n: 1,
+            placement: Placement::linear(2),
+            workers: vec![
+                vec![
+                    Op::forward(MicroId(0), StageId(0), ReplicaId(0)),
+                    half(1, 0),
+                    half(0, 0),
+                ],
+                vec![
+                    Op::forward(MicroId(0), StageId(1), ReplicaId(0)),
+                    half(0, 1),
+                    half(1, 1),
+                ],
+            ],
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        assert!(execute(&s, UnitCosts::equal()).is_ok(), "dynamically fine");
+        let l = lint(&s);
+        let d = l
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "misordered_channel")
+            .expect("misordered channel");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("[0, 1]") && d.message.contains("[1, 0]"));
+    }
+
+    #[test]
+    fn parking_bound_is_finite_and_small_for_builtin_schemes() {
+        for s in [gpipe(8, 16), dapple(8, 16)] {
+            let l = lint(&s);
+            for c in &l.channels {
+                assert!(
+                    c.max_parked <= s.n as usize,
+                    "{}->{} parks {}",
+                    c.src,
+                    c.dst,
+                    c.max_parked
+                );
+            }
+        }
+    }
+}

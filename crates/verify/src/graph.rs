@@ -1,0 +1,466 @@
+//! Happens-before analysis: does the schedule complete, and if not, *why* —
+//! the actual waits-for cycle through worker frontiers, a dependency no op
+//! produces, or a collective that can never gather all its participants.
+//!
+//! The analysis is a token-based abstract interpretation of
+//! `chimera_core::unit_time::execute_with`: the same round-robin worker loop
+//! and the same `DepTracker` readiness rules, with times erased to booleans.
+//! Whether an op *can* execute never depends on tick values (only on which
+//! dependencies exist), so the abstract verdict provably coincides with the
+//! dynamic executor's — including the exact blocked-frontier set.
+
+use std::collections::{HashMap, HashSet};
+
+use chimera_core::ids::{MicroId, ReplicaId, StageId};
+use chimera_core::op::{Chunk, Op, OpKind};
+use chimera_core::schedule::Schedule;
+
+use crate::{Diagnostic, OpLoc, Severity};
+
+/// Outcome of the happens-before analysis.
+pub struct Analysis {
+    /// The schedule cannot complete.
+    pub deadlock: bool,
+    /// Worker frontiers stuck when progress stopped (empty when not
+    /// deadlocked). Matches `ExecError::Deadlock::blocked`.
+    pub blocked: Vec<OpLoc>,
+    /// `deadlock_cycle`, `missing_producer`, or `incomplete_collective`
+    /// findings (empty when not deadlocked).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// The first unsatisfied dependency of a blocked op.
+enum Need {
+    /// Forward output of `(micro, stage, replica)` has not been produced.
+    Fwd(MicroId, StageId, ReplicaId),
+    /// Backward output (gradient) of `(micro, stage, replica)` compatible
+    /// with the consumer's chunk has not been produced.
+    Bwd(MicroId, StageId, ReplicaId, Chunk),
+    /// Allreduce instance `inst` of `stage` has not completed: not all
+    /// replicas have launched it yet.
+    Ar(StageId, usize),
+}
+
+impl std::fmt::Display for Need {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Need::Fwd(m, s, r) => write!(f, "forward of {m}@{s}/{r}"),
+            Need::Bwd(m, s, r, _) => write!(f, "backward of {m}@{s}/{r}"),
+            Need::Ar(s, inst) => write!(f, "allreduce instance {inst} of {s}"),
+        }
+    }
+}
+
+/// Boolean-token mirror of `DepTracker`.
+struct Tokens {
+    d: u32,
+    fwd: HashSet<(MicroId, StageId, ReplicaId)>,
+    /// Tag 0/1 = half chunk, 2 = full (same encoding as `DepTracker`).
+    bwd: HashSet<(MicroId, StageId, ReplicaId, u8)>,
+    /// Launches recorded per (stage, instance).
+    ar_launched: HashMap<(StageId, usize), u32>,
+    launch_count: HashMap<(usize, StageId), usize>,
+    wait_count: HashMap<(usize, StageId), usize>,
+    replicas: u32,
+}
+
+impl Tokens {
+    fn new(sched: &Schedule) -> Self {
+        Tokens {
+            d: sched.d,
+            fwd: HashSet::new(),
+            bwd: HashSet::new(),
+            ar_launched: HashMap::new(),
+            launch_count: HashMap::new(),
+            wait_count: HashMap::new(),
+            replicas: sched.placement.replicas(),
+        }
+    }
+
+    fn bwd_done(&self, m: MicroId, s: StageId, r: ReplicaId, consumer: Chunk) -> bool {
+        match consumer {
+            Chunk::Half(h) => self.bwd.contains(&(m, s, r, h)) || self.bwd.contains(&(m, s, r, 2)),
+            _ => {
+                self.bwd.contains(&(m, s, r, 2))
+                    || (self.bwd.contains(&(m, s, r, 0)) && self.bwd.contains(&(m, s, r, 1)))
+            }
+        }
+    }
+
+    /// First unsatisfied dependency of `op` on worker `w`, or `None` if the
+    /// op is ready. Checked in the same order as `DepTracker::ready_time`.
+    fn first_missing(&self, w: usize, op: &Op) -> Option<Need> {
+        match op.kind {
+            OpKind::Forward => {
+                if op.stage.0 == 0 {
+                    return None;
+                }
+                let prev = StageId(op.stage.0 - 1);
+                op.covered_micros()
+                    .find(|&m| !self.fwd.contains(&(m, prev, op.replica)))
+                    .map(|m| Need::Fwd(m, prev, op.replica))
+            }
+            OpKind::Backward { .. } => {
+                if let Some(m) = op
+                    .covered_micros()
+                    .find(|&m| !self.fwd.contains(&(m, op.stage, op.replica)))
+                {
+                    return Some(Need::Fwd(m, op.stage, op.replica));
+                }
+                if op.stage.0 + 1 < self.d {
+                    let next = StageId(op.stage.0 + 1);
+                    if let Some(m) = op
+                        .covered_micros()
+                        .find(|&m| !self.bwd_done(m, next, op.replica, op.chunk))
+                    {
+                        return Some(Need::Bwd(m, next, op.replica, op.chunk));
+                    }
+                }
+                None
+            }
+            OpKind::AllReduceLaunch => None,
+            OpKind::AllReduceWait => {
+                let inst = *self.wait_count.get(&(w, op.stage)).unwrap_or(&0);
+                // `>=`, not `==`: the dynamic tracker marks an instance
+                // complete the moment the replica-count'th launch lands and
+                // never unmarks it, even if stray launches pile on.
+                if self
+                    .ar_launched
+                    .get(&(op.stage, inst))
+                    .copied()
+                    .unwrap_or(0)
+                    >= self.replicas
+                {
+                    None
+                } else {
+                    Some(Need::Ar(op.stage, inst))
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, w: usize, op: &Op) {
+        match op.kind {
+            OpKind::Forward => {
+                for m in op.covered_micros() {
+                    self.fwd.insert((m, op.stage, op.replica));
+                }
+            }
+            OpKind::Backward { .. } => {
+                let tag = match op.chunk {
+                    Chunk::Half(h) => h,
+                    _ => 2,
+                };
+                for m in op.covered_micros() {
+                    self.bwd.insert((m, op.stage, op.replica, tag));
+                }
+            }
+            OpKind::AllReduceLaunch => {
+                let count = self.launch_count.entry((w, op.stage)).or_insert(0);
+                let inst = *count;
+                *count += 1;
+                *self.ar_launched.entry((op.stage, inst)).or_insert(0) += 1;
+            }
+            OpKind::AllReduceWait => {
+                *self.wait_count.entry((w, op.stage)).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+/// Run the happens-before analysis on `sched`.
+pub fn analyze(sched: &Schedule) -> Analysis {
+    let nw = sched.num_workers();
+    let mut next = vec![0usize; nw];
+    let mut tok = Tokens::new(sched);
+    let total: usize = sched.workers.iter().map(Vec::len).sum();
+    let mut done = 0usize;
+
+    while done < total {
+        let mut progressed = false;
+        for (w, ops) in sched.workers.iter().enumerate() {
+            while next[w] < ops.len() {
+                let op = &ops[next[w]];
+                if tok.first_missing(w, op).is_some() {
+                    break;
+                }
+                tok.record(w, op);
+                next[w] += 1;
+                done += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return diagnose(sched, &next, &tok);
+        }
+    }
+
+    Analysis {
+        deadlock: false,
+        blocked: Vec::new(),
+        diagnostics: Vec::new(),
+    }
+}
+
+/// Build the deadlock diagnostics from the stalled state: the blocked
+/// frontier set plus either the waits-for cycle, a missing producer, or an
+/// incomplete collective.
+fn diagnose(sched: &Schedule, next: &[usize], tok: &Tokens) -> Analysis {
+    let nw = sched.num_workers();
+    let blocked: Vec<OpLoc> = (0..nw)
+        .filter(|&w| next[w] < sched.workers[w].len())
+        .map(|w| OpLoc::of(sched, w, next[w]))
+        .collect();
+    assert!(!blocked.is_empty(), "no progress but all workers done");
+
+    let mut diagnostics = Vec::new();
+    // Walk the waits-for graph from the first blocked worker. Every blocked
+    // frontier has exactly one "first missing need"; the need's producer op
+    // (if any) sits at-or-after the frontier of some worker, which is itself
+    // blocked — so the walk either revisits a worker (a cycle) or dies at a
+    // need nobody produces.
+    let start = blocked[0].worker as usize;
+    let mut chain: Vec<(usize, usize, String)> = Vec::new(); // (worker, frontier idx, need)
+    let mut pos_of: HashMap<usize, usize> = HashMap::new();
+    let mut w = start;
+    loop {
+        if let Some(&p) = pos_of.get(&w) {
+            // Cycle found: chain[p..] waits on each other in a loop.
+            let cycle = &chain[p..];
+            let mut msg = String::from("waits-for cycle: ");
+            for (i, (cw, ci, need)) in cycle.iter().enumerate() {
+                if i > 0 {
+                    msg.push_str(" -> ");
+                }
+                msg.push_str(&format!(
+                    "P{cw} op #{ci} ({}) needs {need}",
+                    sched.workers[*cw][*ci]
+                ));
+            }
+            msg.push_str(&format!(" -> back to P{}", cycle[0].0));
+            diagnostics.push(Diagnostic {
+                code: "deadlock_cycle",
+                severity: Severity::Error,
+                message: msg,
+                locations: cycle
+                    .iter()
+                    .map(|&(cw, ci, _)| OpLoc::of(sched, cw, ci))
+                    .collect(),
+            });
+            break;
+        }
+        pos_of.insert(w, chain.len());
+        let frontier = next[w];
+        let op = &sched.workers[w][frontier];
+        let need = tok
+            .first_missing(w, op)
+            .expect("blocked frontier has a missing need");
+        chain.push((w, frontier, need.to_string()));
+        match producer_of(sched, next, tok, &need) {
+            Producer::Op(pw, _pi) => w = pw,
+            Producer::Missing => {
+                diagnostics.push(Diagnostic {
+                    code: "missing_producer",
+                    severity: Severity::Error,
+                    message: format!(
+                        "P{w} op #{frontier} ({op}) needs {need}, which no remaining op produces"
+                    ),
+                    locations: vec![OpLoc::of(sched, w, frontier)],
+                });
+                break;
+            }
+            Producer::DeadCollective(stage, inst) => {
+                diagnostics.push(Diagnostic {
+                    code: "incomplete_collective",
+                    severity: Severity::Error,
+                    message: format!(
+                        "P{w} op #{frontier} ({op}) waits for allreduce instance {inst} of \
+                         {stage}, but no remaining launch can complete it"
+                    ),
+                    locations: vec![OpLoc::of(sched, w, frontier)],
+                });
+                break;
+            }
+        }
+    }
+
+    Analysis {
+        deadlock: true,
+        blocked,
+        diagnostics,
+    }
+}
+
+enum Producer {
+    /// The unexecuted op that would satisfy the need.
+    Op(usize, usize),
+    /// Nothing in the remaining schedule produces the needed token.
+    Missing,
+    /// An allreduce wait whose instance can never gather all launches.
+    DeadCollective(StageId, usize),
+}
+
+/// Find an unexecuted op that would produce `need`'s token.
+fn producer_of(sched: &Schedule, next: &[usize], tok: &Tokens, need: &Need) -> Producer {
+    match *need {
+        Need::Fwd(m, s, r) => {
+            let w = sched.placement.worker(r, s).idx();
+            find_from(sched, w, next[w], |op| {
+                op.is_forward()
+                    && op.stage == s
+                    && op.replica == r
+                    && op.covered_micros().any(|c| c == m)
+            })
+        }
+        Need::Bwd(m, s, r, consumer) => {
+            let w = sched.placement.worker(r, s).idx();
+            find_from(sched, w, next[w], |op| {
+                if !(op.is_backward() && op.stage == s && op.replica == r) {
+                    return false;
+                }
+                if !op.covered_micros().any(|c| c == m) {
+                    return false;
+                }
+                // The producer must contribute a tag the consumer still
+                // lacks: a full producer always does; a half producer helps a
+                // half consumer of the same half, or a full consumer missing
+                // that half.
+                match (consumer, op.chunk) {
+                    (_, Chunk::Full | Chunk::Pair) => true,
+                    (Chunk::Half(hc), Chunk::Half(hp)) => hc == hp,
+                    (_, Chunk::Half(hp)) => !tok.bwd.contains(&(m, s, r, hp)),
+                }
+            })
+        }
+        Need::Ar(stage, inst) => {
+            // A launch op on worker w' feeds instance `launch_count[w']` (its
+            // per-worker launch sequence number). The instance completes when
+            // `replicas` launches target it; find any worker whose next
+            // unexecuted launch for this stage would land in `inst`.
+            for (w, ops) in sched.workers.iter().enumerate() {
+                let mut seq = *tok.launch_count.get(&(w, stage)).unwrap_or(&0);
+                for (i, op) in ops.iter().enumerate().skip(next[w]) {
+                    if matches!(op.kind, OpKind::AllReduceLaunch) && op.stage == stage {
+                        if seq == inst {
+                            return Producer::Op(w, i);
+                        }
+                        seq += 1;
+                    }
+                }
+            }
+            Producer::DeadCollective(stage, inst)
+        }
+    }
+}
+
+fn find_from(sched: &Schedule, w: usize, from: usize, pred: impl Fn(&Op) -> bool) -> Producer {
+    match sched.workers[w]
+        .iter()
+        .enumerate()
+        .skip(from)
+        .find(|(_, op)| pred(op))
+    {
+        Some((i, _)) => Producer::Op(w, i),
+        None => Producer::Missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_core::baselines::gpipe;
+    use chimera_core::unit_time::{execute, UnitCosts};
+
+    #[test]
+    fn clean_schedule_has_no_deadlock() {
+        let a = analyze(&gpipe(4, 8));
+        assert!(!a.deadlock);
+        assert!(a.blocked.is_empty());
+    }
+
+    #[test]
+    fn reordered_backwards_agree_with_executor() {
+        // Running stage-0's backwards out of order delays but does not
+        // deadlock a GPipe schedule; the static verdict must agree.
+        let mut s = gpipe(2, 2);
+        let b0 = s.workers[0]
+            .iter()
+            .position(chimera_core::Op::is_backward)
+            .unwrap();
+        s.workers[0].swap(b0, b0 + 1);
+        assert!(!analyze(&s).deadlock);
+        assert!(execute(&s, UnitCosts::equal()).is_ok());
+    }
+
+    #[test]
+    fn cross_worker_cycle_is_extracted() {
+        // D=2, N=2, linear: worker 0 interleaves B(m0) before F(m1) while
+        // worker 1 needs F(m1) before it reaches B(m0) — a genuine two-worker
+        // waits-for cycle.
+        use chimera_core::ids::{MicroId, ReplicaId, StageId};
+        use chimera_core::placement::Placement;
+        use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
+        let f = |m, s| Op::forward(MicroId(m), StageId(s), ReplicaId(0));
+        let b = |m, s| Op::backward(MicroId(m), StageId(s), ReplicaId(0));
+        let s = Schedule {
+            scheme: Scheme::GPipe,
+            d: 2,
+            n: 2,
+            placement: Placement::linear(2),
+            workers: vec![
+                vec![f(0, 0), b(0, 0), f(1, 0), b(1, 0)],
+                vec![f(0, 1), f(1, 1), b(0, 1), b(1, 1)],
+            ],
+            flushes: true,
+            sync: SyncStrategy::None,
+        };
+        let a = analyze(&s);
+        assert!(a.deadlock);
+        assert_eq!(a.blocked.len(), 2, "both workers stuck");
+        let cyc = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "deadlock_cycle")
+            .expect("cycle diagnostic");
+        assert_eq!(cyc.locations.len(), 2, "two-op cycle: {}", cyc.message);
+        assert!(cyc.message.contains("needs"));
+        // Dynamic executor agrees, with the same blocked set.
+        let err = execute(&s, UnitCosts::equal()).unwrap_err();
+        match err {
+            chimera_core::unit_time::ExecError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), a.blocked.len());
+                for (dynamic, stat) in blocked.iter().zip(&a.blocked) {
+                    assert_eq!(dynamic.worker.0, stat.worker);
+                    assert_eq!(dynamic.op_index, stat.op_index);
+                }
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_forward_reports_missing_producer() {
+        let mut s = gpipe(2, 2);
+        // Remove F(m1) on worker 0: worker 1's F(m1)@s1 can never run.
+        s.workers[0].remove(1);
+        let a = analyze(&s);
+        assert!(a.deadlock);
+        assert!(a.diagnostics.iter().any(|d| d.code == "missing_producer"));
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle_of_one() {
+        // A worker whose backward precedes its own forward waits on itself.
+        let mut s = gpipe(2, 1);
+        s.workers[1].swap(0, 1); // B(m0)@s1 before F(m0)@s1
+        let a = analyze(&s);
+        assert!(a.deadlock);
+        let cyc = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "deadlock_cycle")
+            .expect("cycle diagnostic");
+        assert_eq!(cyc.locations.len(), 1);
+        assert_eq!(cyc.locations[0].worker, 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! Static verification of pipeline schedules — no execution required.
+//!
+//! `chimera_core::validate` discovers scheduling bugs *dynamically*, by
+//! executing the schedule under abstract costs and watching it deadlock or
+//! mis-cover. This crate finds the same classes of bugs (and several the
+//! executor cannot see) by analyzing the schedule as data:
+//!
+//! 1. **Deadlock as a cycle** ([`graph`]): a token-based abstract
+//!    interpretation of the cross-rank happens-before relation. When the
+//!    schedule cannot complete, the verifier extracts the actual waits-for
+//!    cycle through worker frontiers — the op chain, not just "stuck".
+//! 2. **Communication matching** ([`comm_lint`]): every cross-worker recv
+//!    must have exactly one matching send per `(src, dst, key)` channel,
+//!    with per-channel ordering consistent enough for the keyed-inbox
+//!    transport in `chimera-comm` (whose `MsgKey` does not distinguish
+//!    backward-halving chunks) to deliver the right payloads, and with a
+//!    provable bound on parked messages.
+//! 3. **Buffer hazards** ([`hazard`]): WAR/WAW detection on activation stash
+//!    slots and weight-version staleness per stage replica, reusing
+//!    `validate::weight_analysis`'s update-rule machinery.
+//! 4. **Memory** ([`memory`]): static peak activation/weight accounting per
+//!    worker checked against a device capacity, flagging OOM before any
+//!    simulation runs.
+//!
+//! The deadlock verdict is designed to agree *exactly* with
+//! `chimera_core::unit_time::execute`: the abstract interpreter mirrors the
+//! executor's round-robin loop and `DepTracker` token semantics, so
+//! static-pass ∧ dynamic-deadlock (or vice versa) is impossible by
+//! construction — and enforced by a randomized agreement test.
+
+pub mod comm_lint;
+pub mod graph;
+pub mod hazard;
+pub mod memory;
+
+use chimera_core::schedule::Schedule;
+use chimera_core::unit_time::{validate_span, UnitCosts};
+use chimera_core::WorkerId;
+use chimera_sim::cost::SimCostModel;
+
+/// Location of an op inside a schedule: worker + index in that worker's
+/// program order, plus a rendering of the op itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpLoc {
+    /// Worker id within the pipeline group.
+    pub worker: u32,
+    /// Index of the op in the worker's sequence.
+    pub op_index: usize,
+    /// Textual rendering of the op (`Fm3@s2/r1`, `AR?(s0,r0)`, ...).
+    pub op: String,
+}
+
+impl OpLoc {
+    /// Location of `sched.workers[w][i]`.
+    pub fn of(sched: &Schedule, w: usize, i: usize) -> Self {
+        OpLoc {
+            worker: w as u32,
+            op_index: i,
+            op: sched.workers[w][i].to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for OpLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{} op #{} ({})", self.worker, self.op_index, self.op)
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The schedule is wrong: it deadlocks, corrupts data, or overflows
+    /// device memory.
+    Error,
+    /// Suspicious but not provably wrong (e.g. a send nobody consumes).
+    Warning,
+}
+
+/// One finding, with a stable machine-readable code and the op locations
+/// involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `deadlock_cycle`, `unmatched_recv`, `weight_war`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Ops involved, most relevant first (for `deadlock_cycle`: the cycle in
+    /// waits-for order).
+    pub locations: Vec<OpLoc>,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)?;
+        for loc in &self.locations {
+            write!(f, "\n    at {loc}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Static statistics for one cross-worker communication channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Sending worker.
+    pub src: u32,
+    /// Receiving worker.
+    pub dst: u32,
+    /// Matched messages on the channel (half-micro units).
+    pub messages: usize,
+    /// Upper bound on messages parked in the receiver's keyed inbox at any
+    /// point: the k-th recv on the channel matching the p-th send can leave
+    /// at most `p - k` earlier sends undelivered. Finite by construction —
+    /// this is the static proof that the inbox never grows without bound.
+    pub max_parked: usize,
+}
+
+/// The result of statically verifying a schedule.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Scheme name (for reporting).
+    pub scheme: String,
+    /// Pipeline depth.
+    pub d: u32,
+    /// Micro-batches in the analyzed span.
+    pub n: u32,
+    /// Total ops analyzed.
+    pub ops: usize,
+    /// Whether the happens-before analysis found the schedule cannot
+    /// complete. Agrees exactly with dynamic execution.
+    pub deadlock: bool,
+    /// When deadlocked: every worker frontier that was stuck, in worker
+    /// order — the same set `ExecError::Deadlock` carries.
+    pub blocked: Vec<OpLoc>,
+    /// All findings, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-channel communication statistics.
+    pub channels: Vec<ChannelStats>,
+    /// Static peak concurrently-stashed activations per worker, in units of
+    /// one micro-batch's activations (matches
+    /// `Timeline::peak_activations` under `UnitCosts`).
+    pub peak_activation_units: Vec<f64>,
+}
+
+impl VerifyReport {
+    /// No error-severity diagnostics (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Pretty JSON for CI consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    fn sort_diagnostics(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.severity != Severity::Error, d.code));
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} D={} N={}: {} ops, {} channel(s), {}",
+            self.scheme,
+            self.d,
+            self.n,
+            self.ops,
+            self.channels.len(),
+            if self.deadlock {
+                "DEADLOCK"
+            } else if self.is_clean() {
+                "clean"
+            } else {
+                "errors"
+            }
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl serde::Serialize for OpLoc {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("OpLoc", 3)?;
+        st.serialize_field("worker", &self.worker)?;
+        st.serialize_field("op_index", &(self.op_index as u64))?;
+        st.serialize_field("op", &self.op)?;
+        st.end()
+    }
+}
+
+impl serde::Serialize for Severity {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+impl serde::Serialize for Diagnostic {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("Diagnostic", 4)?;
+        st.serialize_field("code", self.code)?;
+        st.serialize_field("severity", &self.severity)?;
+        st.serialize_field("message", &self.message)?;
+        st.serialize_field("locations", &self.locations)?;
+        st.end()
+    }
+}
+
+impl serde::Serialize for ChannelStats {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("ChannelStats", 4)?;
+        st.serialize_field("src", &self.src)?;
+        st.serialize_field("dst", &self.dst)?;
+        st.serialize_field("messages", &(self.messages as u64))?;
+        st.serialize_field("max_parked", &(self.max_parked as u64))?;
+        st.end()
+    }
+}
+
+impl serde::Serialize for VerifyReport {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("VerifyReport", 10)?;
+        st.serialize_field("scheme", &self.scheme)?;
+        st.serialize_field("d", &self.d)?;
+        st.serialize_field("n", &self.n)?;
+        st.serialize_field("ops", &(self.ops as u64))?;
+        st.serialize_field("deadlock", &self.deadlock)?;
+        st.serialize_field("clean", &self.is_clean())?;
+        st.serialize_field("blocked", &self.blocked)?;
+        st.serialize_field("diagnostics", &self.diagnostics)?;
+        st.serialize_field("channels", &self.channels)?;
+        st.serialize_field("peak_activation_units", &self.peak_activation_units)?;
+        st.end()
+    }
+}
+
+/// Statically verify one iteration of `sched`. Equivalent to
+/// [`verify_span`]`(sched, 1)`.
+pub fn verify(sched: &Schedule) -> VerifyReport {
+    verify_span(sched, 1)
+}
+
+/// Statically verify `sched` as a span of `iterations` training iterations
+/// (matching `simulate_span` / `concat_iterations` semantics): happens-before
+/// deadlock analysis, communication matching, buffer hazards, and activation
+/// accounting. Purely static — the schedule is never executed.
+pub fn verify_span(sched: &Schedule, iterations: u32) -> VerifyReport {
+    sched.assert_well_formed();
+    let mut diagnostics = Vec::new();
+
+    // Span consistency first: a schedule that does not cover every micro at
+    // every stage cannot be meaningfully graph-analyzed for completion.
+    if let Err(e) = validate_span(sched, iterations) {
+        diagnostics.push(Diagnostic {
+            code: "inconsistent_span",
+            severity: Severity::Error,
+            message: e.to_string(),
+            locations: Vec::new(),
+        });
+    }
+
+    let analysis = graph::analyze(sched);
+    diagnostics.extend(analysis.diagnostics);
+
+    let comm = comm_lint::lint(sched);
+    diagnostics.extend(comm.diagnostics);
+
+    diagnostics.extend(hazard::lint(sched, iterations));
+
+    let peaks = memory::static_peak_activations(sched, &UnitCosts::equal());
+
+    let mut report = VerifyReport {
+        scheme: sched.scheme.name().to_string(),
+        d: sched.d,
+        n: sched.n,
+        ops: sched.workers.iter().map(Vec::len).sum(),
+        deadlock: analysis.deadlock,
+        blocked: analysis.blocked,
+        diagnostics,
+        channels: comm.channels,
+        peak_activation_units: peaks.units,
+    };
+    report.sort_diagnostics();
+    report
+}
+
+/// [`verify_span`] plus a memory lint: static per-worker peak memory
+/// (weight versions per Table 2 + activation stash under `cost`'s byte
+/// accounting) checked against `capacity_bytes`, flagging OOM with the op at
+/// which the peak is reached.
+pub fn verify_with_memory(
+    sched: &Schedule,
+    iterations: u32,
+    cost: &SimCostModel,
+    capacity_bytes: u64,
+) -> VerifyReport {
+    let mut report = verify_span(sched, iterations);
+    let weights = chimera_sim::memory::weights_bytes(sched, cost);
+    let acts = memory::static_peak_activations(sched, cost);
+    for (w, (&wb, &ab)) in weights.iter().zip(&acts.units).enumerate() {
+        let total = wb + ab.round() as u64;
+        if total > capacity_bytes {
+            let locations = acts.peak_op[w]
+                .map(|i| vec![OpLoc::of(sched, w, i)])
+                .unwrap_or_default();
+            report.diagnostics.push(Diagnostic {
+                code: "capacity_overflow",
+                severity: Severity::Error,
+                message: format!(
+                    "{} peak memory {:.2} GiB (weights {:.2} + activations {:.2}) \
+                     exceeds device capacity {:.2} GiB",
+                    WorkerId(w as u32),
+                    total as f64 / (1u64 << 30) as f64,
+                    wb as f64 / (1u64 << 30) as f64,
+                    ab / (1u64 << 30) as f64,
+                    capacity_bytes as f64 / (1u64 << 30) as f64
+                ),
+                locations,
+            });
+        }
+    }
+    report.sort_diagnostics();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_core::baselines::gpipe;
+    use chimera_sim::{AllReduceAlgo, NetworkModel, SimCostModel, StageCosts, Topology};
+
+    fn cost(d: u32, act_bytes: u64) -> SimCostModel {
+        SimCostModel {
+            stages: vec![
+                StageCosts {
+                    fwd_s: 1e-3,
+                    bwd_s: 2e-3,
+                    recompute_s: 1e-3,
+                    boundary_bytes: 1 << 20,
+                    act_bytes,
+                    param_bytes: 100 << 20,
+                    grad_opt_bytes: 200 << 20,
+                };
+                d as usize
+            ],
+            network: NetworkModel::cray_aries(),
+            topology: Topology::one_per_node(d),
+            allreduce_participants: 2,
+            allreduce_algo: AllReduceAlgo::Rabenseifner,
+            allreduce_beta_factor: 1.0,
+            launch_overhead_s: 0.0,
+            half_chunk_penalty: 1.0,
+            comm_compute_interference: 0.0,
+            p2p_host_overhead_s: 0.0,
+            p2p_host_s_per_byte: 0.0,
+            grad_compression: 1.0,
+        }
+    }
+
+    /// GPipe's all-forwards prologue stashes N activations at once: with
+    /// 1 GiB activations each that overflows a 4 GiB device, and the
+    /// diagnostic points at the op where the peak is reached (the last
+    /// injected forward). Doubling capacity clears the report.
+    #[test]
+    fn capacity_overflow_is_flagged_with_the_peak_op() {
+        let s = gpipe(2, 4);
+        let c = cost(2, 1 << 30);
+        let report = verify_with_memory(&s, 1, &c, 4 << 30);
+        let oom: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "capacity_overflow")
+            .collect();
+        assert!(!report.is_clean());
+        assert!(
+            !oom.is_empty(),
+            "no capacity_overflow diagnostic:\n{report}"
+        );
+        // 4 activations + ~300 MiB of weight state > 4 GiB on both workers.
+        assert_eq!(oom.len(), 2);
+        assert_eq!(oom[0].locations[0].op_index, 3, "{}", oom[0].locations[0]);
+
+        let roomy = verify_with_memory(&s, 1, &c, 8 << 30);
+        assert!(roomy.is_clean(), "{roomy}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Static activation-memory accounting.
+//!
+//! Mirrors the executor's stash bookkeeping (`unit_time::execute_with`)
+//! without executing: each worker's ops run sequentially, so its allocation
+//! events happen in program order regardless of tick values — a forward
+//! stashes at its finish, a non-recomputing backward frees at its finish,
+//! and a recomputing backward rematerializes at its start and frees at its
+//! finish. Replaying the deltas in program order therefore yields exactly
+//! `Timeline::peak_activations`, for any positive-cost [`CostProvider`]
+//! (abstract `Ma` units or the simulator's bytes).
+
+use chimera_core::op::OpKind;
+use chimera_core::schedule::Schedule;
+use chimera_core::unit_time::CostProvider;
+
+/// Static per-worker activation peaks.
+pub struct ActivationPeaks {
+    /// Peak concurrently-stashed activations per worker, in the cost
+    /// provider's stash units.
+    pub units: Vec<f64>,
+    /// Index of the op at whose execution the peak is reached, per worker
+    /// (`None` for workers with no activation traffic).
+    pub peak_op: Vec<Option<usize>>,
+}
+
+/// Replay `sched`'s stash discipline under `costs` in program order.
+pub fn static_peak_activations<C: CostProvider>(sched: &Schedule, costs: &C) -> ActivationPeaks {
+    // Forwards of a (replica, stage) whose backward recomputes stash only
+    // the stage-boundary input.
+    let recomputing: Vec<_> = {
+        let mut v = Vec::new();
+        for (_, _, op) in sched.iter_ops() {
+            if op.recomputes() && !v.contains(&(op.replica, op.stage)) {
+                v.push((op.replica, op.stage));
+            }
+        }
+        v
+    };
+
+    let mut units = Vec::with_capacity(sched.num_workers());
+    let mut peak_op = Vec::with_capacity(sched.num_workers());
+    for ops in &sched.workers {
+        let mut cur = 0.0f64;
+        let mut peak = 0.0f64;
+        let mut at: Option<usize> = None;
+        for (i, op) in ops.iter().enumerate() {
+            match op.kind {
+                OpKind::Forward => {
+                    cur += if recomputing.contains(&(op.replica, op.stage)) {
+                        costs.boundary_stash(op)
+                    } else {
+                        costs.full_stash(op)
+                    };
+                    if cur > peak {
+                        peak = cur;
+                        at = Some(i);
+                    }
+                }
+                OpKind::Backward { recompute } => {
+                    let held = costs.full_stash(op);
+                    if recompute {
+                        // Rematerialized activations live for the span of the
+                        // backward: peak includes them, then everything frees.
+                        let stashed = costs.boundary_stash(op);
+                        let transient = cur + (held - stashed);
+                        if transient > peak {
+                            peak = transient;
+                            at = Some(i);
+                        }
+                        cur = transient - held;
+                    } else {
+                        cur -= held;
+                    }
+                }
+                _ => {}
+            }
+        }
+        units.push(peak);
+        peak_op.push(at);
+    }
+    ActivationPeaks { units, peak_op }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_core::baselines::{dapple, gems, gpipe, pipedream};
+    use chimera_core::chimera::{chimera, ChimeraConfig, ScaleMethod};
+    use chimera_core::unit_time::{execute, UnitCosts};
+
+    /// The static replay must reproduce the executor's measured peaks
+    /// exactly, for every built-in scheme including recomputing ones.
+    #[test]
+    fn static_peaks_equal_dynamic_peaks() {
+        let scheds = vec![
+            gpipe(4, 8),
+            dapple(4, 8),
+            gems(4, 8),
+            pipedream(4, 4),
+            chimera(&ChimeraConfig::new(4, 8)).unwrap(),
+            chimera(&ChimeraConfig {
+                d: 8,
+                n: 32,
+                f: 2,
+                scale: ScaleMethod::ForwardDoubling { recompute: true },
+            })
+            .unwrap(),
+        ];
+        let mut costs = UnitCosts::practical();
+        costs.recompute_stash_fraction = 0.25;
+        for s in scheds {
+            let tl = execute(&s, costs).unwrap();
+            let st = static_peak_activations(&s, &costs);
+            for (w, (&dynamic, &stat)) in tl.peak_activations.iter().zip(&st.units).enumerate() {
+                assert!(
+                    (dynamic - stat).abs() < 1e-9,
+                    "{:?} worker {w}: dynamic {dynamic} vs static {stat}",
+                    s.scheme
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_op_points_at_last_injected_forward_for_gpipe() {
+        let s = gpipe(2, 4);
+        let st = static_peak_activations(&s, &UnitCosts::equal());
+        // GPipe's peak is reached at the last forward (index n-1).
+        assert_eq!(st.peak_op[0], Some(3));
+        assert_eq!(st.units[0], 4.0);
+    }
+}

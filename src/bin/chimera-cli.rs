@@ -7,7 +7,14 @@
 //! chimera-cli train   [D] [N] [iters]             real pipelined training
 //! chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N]
 //!                     [--iters I]                 multi-process training
+//! chimera-cli verify  [scheme [D] [N]] [--json]   static schedule verifier
 //! ```
+//!
+//! `verify` runs the static analyses of `chimera-verify` (happens-before
+//! deadlock detection, send/recv matching, buffer-hazard and memory lints)
+//! on one schedule, or — with no scheme — on every built-in scheme for
+//! D ∈ {2, 4, 8}. Exit status 1 when any diagnostic of error severity is
+//! found.
 //!
 //! `launch` spawns `P` worker **processes** (one pipeline worker each, `W =
 //! P/D` data-parallel groups) connected over the TCP transport, then re-runs
@@ -31,10 +38,11 @@ use chimera::perf::planner::{best, plan_chimera, PlanScheme};
 use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
 use chimera::runtime::{train, train_hybrid, train_worker_process, TrainOptions};
 use chimera::sim::simulate;
+use chimera::verify::verify_span;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -226,6 +234,87 @@ fn cmd_train(mut args: std::env::Args) {
     }
     assert_eq!(result.flat_params(), r.flat_params());
     println!("✓ bit-identical to sequential mini-batch SGD");
+}
+
+/// Schemes swept by `verify` when no scheme is given. `chimera-f2` needs
+/// `2 | D/2` and is skipped where that fails.
+const VERIFY_SCHEMES: [&str; 9] = [
+    "gpipe",
+    "dapple",
+    "gems",
+    "pipedream",
+    "pipedream-2bw",
+    "chimera",
+    "chimera-f2",
+    "doubling",
+    "halving",
+];
+
+/// Span iteration count matching what `build_schedule` generates: the
+/// steady-state PipeDream schedules cover two iterations back to back.
+fn verify_iterations(scheme: &str) -> u32 {
+    if scheme.starts_with("pipedream") {
+        2
+    } else {
+        1
+    }
+}
+
+fn cmd_verify(args: std::env::Args) {
+    let mut positional = Vec::new();
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                eprintln!("unexpected flag: {other}");
+                usage();
+            }
+            _ => positional.push(a),
+        }
+    }
+
+    let mut reports = Vec::new();
+    match positional.first() {
+        Some(scheme) => {
+            let d = parse(positional.get(1).cloned(), 4u32);
+            let n = parse(positional.get(2).cloned(), 2 * d);
+            let sched = build_schedule(scheme, d, n);
+            reports.push(verify_span(&sched, verify_iterations(scheme)));
+        }
+        None => {
+            for d in [2u32, 4, 8] {
+                for scheme in VERIFY_SCHEMES {
+                    if scheme == "chimera-f2" && (d / 2) % 2 != 0 {
+                        continue;
+                    }
+                    let sched = build_schedule(scheme, d, 2 * d);
+                    reports.push(verify_span(&sched, verify_iterations(scheme)));
+                }
+            }
+        }
+    }
+
+    let clean = reports.iter().all(chimera::verify::VerifyReport::is_clean);
+    if json {
+        let bodies: Vec<String> = reports
+            .iter()
+            .map(chimera::verify::VerifyReport::to_json)
+            .collect();
+        println!("[{}]", bodies.join(",\n"));
+    } else {
+        for r in &reports {
+            println!("{r}");
+        }
+        println!(
+            "{} schedule(s) verified: {}",
+            reports.len(),
+            if clean { "all clean" } else { "ERRORS FOUND" }
+        );
+    }
+    if !clean {
+        std::process::exit(1);
+    }
 }
 
 /// `--flag value` pairs for the launch/worker subcommands.
@@ -463,6 +552,7 @@ fn main() {
         Some("train") => cmd_train(args),
         Some("launch") => cmd_launch(args),
         Some("worker") => cmd_worker(args),
+        Some("verify") => cmd_verify(args),
         _ => usage(),
     }
 }

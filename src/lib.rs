@@ -23,7 +23,10 @@
 //! * [`runtime`] — a worker-per-rank pipeline training runtime executing
 //!   any schedule on a real model, in-process or multi-process;
 //! * [`trace`] — structured tracing, a metrics registry, and Chrome/Perfetto
-//!   trace export for both the simulator and the runtime.
+//!   trace export for both the simulator and the runtime;
+//! * [`verify`] — static schedule/communication verifier: happens-before
+//!   deadlock analysis, send/recv matching lints, buffer-hazard and memory
+//!   lints, surfaced as `chimera-cli verify`.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -36,3 +39,4 @@ pub use chimera_runtime as runtime;
 pub use chimera_sim as sim;
 pub use chimera_tensor as tensor;
 pub use chimera_trace as trace;
+pub use chimera_verify as verify;

@@ -44,7 +44,7 @@ proptest! {
         }
         .cost_model();
         let rep = simulate(&sched, &cost).unwrap();
-        let max_busy = rep.busy_s.iter().cloned().fold(0.0, f64::max);
+        let max_busy = rep.busy_s.iter().copied().fold(0.0, f64::max);
         prop_assert!(rep.iter_time_s >= max_busy - 1e-9);
         prop_assert!((0.0..1.0).contains(&rep.bubble_ratio));
         for (peak, weights) in rep.peak_mem_bytes.iter().zip(&rep.weight_bytes) {
