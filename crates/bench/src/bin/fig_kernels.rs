@@ -1,0 +1,302 @@
+//! Kernel-layer throughput harness: naive vs tiled vs tiled+threaded
+//! GFLOP/s, the zero-skip sparse entry point on 95%-zero input, and
+//! end-to-end training step time with the buffer pool on/off.
+//!
+//! Writes `results/kernels.json` plus `BENCH_kernels.json` at the workspace
+//! root (the artifact CI uploads). Flags:
+//!
+//! * `--smoke`      small shape + short run, for the CI bench-smoke job
+//! * `--check`      compare tiled+threaded GFLOP/s against the committed
+//!   baseline (`crates/bench/baselines/kernels.json`) and exit non-zero on
+//!   a >20% regression
+//! * `--threads N`  intra-op thread count (default: `max(4, cores)`)
+//!
+//! The committed baseline is deliberately conservative — set well below
+//! typical dev-machine throughput — so the gate catches structural
+//! regressions (a lost vectorized loop, an accidental bounds check in the
+//! inner kernel) rather than CI-runner noise.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use chimera_bench::{arg_value, print_table, save_json};
+use chimera_nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera_tensor::{kernels, pool, Rng, Tensor};
+
+/// Time `body` (called repeatedly) and return mean seconds per call:
+/// at least `min_reps` calls and at least ~0.2 s of total wall clock.
+fn time_per_call(min_reps: u32, mut body: impl FnMut()) -> f64 {
+    body(); // warm the caches / pool
+    let mut reps = 0u32;
+    let start = Instant::now();
+    while reps < min_reps || start.elapsed().as_secs_f64() < 0.2 {
+        body();
+        reps += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    2.0 * (m as f64) * (k as f64) * (n as f64) / secs / 1e9
+}
+
+fn randvec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+struct MatmulRow {
+    shape: String,
+    naive: f64,
+    tiled_1t: f64,
+    tiled_mt: f64,
+}
+
+/// Naive vs tiled vs tiled+threaded GFLOP/s for one `m×k×n` product.
+fn bench_shape(m: usize, k: usize, n: usize, threads: usize) -> MatmulRow {
+    let a = randvec(m * k, 1);
+    let b = randvec(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+
+    let naive = time_per_call(3, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        kernels::naive::matmul_into(&a, &b, &mut out, m, k, n);
+    });
+    kernels::set_threads(1);
+    let tiled_1t = time_per_call(3, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        kernels::matmul_into(&a, &b, &mut out, m, k, n);
+    });
+    kernels::set_threads(threads);
+    let tiled_mt = time_per_call(3, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        kernels::matmul_into(&a, &b, &mut out, m, k, n);
+    });
+    kernels::set_threads(1);
+
+    MatmulRow {
+        shape: format!("{m}x{k}x{n}"),
+        naive: gflops(m, k, n, naive),
+        tiled_1t: gflops(m, k, n, tiled_1t),
+        tiled_mt: gflops(m, k, n, tiled_mt),
+    }
+}
+
+/// Dense kernel vs the documented sparse-aware entry point on an input
+/// that is 95% exact zeros (effective GFLOP/s: dense-equivalent flops over
+/// wall clock, so the zero-skip win shows up as a higher number).
+fn bench_zero_skip(m: usize, k: usize, n: usize) -> (f64, f64) {
+    let mut rng = Rng::new(3);
+    let mut a = Tensor::normal(m, k, 1.0, &mut rng);
+    for (i, v) in a.data_mut().iter_mut().enumerate() {
+        if i % 20 != 0 {
+            *v = 0.0;
+        }
+    }
+    let b = Tensor::normal(k, n, 1.0, &mut rng);
+    let dense = time_per_call(3, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+    let skip = time_per_call(3, || {
+        std::hint::black_box(a.matmul_zero_skip(&b));
+    });
+    (gflops(m, k, n, dense), gflops(m, k, n, skip))
+}
+
+struct EndToEnd {
+    pool_on_ms: f64,
+    pool_off_ms: f64,
+    hit_rate: f64,
+}
+
+/// Per-iteration step time of the sequential reference trainer with the
+/// buffer pool on vs off, plus the steady-state pool hit rate.
+fn bench_end_to_end(iters: u32) -> EndToEnd {
+    let cfg = ModelConfig::tiny();
+    let n = 4u32;
+    let run = |pooled: bool| -> (f64, f64) {
+        pool::set_enabled(pooled);
+        let mut r = ReferenceTrainer::new(
+            Stage::build_all(cfg, 2),
+            SyntheticData::new(cfg, 7),
+            2,
+            0.05,
+            0.9,
+        );
+        r.train_iteration(0, n); // warm-up populates the pool classes
+        pool::reset_stats();
+        let start = Instant::now();
+        for it in 1..=iters {
+            r.train_iteration(u64::from(it) * u64::from(n), n);
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+        (ms, pool::stats().hit_rate())
+    };
+    let (pool_on_ms, hit_rate) = run(true);
+    let (pool_off_ms, _) = run(false);
+    pool::set_enabled(true);
+    EndToEnd {
+        pool_on_ms,
+        pool_off_ms,
+        hit_rate,
+    }
+}
+
+/// The committed floor: current tiled+threaded GFLOP/s per shape must stay
+/// within 20% of these values.
+fn load_baseline() -> Option<serde_json::Value> {
+    let path = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => format!("{m}/baselines/kernels.json"),
+        Err(_) => "crates/bench/baselines/kernels.json".to_string(),
+    };
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn check_regressions(rows: &[MatmulRow]) -> bool {
+    let Some(baseline) = load_baseline() else {
+        eprintln!("--check: no readable baseline; failing");
+        return false;
+    };
+    let Some(shapes) = baseline.get("tiled_mt_gflops").and_then(|v| v.as_object()) else {
+        eprintln!("--check: baseline missing tiled_mt_gflops; failing");
+        return false;
+    };
+    let mut ok = true;
+    for (shape, floor) in shapes {
+        let Some(floor) = floor.as_f64() else {
+            continue;
+        };
+        match rows.iter().find(|r| &r.shape == shape) {
+            Some(r) if r.tiled_mt >= 0.8 * floor => {
+                println!(
+                    "check {shape}: {:.2} GFLOP/s >= 0.8 x {floor:.2} ok",
+                    r.tiled_mt
+                );
+            }
+            Some(r) => {
+                eprintln!(
+                    "check {shape}: REGRESSION {:.2} GFLOP/s < 0.8 x baseline {floor:.2}",
+                    r.tiled_mt
+                );
+                ok = false;
+            }
+            None => {} // baseline shape not measured in this mode
+        }
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let check = std::env::args().any(|a| a == "--check");
+    let threads = arg_value("--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .max(4)
+        });
+
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(128, 256, 256)]
+    } else {
+        &[(128, 256, 256), (256, 512, 512), (512, 1024, 1024)]
+    };
+
+    let rows: Vec<MatmulRow> = shapes
+        .iter()
+        .map(|&(m, k, n)| bench_shape(m, k, n, threads))
+        .collect();
+
+    print_table(
+        &format!("Matmul GFLOP/s (mt = {threads} threads)"),
+        &["shape", "naive", "tiled 1t", "tiled mt", "mt/naive"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.shape.clone(),
+                    format!("{:.2}", r.naive),
+                    format!("{:.2}", r.tiled_1t),
+                    format!("{:.2}", r.tiled_mt),
+                    format!("{:.2}x", r.tiled_mt / r.naive),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let (zs_m, zs_k, zs_n) = if smoke {
+        (128, 256, 256)
+    } else {
+        (256, 512, 512)
+    };
+    let (dense_gf, skip_gf) = bench_zero_skip(zs_m, zs_k, zs_n);
+    print_table(
+        "Zero-skip on 95%-zero input (effective GFLOP/s)",
+        &["shape", "dense", "zero-skip", "skip/dense"],
+        &[vec![
+            format!("{zs_m}x{zs_k}x{zs_n}"),
+            format!("{dense_gf:.2}"),
+            format!("{skip_gf:.2}"),
+            format!("{:.2}x", skip_gf / dense_gf),
+        ]],
+    );
+
+    let e2e = bench_end_to_end(if smoke { 2 } else { 5 });
+    print_table(
+        "End-to-end reference-trainer step time",
+        &["pool", "ms/iter", "hit rate"],
+        &[
+            vec![
+                "on".into(),
+                format!("{:.2}", e2e.pool_on_ms),
+                format!("{:.3}", e2e.hit_rate),
+            ],
+            vec!["off".into(), format!("{:.2}", e2e.pool_off_ms), "-".into()],
+        ],
+    );
+
+    let payload = serde_json::json!({
+        "threads": threads,
+        "smoke": smoke,
+        "matmul": rows.iter().map(|r| serde_json::json!({
+            "shape": r.shape,
+            "naive_gflops": r.naive,
+            "tiled_1t_gflops": r.tiled_1t,
+            "tiled_mt_gflops": r.tiled_mt,
+            "speedup_vs_naive": r.tiled_mt / r.naive,
+        })).collect::<Vec<_>>(),
+        "zero_skip": serde_json::json!({
+            "shape": format!("{zs_m}x{zs_k}x{zs_n}"),
+            "zero_fraction": 0.95,
+            "dense_gflops": dense_gf,
+            "skip_gflops": skip_gf,
+            "speedup": skip_gf / dense_gf,
+        }),
+        "end_to_end": serde_json::json!({
+            "pool_on_ms_per_iter": e2e.pool_on_ms,
+            "pool_off_ms_per_iter": e2e.pool_off_ms,
+            "pool_hit_rate": e2e.hit_rate,
+            "step_time_ratio_off_over_on": e2e.pool_off_ms / e2e.pool_on_ms,
+        }),
+    });
+    save_json("kernels", payload.clone());
+
+    // The CI artifact lives at the workspace root next to the other BENCH_*
+    // outputs.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map_or_else(|_| ".".to_string(), |m| format!("{m}/../.."));
+    let bench_path = format!("{root}/BENCH_kernels.json");
+    std::fs::write(
+        &bench_path,
+        serde_json::to_string_pretty(&payload).expect("serialize"),
+    )
+    .expect("write BENCH_kernels.json");
+    println!("[saved {bench_path}]");
+
+    if check && !check_regressions(&rows) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

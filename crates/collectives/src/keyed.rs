@@ -145,14 +145,10 @@ impl KeyedMember {
             let slot = (round_idx - st.base) as usize;
             if let Some(round) = st.rounds.get(slot) {
                 if let Some(result) = &round.result {
-                    let out = (**result).clone();
+                    let out = pooled_copy(result);
                     let round = &mut st.rounds[slot];
                     round.fetched += 1;
-                    // Retire fully-fetched rounds from the front.
-                    while st.rounds.front().is_some_and(|r| r.fetched == n) {
-                        st.rounds.pop_front();
-                        st.base += 1;
-                    }
+                    retire_rounds(&mut st, n);
                     return out;
                 }
             }
@@ -170,14 +166,11 @@ impl KeyedMember {
         let slot = (round_idx - st.base) as usize;
         let out = {
             let round = st.rounds.get(slot)?;
-            (**round.result.as_ref()?).clone()
+            pooled_copy(round.result.as_ref()?)
         };
         st.fetch_round[self.rank] = round_idx + 1;
         st.rounds[slot].fetched += 1;
-        while st.rounds.front().is_some_and(|r| r.fetched == n) {
-            st.rounds.pop_front();
-            st.base += 1;
-        }
+        retire_rounds(&mut st, n);
         self.fetches.inc();
         Some(out)
     }
@@ -222,10 +215,36 @@ impl chimera_comm::KeyedReduce for KeyedMember {
     }
 }
 
+/// Retire fully-fetched rounds from the front of the queue, recycling each
+/// retired round's result buffer through the tensor pool (every member holds
+/// a pooled copy by then, so this is the last reference).
+fn retire_rounds(st: &mut State, n: usize) {
+    while st.rounds.front().is_some_and(|r| r.fetched == n) {
+        let round = st.rounds.pop_front().expect("front checked");
+        if let Some(result) = round.result {
+            if let Ok(v) = Arc::try_unwrap(result) {
+                chimera_tensor::pool::put(v);
+            }
+        }
+        st.base += 1;
+    }
+}
+
+/// Copy a reduced result out of its round via a pooled buffer (the per-fetch
+/// copy is a steady-state per-iteration allocation otherwise).
+fn pooled_copy(result: &Arc<Vec<f32>>) -> Vec<f32> {
+    let mut out = chimera_tensor::pool::take_spare(result.len());
+    out.extend_from_slice(result);
+    out
+}
+
 /// Sum `(key, member, vector)` contributions strictly in `(key, member)`
 /// order — the one accumulation order every keyed-reduce backend (shared
 /// memory here, transport-backed in [`crate::dist`]) must reproduce for
 /// results to stay bitwise identical to the sequential reference.
+///
+/// The first contribution in key order becomes the accumulator; the rest are
+/// recycled through the tensor buffer pool after being summed in.
 pub fn sum_in_key_order(items: impl IntoIterator<Item = (u64, usize, Vec<f32>)>) -> Vec<f32> {
     let mut all: Vec<(u64, usize, Vec<f32>)> = items.into_iter().collect();
     all.sort_by_key(|&(k, r, _)| (k, r));
@@ -238,6 +257,7 @@ pub fn sum_in_key_order(items: impl IntoIterator<Item = (u64, usize, Vec<f32>)>)
         for (a, b) in acc.iter_mut().zip(&v) {
             *a += b;
         }
+        chimera_tensor::pool::put(v);
     }
     acc
 }

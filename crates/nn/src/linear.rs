@@ -34,17 +34,14 @@ impl Linear {
 
     /// Backward pass: returns `dx` and accumulates `[dW.., db..]` into
     /// `grad` (which must have length [`Linear::num_params`]).
+    ///
+    /// `dW` and `db` are accumulated straight into `grad` — no intermediate
+    /// tensor or column-sum vector is materialized.
     pub fn backward(&self, x: &Tensor, dy: &Tensor, grad: &mut [f32]) -> Tensor {
         assert_eq!(grad.len(), self.num_params());
-        let dw = x.t_matmul(dy);
-        let db = dy.sum_rows();
-        let (wlen, _) = (self.w.len(), self.b.len());
-        for (g, v) in grad[..wlen].iter_mut().zip(dw.data()) {
-            *g += v;
-        }
-        for (g, v) in grad[wlen..].iter_mut().zip(&db) {
-            *g += v;
-        }
+        let (gw, gb) = grad.split_at_mut(self.w.len());
+        x.t_matmul_acc(dy, gw);
+        dy.sum_rows_into(gb);
         dy.matmul_t(&self.w)
     }
 

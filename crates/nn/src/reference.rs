@@ -4,6 +4,8 @@
 //! *bit-for-bit* — this is the executable form of the paper's
 //! "convergence friendly / no accuracy loss" claim (Table 2, §2).
 
+use chimera_tensor::pool;
+
 use crate::data::SyntheticData;
 use crate::optim::{LrSchedule, Optimizer, OptimizerKind};
 use crate::stage::Stage;
@@ -68,7 +70,7 @@ impl ReferenceTrainer {
         let mut grads: Vec<Vec<f32>> = self
             .stages
             .iter()
-            .map(|s| vec![0.0f32; s.num_params()])
+            .map(|s| pool::take_zeroed(s.num_params()))
             .collect();
         let mut loss_sum = 0.0f64;
         for m in 0..n as u64 {
@@ -96,15 +98,18 @@ impl ReferenceTrainer {
                 for (acc, v) in grads[i].iter_mut().zip(&g) {
                     *acc += v;
                 }
+                pool::put(g);
                 dy = dx;
             }
         }
         // Update: the learning rate follows the schedule by update step.
-        for ((stage, opt), g) in self.stages.iter_mut().zip(&mut self.optimizers).zip(&grads) {
+        for ((stage, opt), g) in self.stages.iter_mut().zip(&mut self.optimizers).zip(grads) {
             let lr = self.lr_schedule.at(opt.steps());
             let mut p = stage.params();
-            opt.step(&mut p, g, lr);
+            opt.step(&mut p, &g, lr);
             stage.set_params(&p);
+            pool::put(p);
+            pool::put(g);
         }
         (loss_sum / n as f64) as f32
     }

@@ -2,7 +2,7 @@
 //! deterministic construction so any partitioning yields bit-identical
 //! parameters.
 
-use chimera_tensor::{Rng, Tensor};
+use chimera_tensor::{pool, Rng, Tensor};
 
 use crate::block::{BlockStash, TransformerBlock};
 use crate::embedding::Embedding;
@@ -234,7 +234,7 @@ impl Stage {
         loss_scale: f32,
     ) -> (Option<Tensor>, Vec<f32>) {
         assert!(stash.is_full(), "backward needs a full stash (recompute?)");
-        let mut grad = vec![0.0f32; self.num_params()];
+        let mut grad = pool::take_zeroed(self.num_params());
         let emb_len = self.embedding.as_ref().map_or(0, Embedding::num_params);
         let head_len = self.head.as_ref().map_or(0, OutputHead::num_params);
         let blocks_len = grad.len() - emb_len - head_len;
@@ -266,9 +266,11 @@ impl Stage {
         }
     }
 
-    /// Flat parameters in the gradient's layout.
+    /// Flat parameters in the gradient's layout. The buffer comes from the
+    /// [`pool`]; callers that drop it on the floor should `pool::put` it
+    /// back when done (the optimizer update path does).
     pub fn params(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.num_params());
+        let mut out = pool::take_spare(self.num_params());
         if let Some(e) = &self.embedding {
             e.write_params(&mut out);
         }

@@ -34,6 +34,7 @@ use chimera_core::schedule::Schedule;
 use chimera_core::{StageId, WorkerId};
 use chimera_nn::checkpoint;
 use chimera_nn::{ModelConfig, Optimizer, Stage, SyntheticData};
+use chimera_tensor::{kernels, pool};
 use chimera_trace::{now_ns, CounterEvent, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
 
 use crate::error::{TrainError, WorkerError};
@@ -154,6 +155,22 @@ pub fn train_hybrid(
     assert!(w >= 1);
     let d = sched.d;
     let data = SyntheticData::new(cfg, opts.data_seed);
+
+    // Kernel configuration for this run. Thread count only affects wall
+    // clock — kernels are bit-identical at any setting — and the pool only
+    // affects allocation traffic.
+    if let Some(t) = opts.threads {
+        kernels::set_threads(t);
+    }
+    pool::set_enabled(opts.pool);
+    let pool_before = pool::stats();
+    let kernels_before = kernels::stats();
+    // Tracing pays for kernel wall-clock timing; untraced runs skip the two
+    // clock reads per matmul.
+    let time_kernels = opts.trace.is_some();
+    if time_kernels {
+        kernels::set_timing(true);
+    }
 
     let reg = MetricsRegistry::global();
     let ckpt_saves = reg.counter("runtime.checkpoint.saves");
@@ -318,12 +335,63 @@ pub fn train_hybrid(
             sup.counter("runtime.recovery.total", f64::from(recoveries));
         }
     }
+
+    // Publish this run's kernel and pool activity: registry deltas always,
+    // derived rates onto the trace when one is attached.
+    let pd = {
+        let now = pool::stats();
+        PoolDelta {
+            hits: now.hits - pool_before.hits,
+            misses: now.misses - pool_before.misses,
+        }
+    };
+    let kd = {
+        let now = kernels::stats();
+        KernelDelta {
+            calls: now.calls - kernels_before.calls,
+            flops: now.flops - kernels_before.flops,
+            nanos: now.nanos - kernels_before.nanos,
+        }
+    };
+    reg.counter("runtime.pool.hits").add(pd.hits);
+    reg.counter("runtime.pool.misses").add(pd.misses);
+    reg.counter("runtime.kernel.calls").add(kd.calls);
+    reg.counter("runtime.kernel.flops").add(kd.flops);
+    reg.counter("runtime.kernel.ns").add(kd.nanos);
+    if let Some(sup) = &sup {
+        if pd.hits + pd.misses > 0 {
+            sup.counter(
+                "runtime.pool.hit_rate",
+                pd.hits as f64 / (pd.hits + pd.misses) as f64,
+            );
+        }
+        if kd.nanos > 0 {
+            sup.counter("runtime.kernel.gflops", kd.flops as f64 / kd.nanos as f64);
+        }
+    }
+    if time_kernels {
+        kernels::set_timing(false);
+    }
+
     Ok(TrainResult {
         iteration_losses,
         stages: canon_stages,
         recoveries,
         degraded_to: (w_active < w).then_some(w_active),
     })
+}
+
+/// Pool activity attributable to one training run.
+struct PoolDelta {
+    hits: u64,
+    misses: u64,
+}
+
+/// Kernel activity attributable to one training run.
+struct KernelDelta {
+    calls: u64,
+    flops: u64,
+    nanos: u64,
 }
 
 struct SegmentOutcome {

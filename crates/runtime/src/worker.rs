@@ -21,7 +21,7 @@ use chimera_core::op::{Chunk, Op, OpKind};
 use chimera_core::placement::Placement;
 use chimera_core::{StageId, WorkerId};
 use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
-use chimera_tensor::Tensor;
+use chimera_tensor::{pool, Tensor};
 use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
 
 use crate::error::WorkerError;
@@ -66,6 +66,13 @@ pub struct TrainOptions {
     pub max_recoveries: u32,
     /// What the supervisor does on a detected worker death.
     pub on_worker_loss: RecoveryPolicy,
+    /// Intra-op kernel threads per matmul. `None` defers to the
+    /// `CHIMERA_THREADS` environment variable (default 1). Results are
+    /// bit-identical at any thread count — see `chimera_tensor::kernels`.
+    pub threads: Option<usize>,
+    /// Recycle tensor backing stores through `chimera_tensor::pool`
+    /// (default on; purely an allocation optimization, no numeric effect).
+    pub pool: bool,
 }
 
 impl Default for TrainOptions {
@@ -84,6 +91,8 @@ impl Default for TrainOptions {
             recv_timeout: Duration::from_secs(5),
             max_recoveries: 2,
             on_worker_loss: RecoveryPolicy::Restart,
+            threads: None,
+            pool: true,
         }
     }
 }
@@ -320,6 +329,7 @@ impl Worker {
                 for &(r, s) in &held {
                     let summed = self.fetch_reduced(s)?;
                     self.apply_update(r, s, &summed);
+                    pool::put(summed);
                 }
                 if let (Some(tr), Some(start)) = (&self.tracer, t0) {
                     tr.allreduce_launches.add(held.len() as u64);
@@ -444,6 +454,7 @@ impl Worker {
             OpKind::AllReduceWait => {
                 let summed = self.fetch_reduced(op.stage.0)?;
                 self.apply_update(op.replica.0, op.stage.0, &summed);
+                pool::put(summed);
                 Ok(())
             }
         }
@@ -506,6 +517,7 @@ impl Worker {
             let stage = self.stages.get_mut(&(r, s)).expect("stage held");
             let current = stage.params();
             stage.set_params(&version);
+            pool::put(version);
             current
         });
         let stage = &self.stages[&(r, s)];
@@ -520,6 +532,7 @@ impl Worker {
                 .get_mut(&(r, s))
                 .expect("stage held")
                 .set_params(&current);
+            pool::put(current);
         }
         self.grads.entry((r, s)).or_default().push((g, grad));
         if let Some(dx) = dx {
@@ -539,6 +552,7 @@ impl Worker {
         let mut params = stage.params();
         opt.step(&mut params, summed, lr);
         stage.set_params(&params);
+        pool::put(params);
     }
 
     /// Ship one pipeline boundary tensor to worker `to` in this group.

@@ -1,0 +1,514 @@
+//! Cache-blocked, multi-threaded matmul kernels with a **fixed reduction
+//! order**.
+//!
+//! # Determinism contract
+//!
+//! Every kernel here produces results that are **bit-identical at any thread
+//! count and any tile size**. The runtime's replica verification and
+//! checkpoint-replay tests compare parameters with `==`, so "close enough"
+//! floating point is not acceptable. The contract is enforced structurally:
+//!
+//! * Work is partitioned across threads by **output row**: each output row is
+//!   computed entirely by one thread, so its accumulation order never depends
+//!   on the thread count.
+//! * Tiling only reorders *independent* scalar updates. For the accumulating
+//!   kernels ([`matmul_into`], [`t_matmul_into`]) every output element is
+//!   accumulated directly (no per-tile partial sums), walking the shared `k`
+//!   dimension in ascending order — exactly the order of the naive untiled
+//!   loop. For the dot-product kernel ([`matmul_t_into`]) each element is one
+//!   [`dot`](crate::tensor::dot) call, whose 8-lane reduction order is fixed
+//!   by that function alone.
+//!
+//! The [`naive`] module keeps the untiled single-threaded reference loops;
+//! the property tests assert bit-equality between the two at thread counts
+//! {1, 2, 4, 8} and adversarial shapes.
+//!
+//! # Blocking scheme
+//!
+//! The classic MC×KC×NC loop nest: the output is processed in `MC`-row
+//! stripes; for each stripe, `KC`-deep slabs of the shared dimension are
+//! streamed against `NC`-wide column panels of `b`, so the hot working set
+//! (an `MC×KC` panel of `a`, a `KC×NC` panel of `b`, an `MC×NC` panel of the
+//! output) stays cache-resident while the innermost loop is a branch-free
+//! AXPY over `NC` contiguous floats that LLVM autovectorizes. There is no
+//! per-element zero test: a data-dependent branch in the inner loop defeats
+//! vectorization on dense inputs (see [`crate::tensor::Tensor::matmul_zero_skip`]
+//! for the sparse-aware entry point that keeps it).
+//!
+//! # Threading
+//!
+//! Kernels run on a scoped pool ([`std::thread::scope`]) with one contiguous
+//! row range per thread. Threads are only spawned when the problem clears
+//! [`PAR_MIN_FLOPS`]; below that the sequential kernel wins. The thread
+//! count comes from [`set_threads`], falling back to the `CHIMERA_THREADS`
+//! environment variable, defaulting to 1.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::tensor::dot;
+
+/// Row-stripe height (output rows per tile).
+pub const MC: usize = 64;
+/// Depth of one slab of the shared `k` dimension.
+pub const KC: usize = 128;
+/// Width of one column panel of `b` / the output.
+pub const NC: usize = 256;
+
+/// Minimum multiply-add count (`2·m·k·n`) before a kernel spawns threads;
+/// below this the scoped-spawn overhead exceeds the parallel win.
+pub const PAR_MIN_FLOPS: u64 = 1 << 21;
+
+// --- intra-op thread-count configuration ------------------------------------
+
+/// 0 = unset (resolve from `CHIMERA_THREADS`, default 1).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Parse a `CHIMERA_THREADS`-style value: a positive integer, anything else
+/// (absent, empty, `0`, garbage) is `None`.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Set the intra-op thread count for this process. `0` resets to the
+/// environment default (`CHIMERA_THREADS`, else 1).
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The configured intra-op thread count: the last [`set_threads`] value, or
+/// `CHIMERA_THREADS` (read once), or 1.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => *ENV_THREADS.get_or_init(|| {
+            parse_threads(std::env::var("CHIMERA_THREADS").ok().as_deref()).unwrap_or(1)
+        }),
+        n => n,
+    }
+}
+
+/// Threads actually used for a kernel over `rows` output rows and `flops`
+/// multiply-adds: 1 below [`PAR_MIN_FLOPS`], otherwise capped so every
+/// thread gets at least one full [`MC`]-row stripe.
+fn effective_threads(rows: usize, flops: u64) -> usize {
+    if flops < PAR_MIN_FLOPS {
+        return 1;
+    }
+    threads().min(rows.div_ceil(MC)).max(1)
+}
+
+// --- kernel-time counters ----------------------------------------------------
+
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+static NANOS: AtomicU64 = AtomicU64::new(0);
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enable wall-clock timing of kernel calls ([`stats`] `nanos`). Off by
+/// default: two `Instant` reads per call are measurable on tiny matmuls.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::SeqCst);
+}
+
+/// Cumulative kernel counters since the last [`reset_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Matmul-family kernel invocations.
+    pub calls: u64,
+    /// Multiply-add operations issued (`2·m·k·n` per call).
+    pub flops: u64,
+    /// Wall-clock nanoseconds inside kernels (0 unless [`set_timing`] on).
+    pub nanos: u64,
+}
+
+impl KernelStats {
+    /// Mean throughput in GFLOP/s over the timed window (`None` without
+    /// timing data).
+    pub fn gflops(&self) -> Option<f64> {
+        (self.nanos > 0).then(|| self.flops as f64 / self.nanos as f64)
+    }
+}
+
+/// Snapshot the kernel counters.
+pub fn stats() -> KernelStats {
+    KernelStats {
+        calls: CALLS.load(Ordering::Relaxed),
+        flops: FLOPS.load(Ordering::Relaxed),
+        nanos: NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the kernel counters.
+pub fn reset_stats() {
+    CALLS.store(0, Ordering::Relaxed);
+    FLOPS.store(0, Ordering::Relaxed);
+    NANOS.store(0, Ordering::Relaxed);
+}
+
+/// Count one kernel call; returns a start instant while timing is enabled.
+fn enter(flops: u64) -> Option<Instant> {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    FLOPS.fetch_add(flops, Ordering::Relaxed);
+    TIMING.load(Ordering::Relaxed).then(Instant::now)
+}
+
+fn leave(start: Option<Instant>) {
+    if let Some(t0) = start {
+        NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+// --- `a @ b` -----------------------------------------------------------------
+
+/// `out += a @ b` where `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
+///
+/// Accumulates into `out` (zero it first for a plain product). Per output
+/// element the `k` dimension is walked in ascending order regardless of
+/// tiling or thread count.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    let t0 = enter(flops);
+    let t = effective_threads(m, flops);
+    if t <= 1 {
+        matmul_block(a, b, out, m, k, n);
+    } else {
+        par_rows(a, out, m, k, n, t, |a_chunk, out_chunk, rows| {
+            matmul_block(a_chunk, b, out_chunk, rows, k, n);
+        });
+    }
+    leave(t0);
+}
+
+/// Sequential MC×KC×NC-tiled stripe of [`matmul_into`].
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    for i0 in (0..rows).step_by(MC) {
+        let i1 = (i0 + MC).min(rows);
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                for i in i0..i1 {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_row = &mut out[i * n + j0..i * n + j1];
+                    for (kk, &aik) in a_row[k0..k1].iter().enumerate() {
+                        let b_row = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j1];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- `aᵀ @ b` ----------------------------------------------------------------
+
+/// `out += aᵀ @ b` where `a: [k,m]`, `b: [k,n]`, `out: [m,n]` — the
+/// `dW = Xᵀ dY` pattern, without materializing the transpose.
+///
+/// Accumulates into `out`, so gradient buffers can take the product in
+/// place. Per output element the `k` dimension is walked in ascending order.
+pub fn t_matmul_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    let t0 = enter(flops);
+    let t = effective_threads(m, flops);
+    if t <= 1 {
+        t_matmul_block(a, b, out, 0..m, k, m, n);
+    } else {
+        // Partition by output row = column of `a`; `a` cannot be sliced per
+        // chunk (columns interleave), so workers index it with their offset.
+        let chunk = m.div_ceil(t);
+        std::thread::scope(|s| {
+            let mut rest = out;
+            let mut c0 = 0usize;
+            while c0 < m {
+                let rows = chunk.min(m - c0);
+                let (mine, tail) = rest.split_at_mut(rows * n);
+                s.spawn(move || t_matmul_block(a, b, mine, c0..c0 + rows, k, m, n));
+                rest = tail;
+                c0 += rows;
+            }
+        });
+    }
+    leave(t0);
+}
+
+/// Sequential stripe of [`t_matmul_into`]: output rows `cols` (columns of
+/// `a`), written to `out` starting at local row 0.
+fn t_matmul_block(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    cols: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let (c0, rows) = (cols.start, cols.len());
+    for i0 in (0..rows).step_by(MC) {
+        let i1 = (i0 + MC).min(rows);
+        for k0 in (0..k).step_by(KC) {
+            let k1 = (k0 + KC).min(k);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                for kk in k0..k1 {
+                    let a_row = &a[kk * m..(kk + 1) * m];
+                    let b_row = &b[kk * n + j0..kk * n + j1];
+                    for i in i0..i1 {
+                        let aik = a_row[c0 + i];
+                        let out_row = &mut out[i * n + j0..i * n + j1];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- `a @ bᵀ` ----------------------------------------------------------------
+
+/// `out += a @ bᵀ` where `a: [m,k]`, `b: [n,k]`, `out: [m,n]` — the
+/// `dX = dY Wᵀ` pattern. Each element is a single [`dot`] over two
+/// contiguous rows, so its reduction order is fixed by `dot` alone.
+pub fn matmul_t_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
+    let t0 = enter(flops);
+    let t = effective_threads(m, flops);
+    if t <= 1 {
+        matmul_t_block(a, b, out, m, k, n);
+    } else {
+        par_rows(a, out, m, k, n, t, |a_chunk, out_chunk, rows| {
+            matmul_t_block(a_chunk, b, out_chunk, rows, k, n);
+        });
+    }
+    leave(t0);
+}
+
+/// Sequential stripe of [`matmul_t_into`]: `MC` rows of `a` are held hot
+/// while rows of `b` stream through once per stripe.
+fn matmul_t_block(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    for i0 in (0..rows).step_by(MC) {
+        let i1 = (i0 + MC).min(rows);
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            for i in i0..i1 {
+                out[i * n + j] += dot(&a[i * k..(i + 1) * k], b_row);
+            }
+        }
+    }
+}
+
+// --- shared row-partitioned driver -------------------------------------------
+
+/// Split `a` (`m×k`, chunkable by row) and `out` (`m×n`) into `t` contiguous
+/// row ranges and run `body(a_chunk, out_chunk, rows)` on scoped threads.
+fn par_rows(
+    a: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    t: usize,
+    body: impl Fn(&[f32], &mut [f32], usize) + Sync,
+) {
+    let chunk = m.div_ceil(t);
+    let body = &body;
+    std::thread::scope(|s| {
+        let mut a_rest = a;
+        let mut out_rest = out;
+        let mut done = 0usize;
+        while done < m {
+            let rows = chunk.min(m - done);
+            let (a_mine, a_tail) = a_rest.split_at(rows * k);
+            let (o_mine, o_tail) = out_rest.split_at_mut(rows * n);
+            s.spawn(move || body(a_mine, o_mine, rows));
+            a_rest = a_tail;
+            out_rest = o_tail;
+            done += rows;
+        }
+    });
+}
+
+// --- naive reference loops ---------------------------------------------------
+
+/// The untiled, single-threaded reference loops the tiled kernels must match
+/// **bit-for-bit**. Kept for the equivalence property tests and as the
+/// "before" side of the kernel benchmarks; never used on the training hot
+/// path.
+pub mod naive {
+    use crate::tensor::dot;
+
+    /// Naive `out += a @ b` in i-k-j order (the order the tiled kernel
+    /// reproduces per element).
+    pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `out += aᵀ @ b` in k-i-j order (ascending `k` per element).
+    pub fn t_matmul_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (i, &aik) in a_row.iter().enumerate() {
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `out += a @ bᵀ`: one [`dot`] per element, same as the tiled
+    /// kernel.
+    pub fn matmul_t_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                out[i * n + j] += dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn randvec(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Rng::new(seed);
+        (0..len).map(|_| rng.normal()).collect()
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Tiled kernels match the naive loops bit-for-bit on shapes straddling
+    /// every tile boundary, at several thread counts.
+    #[test]
+    fn tiled_matches_naive_bitexact() {
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 2),
+            (MC, KC, NC),
+            (MC + 1, KC + 3, NC + 5),
+            (2 * MC + 7, 2 * KC + 1, 17),
+            (130, 70, 300),
+        ];
+        let saved = threads();
+        for &(m, k, n) in &shapes {
+            let a = randvec(m * k, 1);
+            let b = randvec(k * n, 2);
+            let at = randvec(k * m, 3);
+            let bt = randvec(n * k, 4);
+
+            let mut want = vec![0.0f32; m * n];
+            naive::matmul_into(&a, &b, &mut want, m, k, n);
+            let mut want_t = vec![0.0f32; m * n];
+            naive::t_matmul_into(&at, &b, &mut want_t, k, m, n);
+            let mut want_mt = vec![0.0f32; m * n];
+            naive::matmul_t_into(&a, &bt, &mut want_mt, m, k, n);
+
+            for t in [1usize, 2, 3, 8] {
+                set_threads(t);
+                let mut got = vec![0.0f32; m * n];
+                matmul_into(&a, &b, &mut got, m, k, n);
+                assert_bits_eq(&got, &want, &format!("matmul {m}x{k}x{n} t{t}"));
+
+                let mut got = vec![0.0f32; m * n];
+                t_matmul_into(&at, &b, &mut got, k, m, n);
+                assert_bits_eq(&got, &want_t, &format!("t_matmul {m}x{k}x{n} t{t}"));
+
+                let mut got = vec![0.0f32; m * n];
+                matmul_t_into(&a, &bt, &mut got, m, k, n);
+                assert_bits_eq(&got, &want_mt, &format!("matmul_t {m}x{k}x{n} t{t}"));
+            }
+        }
+        set_threads(saved);
+    }
+
+    /// k = 0 contracts to an all-zero product without panicking.
+    #[test]
+    fn zero_k_is_identity_on_zeroed_out() {
+        let mut out = vec![1.0f32; 6];
+        matmul_into(&[], &[], &mut out, 2, 0, 3);
+        assert_eq!(out, vec![1.0; 6]); // accumulating: adds nothing
+        let mut out = vec![0.0f32; 6];
+        t_matmul_into(&[], &[], &mut out, 0, 2, 3);
+        assert_eq!(out, vec![0.0; 6]);
+        let mut out = vec![0.0f32; 6];
+        matmul_t_into(&[], &[], &mut out, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn accumulates_into_nonzero_out() {
+        let (m, k, n) = (3, 4, 5);
+        let a = randvec(m * k, 9);
+        let b = randvec(k * n, 10);
+        let base = randvec(m * n, 11);
+        let mut got = base.clone();
+        matmul_into(&a, &b, &mut got, m, k, n);
+        let mut want = base;
+        naive::matmul_into(&a, &b, &mut want, m, k, n);
+        assert_bits_eq(&got, &want, "accumulating matmul");
+    }
+
+    #[test]
+    fn parse_threads_rules() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("junk")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    // Counters are process-global and tests in this binary run
+    // concurrently, so deltas are lower bounds here; exact accounting is
+    // asserted in `tests/pool_stats.rs`.
+    #[test]
+    fn stats_count_calls_and_flops() {
+        let before = stats();
+        let a = randvec(4 * 6, 20);
+        let b = randvec(6 * 3, 21);
+        let mut out = vec![0.0f32; 4 * 3];
+        matmul_into(&a, &b, &mut out, 4, 6, 3);
+        let after = stats();
+        assert!(after.calls - before.calls >= 1);
+        assert!(after.flops - before.flops >= 2 * 4 * 6 * 3);
+        set_timing(true);
+        matmul_into(&a, &b, &mut out, 4, 6, 3);
+        set_timing(false);
+        assert!(stats().gflops().is_some());
+    }
+}

@@ -10,8 +10,15 @@
 //! Every kernel is gradient-checked against central differences in the unit
 //! tests, because the paper's synchronous-equivalence claim is validated by
 //! comparing pipelined training against sequential SGD bit-for-bit.
+//!
+//! The hot path runs on the cache-blocked, multi-threaded kernels in
+//! [`kernels`] (bit-identical at any thread count — see that module's
+//! determinism contract) and recycles tensor backing stores through
+//! [`pool`], so steady-state training allocates nothing per micro-batch.
 
+pub mod kernels;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 

@@ -1,0 +1,314 @@
+//! Thread-local pooling of `Vec<f32>` backing stores.
+//!
+//! Training touches the same tensor shapes every micro-batch (activations,
+//! gradients, parameter snapshots), so instead of round-tripping each buffer
+//! through the global allocator, [`Tensor`](crate::Tensor) returns its
+//! backing store here on drop and takes a recycled one on creation. After
+//! one warm-up micro-batch the steady-state loop performs **zero heap
+//! allocations** for tensor data (observable via [`stats`]'s hit rate).
+//!
+//! # Design
+//!
+//! * **Thread-local free lists.** Each thread owns its own pool, so `take`
+//!   and `put` are lock-free `RefCell` operations. Buffers never migrate
+//!   between threads through the pool; a buffer freed on a worker thread is
+//!   reused by that worker. (Tensors themselves may still move across
+//!   threads — only the *free list* is thread-local.)
+//! * **Power-of-two size classes.** A buffer of capacity `c` is filed under
+//!   class `floor(log2 c)`; a request for `len` takes from class
+//!   `ceil(log2 len)`, which guarantees the recycled capacity covers the
+//!   request. At most [`PER_CLASS`] buffers are retained per class; overflow
+//!   and oversized buffers are dropped (counted as `discards`).
+//! * **Tiny buffers bypass the pool.** Requests under [`MIN_POOLED`] floats
+//!   go straight to the allocator and are excluded from the hit/miss
+//!   statistics — they are cheap and would otherwise drown the hit-rate
+//!   signal the benches assert on.
+//!
+//! # Determinism and checkpoint/restore
+//!
+//! Pooling recycles *capacity*, never *contents*: [`take_zeroed`] fully
+//! re-zeroes and [`take_spare`] returns a length-0 buffer that callers must
+//! fill before reading. Numeric results are therefore independent of pool
+//! state, and checkpoints taken mid-run are byte-identical with the pool on
+//! or off — fault recovery restores parameters by value and never serializes
+//! pool state. Disabling the pool ([`set_enabled`]`(false)`) degrades to
+//! plain allocation with no behavior change.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Smallest buffer length (in floats) the pool manages; shorter requests go
+/// straight to the allocator.
+pub const MIN_POOLED: usize = 64;
+
+/// Largest size class: `2^MAX_CLASS` floats (256 MiB). Bigger buffers are
+/// never retained.
+pub const MAX_CLASS: usize = 26;
+
+/// Buffers retained per size class per thread. Sized above the peak number
+/// of same-class buffers live at once in a training micro-batch (activations
+/// cached across a transformer block's layers all land in a few classes);
+/// a cap below that peak causes overflow discards at the end of every
+/// iteration and a matching stream of steady-state misses. Retained memory
+/// is bounded by the workload's own peak concurrency, never more than
+/// `PER_CLASS` buffers per class.
+pub const PER_CLASS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETURNS: AtomicU64 = AtomicU64::new(0);
+static DISCARDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<Vec<f32>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Globally enable or disable pooling (default: enabled). Disabled, `take*`
+/// allocate fresh and `put` drops — useful for isolating pool effects in
+/// benches and tests.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether pooling is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Size class that can *satisfy* a request of `len` floats: `ceil(log2 len)`.
+fn class_for_request(len: usize) -> usize {
+    debug_assert!(len >= 1);
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+/// Size class a buffer of capacity `cap` is *filed under*: `floor(log2 cap)`.
+fn class_for_capacity(cap: usize) -> usize {
+    debug_assert!(cap >= 1);
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+fn pop(class: usize) -> Option<Vec<f32>> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.get_mut(class).and_then(Vec::pop)
+    })
+}
+
+/// A zero-filled buffer of exactly `len` floats, recycled when possible.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED || !enabled() {
+        return vec![0.0; len];
+    }
+    let class = class_for_request(len);
+    if class > MAX_CLASS {
+        return vec![0.0; len];
+    }
+    match pop(class) {
+        Some(mut v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            // Allocate the full class size so the buffer is maximally
+            // reusable when it comes back.
+            let mut v = Vec::with_capacity(1 << class);
+            v.resize(len, 0.0);
+            v
+        }
+    }
+}
+
+/// An **empty** buffer with capacity for at least `len` floats; callers
+/// `extend`/`push` exactly the data they mean to read back.
+pub fn take_spare(len: usize) -> Vec<f32> {
+    if len < MIN_POOLED || !enabled() {
+        return Vec::with_capacity(len);
+    }
+    let class = class_for_request(len);
+    if class > MAX_CLASS {
+        return Vec::with_capacity(len);
+    }
+    match pop(class) {
+        Some(mut v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::with_capacity(1 << class)
+        }
+    }
+}
+
+/// Return a buffer's backing store to the current thread's pool. Buffers
+/// below [`MIN_POOLED`] capacity are dropped silently; oversized buffers and
+/// overflow beyond [`PER_CLASS`] are dropped and counted as discards.
+pub fn put(v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap < MIN_POOLED || !enabled() {
+        return;
+    }
+    let class = class_for_capacity(cap);
+    if class > MAX_CLASS {
+        DISCARDS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // try_with: during thread teardown the TLS slot may already be gone;
+    // dropping the buffer then is fine.
+    let stored = POOL
+        .try_with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() <= class {
+                p.resize_with(class + 1, Vec::new);
+            }
+            let bucket = &mut p[class];
+            if bucket.len() < PER_CLASS {
+                bucket.push(v);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    if stored {
+        RETURNS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        DISCARDS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Drop every buffer held by the **current thread's** pool (other threads'
+/// pools are untouched). Mainly for tests that need a cold pool.
+pub fn clear_local() {
+    POOL.with(|p| p.borrow_mut().clear());
+}
+
+/// Cumulative pool counters (process-wide, all threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Pool-eligible requests served from a recycled buffer.
+    pub hits: u64,
+    /// Pool-eligible requests that fell through to the allocator.
+    pub misses: u64,
+    /// Buffers successfully returned to a free list.
+    pub returns: u64,
+    /// Buffers dropped on return (oversized or full bucket).
+    pub discards: u64,
+}
+
+impl PoolStats {
+    /// Fraction of pool-eligible requests served without allocating
+    /// (`NaN`-free: 0.0 when there were no eligible requests).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        returns: RETURNS.load(Ordering::Relaxed),
+        discards: DISCARDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the pool counters (free lists are untouched).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    RETURNS.store(0, Ordering::Relaxed);
+    DISCARDS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_and_rezeroes() {
+        clear_local();
+        let mut v = take_zeroed(1000);
+        let cap = v.capacity();
+        assert!(cap >= 1000);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        put(v);
+        let v2 = take_zeroed(900);
+        // Same class (2^10) → must reuse the stored buffer and re-zero it.
+        assert_eq!(v2.capacity(), cap);
+        assert_eq!(v2.len(), 900);
+        assert!(v2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn take_spare_is_empty_with_capacity() {
+        clear_local();
+        put(Vec::with_capacity(256));
+        let v = take_spare(200);
+        assert!(v.is_empty());
+        assert!(v.capacity() >= 200);
+    }
+
+    // Exact counter assertions live in `tests/pool_stats.rs`: the counters
+    // are process-global, and unit tests in this binary run concurrently.
+
+    #[test]
+    fn tiny_buffers_bypass_pool() {
+        clear_local();
+        // A tiny put is dropped, so a following take can't see its buffer.
+        put(vec![9.0f32; MIN_POOLED - 1]);
+        let v = take_zeroed(MIN_POOLED - 1);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.capacity(), MIN_POOLED - 1);
+    }
+
+    #[test]
+    fn class_math_guarantees_capacity() {
+        for len in [64usize, 65, 100, 127, 128, 129, 4096, 5000] {
+            let class = class_for_request(len);
+            assert!(
+                (1usize << class) >= len,
+                "class {class} too small for {len}"
+            );
+        }
+        // A buffer filed under its capacity class always satisfies requests
+        // routed to that class.
+        for cap in [64usize, 100, 128, 200, 1024] {
+            let fc = class_for_capacity(cap);
+            assert!(cap >= (1 << fc));
+        }
+    }
+
+    #[test]
+    fn disabled_pool_allocates_fresh() {
+        clear_local();
+        set_enabled(false);
+        put(Vec::with_capacity(1 << 12));
+        let v = take_zeroed(1 << 12);
+        assert_eq!(v.capacity(), 1 << 12);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

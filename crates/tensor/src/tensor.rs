@@ -3,16 +3,48 @@
 //! The transformer layers in `chimera-nn` only need 2-D tensors (token/batch
 //! dimensions are flattened into rows), so `Tensor` is deliberately a dense
 //! `rows × cols` matrix with the handful of BLAS-like kernels the forward
-//! and backward passes require.
+//! and backward passes require. The multiply variants dispatch to the tiled,
+//! multi-threaded kernels in [`crate::kernels`]; backing stores are recycled
+//! through [`crate::pool`] (a `Tensor` returns its buffer on drop and takes
+//! a pooled one on creation).
 
+use crate::kernels;
+use crate::pool;
 use crate::rng::Rng;
 
 /// Dense row-major `f32` matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = pool::take_spare(self.data.len());
+        data.extend_from_slice(&self.data);
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Recycle the backing store; the pool drops buffers too small to be
+        // worth keeping.
+        pool::put(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -21,7 +53,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: pool::take_zeroed(rows * cols),
         }
     }
 
@@ -34,15 +66,15 @@ impl Tensor {
     /// Xavier/Glorot-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols)
-            .map(|_| rng.uniform_in(-bound, bound))
-            .collect();
+        let mut data = pool::take_spare(rows * cols);
+        data.extend((0..rows * cols).map(|_| rng.uniform_in(-bound, bound)));
         Tensor { rows, cols, data }
     }
 
     /// Normal(0, std) initialization.
     pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
-        let data = (0..rows * cols).map(|_| rng.normal() * std).collect();
+        let mut data = pool::take_spare(rows * cols);
+        data.extend((0..rows * cols).map(|_| rng.normal() * std));
         Tensor { rows, cols, data }
     }
 
@@ -82,6 +114,13 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consume the tensor, handing back its backing store (bypasses the
+    /// pool — the caller owns the buffer and should [`pool::put`] it when
+    /// done if it wants recycling).
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+
     /// One row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
@@ -106,13 +145,26 @@ impl Tensor {
         self.data[r * self.cols + c] = v;
     }
 
-    /// `self @ other` — blocked matrix multiply, `[m,k] x [k,n] -> [m,n]`.
+    /// `self @ other` — `[m,k] x [k,n] -> [m,n]` via the tiled,
+    /// multi-threaded kernel ([`kernels::matmul_into`]).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        // i-k-j loop order: streams through `other` rows, autovectorizes the
-        // inner j loop.
+        kernels::matmul_into(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+
+    /// `self @ other` with a per-element zero skip — the sparse-aware entry
+    /// point for embedding-style inputs (one-hot / mostly-zero rows), where
+    /// skipping whole AXPY rows beats the dense kernel by the sparsity
+    /// factor. On dense data the data-dependent branch defeats
+    /// vectorization; use [`Tensor::matmul`]. (`fig_kernels` benches both
+    /// on 95%-zero input to keep this trade-off measured.)
+    pub fn matmul_zero_skip(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -135,20 +187,18 @@ impl Tensor {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::t_matmul_into(&self.data, &other.data, &mut out.data, k, m, n);
         out
+    }
+
+    /// `out += selfᵀ @ other`, accumulating straight into a caller-owned
+    /// slice (e.g. a gradient buffer) — skips the intermediate tensor of
+    /// [`Tensor::t_matmul`] entirely.
+    pub fn t_matmul_acc(&self, other: &Tensor, out: &mut [f32]) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        assert_eq!(out.len(), m * n, "t_matmul_acc output size mismatch");
+        kernels::t_matmul_into(&self.data, &other.data, out, k, m, n);
     }
 
     /// `self @ otherᵀ` — `[m,k] x [n,k]ᵀ -> [m,n]` (the `dX = dY Wᵀ`
@@ -157,14 +207,7 @@ impl Tensor {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
-            }
-        }
+        kernels::matmul_t_into(&self.data, &other.data, &mut out.data, m, k, n);
         out
     }
 
@@ -222,45 +265,52 @@ impl Tensor {
     /// Column sums (`[1, cols]` as a plain vector) — the bias gradient.
     pub fn sum_rows(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// `out += ` column sums, accumulating into a caller-owned slice.
+    pub fn sum_rows_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "sum_rows_into size mismatch");
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Map every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = pool::take_spare(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
     /// Elementwise product.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut data = pool::take_spare(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| a * b));
         Tensor {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| a * b)
-                .collect(),
+            data,
         }
     }
 
     /// Copy a contiguous block of rows.
     pub fn rows_slice(&self, start: usize, count: usize) -> Tensor {
         assert!(start + count <= self.rows);
+        let mut data = pool::take_spare(count * self.cols);
+        data.extend_from_slice(&self.data[start * self.cols..(start + count) * self.cols]);
         Tensor {
             rows: count,
             cols: self.cols,
-            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+            data,
         }
     }
 
@@ -276,10 +326,32 @@ impl Tensor {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Split over 8 independent accumulator lanes (so LLVM can vectorize the
+/// reduction) with a **fixed** combine order: lanes 0..8 ascending, then the
+/// scalar tail. Every caller — tiled kernels, naive reference, any thread —
+/// therefore produces bit-identical sums for the same inputs.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let av = &a[c * LANES..(c + 1) * LANES];
+        let bv = &b[c * LANES..(c + 1) * LANES];
+        for l in 0..LANES {
+            acc[l] += av[l] * bv[l];
+        }
+    }
+    let mut sum = 0.0;
+    for &lane in &acc {
+        sum += lane;
+    }
+    for i in chunks * LANES..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
 }
 
 #[cfg(test)]
@@ -312,6 +384,50 @@ mod tests {
         let direct = a.matmul_t(&c);
         let explicit = a.matmul(&c.transpose());
         assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn zero_skip_matches_dense_on_sparse_input() {
+        let mut rng = Rng::new(17);
+        let mut a = Tensor::normal(6, 8, 1.0, &mut rng);
+        for i in 0..a.len() {
+            if i % 3 != 0 {
+                a.data_mut()[i] = 0.0;
+            }
+        }
+        let b = Tensor::normal(8, 5, 1.0, &mut rng);
+        let dense = a.matmul(&b);
+        let sparse = a.matmul_zero_skip(&b);
+        assert!(dense.max_abs_diff(&sparse) < 1e-5);
+    }
+
+    #[test]
+    fn acc_variants_match_allocating_ones() {
+        let mut rng = Rng::new(23);
+        let x = Tensor::normal(7, 4, 1.0, &mut rng);
+        let dy = Tensor::normal(7, 5, 1.0, &mut rng);
+        let mut acc = vec![0.0f32; 4 * 5];
+        x.t_matmul_acc(&dy, &mut acc);
+        assert_eq!(acc, x.t_matmul(&dy).data());
+        let mut sums = vec![0.0f32; 5];
+        dy.sum_rows_into(&mut sums);
+        assert_eq!(sums, dy.sum_rows());
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let mut c = Tensor::zeros(1, 1);
+        c.clone_from(&a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn into_data_hands_back_buffer() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.into_data(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -360,5 +476,14 @@ mod tests {
         assert!(w.data().iter().all(|v| v.abs() <= bound));
         // Not all zero.
         assert!(w.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn dot_matches_plain_sum_on_small_inputs() {
+        // Below one lane-chunk the fast path reduces to the scalar loop.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
     }
 }

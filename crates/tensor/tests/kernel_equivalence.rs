@@ -1,0 +1,172 @@
+//! Equivalence suite for the tiled, multi-threaded kernels: every variant
+//! must match the naive single-threaded reference loops **bit-for-bit** at
+//! every thread count — the determinism contract the runtime's replica
+//! verification and checkpoint-replay tests build on.
+//!
+//! Thread count is process-global state; kernels are bit-identical at any
+//! setting, so concurrent tests flipping it cannot perturb each other's
+//! results — that invariant is exactly what this file asserts.
+
+use proptest::prelude::*;
+
+use chimera_tensor::{kernels, Rng, Tensor};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn randvec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::new(seed);
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Run all three tiled kernels over `(m, k, n)` at every thread count and
+/// compare against the naive loops bit-for-bit.
+fn assert_all_variants_bitexact(m: usize, k: usize, n: usize, seed: u64) {
+    let a = randvec(m * k, seed);
+    let b = randvec(k * n, seed ^ 0x9E37_79B9);
+    let at = randvec(k * m, seed ^ 0x5851_F42D);
+    let bt = randvec(n * k, seed ^ 0x1405_7B7E);
+
+    let mut want_mm = vec![0.0f32; m * n];
+    kernels::naive::matmul_into(&a, &b, &mut want_mm, m, k, n);
+    let mut want_tm = vec![0.0f32; m * n];
+    kernels::naive::t_matmul_into(&at, &b, &mut want_tm, k, m, n);
+    let mut want_mt = vec![0.0f32; m * n];
+    kernels::naive::matmul_t_into(&a, &bt, &mut want_mt, m, k, n);
+
+    for &t in &THREAD_COUNTS {
+        kernels::set_threads(t);
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_into(&a, &b, &mut got, m, k, n);
+        assert_eq!(bits(&got), bits(&want_mm), "matmul {m}x{k}x{n} t={t}");
+
+        let mut got = vec![0.0f32; m * n];
+        kernels::t_matmul_into(&at, &b, &mut got, k, m, n);
+        assert_eq!(bits(&got), bits(&want_tm), "t_matmul {m}x{k}x{n} t={t}");
+
+        let mut got = vec![0.0f32; m * n];
+        kernels::matmul_t_into(&a, &bt, &mut got, m, k, n);
+        assert_eq!(bits(&got), bits(&want_mt), "matmul_t {m}x{k}x{n} t={t}");
+    }
+    kernels::set_threads(1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes up to sizes that cross the MC/KC/NC tile boundaries.
+    #[test]
+    fn tiled_threaded_matches_naive(m in 1usize..80, k in 1usize..140, n in 1usize..80, seed in 0u64..10_000) {
+        assert_all_variants_bitexact(m, k, n, seed);
+    }
+
+    /// The `Tensor` methods route through the same kernels: `matmul` at any
+    /// thread count equals the naive loop over the same data.
+    #[test]
+    fn tensor_matmul_bitexact_across_threads(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..10_000) {
+        let a = Tensor::normal(m, k, 1.0, &mut Rng::new(seed));
+        let b = Tensor::normal(k, n, 1.0, &mut Rng::new(seed + 1));
+        let mut want = vec![0.0f32; m * n];
+        kernels::naive::matmul_into(a.data(), b.data(), &mut want, m, k, n);
+        for &t in &THREAD_COUNTS {
+            kernels::set_threads(t);
+            prop_assert_eq!(bits(a.matmul(&b).data()), bits(&want));
+        }
+        kernels::set_threads(1);
+    }
+
+    /// The sparse-aware entry point agrees with the dense kernel within
+    /// tolerance on sparse inputs (it reassociates nothing — it only skips
+    /// exact-zero terms, which can flip a signed zero but nothing else).
+    #[test]
+    fn zero_skip_agrees_on_sparse(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..10_000) {
+        let mut a = Tensor::normal(m, k, 1.0, &mut Rng::new(seed));
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 4 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::normal(k, n, 1.0, &mut Rng::new(seed + 1));
+        prop_assert!(a.matmul(&b).max_abs_diff(&a.matmul_zero_skip(&b)) < 1e-5);
+    }
+}
+
+/// Shapes chosen adversarially against the tiling: degenerate, boundary,
+/// and aspect-ratio extremes.
+#[test]
+fn adversarial_shapes_bitexact() {
+    let cases = [
+        (1, 1, 1),                                           // minimal
+        (1, 257, 1),                                         // k crosses KC twice
+        (513, 2, 1),                                         // tall-skinny
+        (1, 2, 513),                                         // wide-flat
+        (kernels::MC, kernels::KC, kernels::NC),             // exact tile
+        (kernels::MC + 1, kernels::KC + 1, kernels::NC + 1), // tile + 1
+        (kernels::MC - 1, kernels::KC - 1, kernels::NC - 1), // tile - 1
+        (2 * kernels::MC + 3, 7, 2 * kernels::NC + 5),       // multi-stripe
+    ];
+    for (i, &(m, k, n)) in cases.iter().enumerate() {
+        assert_all_variants_bitexact(m, k, n, 7_000 + i as u64);
+    }
+}
+
+/// `k = 0` contractions are empty sums: well-defined, all-zero output, no
+/// panic at any thread count.
+#[test]
+fn k_zero_edge() {
+    for &t in &THREAD_COUNTS {
+        kernels::set_threads(t);
+        let a = Tensor::zeros(3, 0);
+        let b = Tensor::zeros(0, 5);
+        let out = a.matmul(&b);
+        assert_eq!((out.rows(), out.cols()), (3, 5));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        let tm = a.transpose().t_matmul(&b); // [0,3]ᵀ·[0,5]
+        assert_eq!((tm.rows(), tm.cols()), (3, 5));
+        let mt = a.matmul_t(&Tensor::zeros(5, 0));
+        assert_eq!((mt.rows(), mt.cols()), (3, 5));
+    }
+    kernels::set_threads(1);
+}
+
+/// Zero-row / zero-col outputs don't trip the thread partitioner.
+#[test]
+fn empty_output_edges() {
+    kernels::set_threads(8);
+    let a = Tensor::zeros(0, 4);
+    let b = Tensor::zeros(4, 3);
+    assert_eq!(a.matmul(&b).rows(), 0);
+    let c = Tensor::zeros(4, 0);
+    assert_eq!(b.t_matmul(&c).cols(), 0);
+    kernels::set_threads(1);
+}
+
+/// A full forward/backward-sized chain of products is bit-stable when the
+/// thread count changes *between* runs — the runtime's determinism test in
+/// miniature, at the kernel level.
+#[test]
+fn chained_products_stable_across_thread_counts() {
+    let run = |threads: usize| -> Vec<u32> {
+        kernels::set_threads(threads);
+        let x = Tensor::normal(48, 96, 1.0, &mut Rng::new(42));
+        let w1 = Tensor::normal(96, 192, 0.5, &mut Rng::new(43));
+        let w2 = Tensor::normal(192, 96, 0.5, &mut Rng::new(44));
+        let h = x.matmul(&w1);
+        let y = h.matmul(&w2);
+        let dw2 = h.t_matmul(&y);
+        let dh = y.matmul_t(&w2);
+        let mut out = Vec::new();
+        out.extend(bits(y.data()));
+        out.extend(bits(dw2.data()));
+        out.extend(bits(dh.data()));
+        out
+    };
+    let base = run(1);
+    for &t in &THREAD_COUNTS[1..] {
+        assert_eq!(run(t), base, "thread count {t} changed results");
+    }
+    kernels::set_threads(1);
+}

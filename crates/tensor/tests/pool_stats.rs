@@ -1,0 +1,76 @@
+//! Exact accounting of the pool and kernel counters.
+//!
+//! These counters are process-global, so every assertion lives in this one
+//! test function — cargo gives the binary its own process, and a single
+//! `#[test]` keeps the sequence of pool operations deterministic.
+
+use chimera_tensor::{kernels, pool};
+
+#[test]
+fn exact_counter_accounting() {
+    pool::clear_local();
+    pool::reset_stats();
+    kernels::reset_stats();
+
+    // Tiny buffers bypass the pool entirely: no stats movement.
+    let tiny = pool::take_zeroed(pool::MIN_POOLED - 1);
+    pool::put(tiny);
+    let s = pool::stats();
+    assert_eq!((s.hits, s.misses, s.returns, s.discards), (0, 0, 0, 0));
+
+    // Cold take = miss; put = return; warm take = hit.
+    let v = pool::take_zeroed(1000);
+    assert_eq!(pool::stats().misses, 1);
+    pool::put(v);
+    assert_eq!(pool::stats().returns, 1);
+    let v = pool::take_zeroed(600); // same 2^10 class
+    assert_eq!(pool::stats().hits, 1);
+    pool::put(v); // returns = 2
+
+    // Bucket overflow counts discards (class 2^7 starts empty).
+    for _ in 0..pool::PER_CLASS + 2 {
+        pool::put(vec![0.0f32; 128]);
+    }
+    let s = pool::stats();
+    assert_eq!(s.returns, 2 + pool::PER_CLASS as u64);
+    assert_eq!(s.discards, 2);
+
+    // Steady state: after one warm-up round, the same shape sequence is all
+    // hits — the "zero allocations per micro-batch" property the runtime
+    // benches assert via hit rate.
+    pool::clear_local();
+    pool::reset_stats();
+    let shapes = [4096usize, 1024, 4096, 2048];
+    for round in 0..5 {
+        let bufs: Vec<Vec<f32>> = shapes.iter().map(|&n| pool::take_zeroed(n)).collect();
+        for b in bufs {
+            pool::put(b);
+        }
+        if round == 0 {
+            assert_eq!(pool::stats().misses, shapes.len() as u64);
+        }
+    }
+    let s = pool::stats();
+    assert_eq!(s.misses, shapes.len() as u64, "warm rounds must not miss");
+    assert_eq!(s.hits, 4 * shapes.len() as u64);
+    assert!(s.hit_rate() > 0.79 && s.hit_rate() < 0.81);
+
+    // Kernel counters: one call, exactly 2·m·k·n flops, no nanos untimed.
+    kernels::reset_stats();
+    let a = vec![1.0f32; 8 * 16];
+    let b = vec![1.0f32; 16 * 4];
+    let mut out = vec![0.0f32; 8 * 4];
+    kernels::matmul_into(&a, &b, &mut out, 8, 16, 4);
+    let ks = kernels::stats();
+    assert_eq!(ks.calls, 1);
+    assert_eq!(ks.flops, 2 * 8 * 16 * 4);
+    assert_eq!(ks.nanos, 0);
+    assert_eq!(ks.gflops(), None);
+    kernels::set_timing(true);
+    kernels::matmul_into(&a, &b, &mut out, 8, 16, 4);
+    kernels::set_timing(false);
+    let ks = kernels::stats();
+    assert_eq!(ks.calls, 2);
+    assert!(ks.nanos > 0);
+    assert!(ks.gflops().is_some());
+}
