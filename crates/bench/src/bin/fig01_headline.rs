@@ -90,7 +90,7 @@ fn main() {
     }
     if let Some(path) = json_path {
         let report_json = serde_json::to_value(&report).expect("report serializes");
-        let breakdown = serde_json::to_value(&report.breakdown()).expect("breakdown serializes");
+        let breakdown = serde_json::to_value(report.breakdown()).expect("breakdown serializes");
         let doc = serde_json::json!({
             "figure": "fig01_headline",
             "candidates": json,

@@ -153,6 +153,7 @@ impl FaultInjection {
             stage: Some(stage),
             replica: Some(replica),
             micro: Some(micro),
+            bytes: None,
         }));
     }
 }

@@ -27,7 +27,12 @@
 //! ([`FaultInjection`]): dropping or delaying one specific message on its
 //! send path, uniformly for every backend. `chimera-runtime` builds its
 //! recovery tests on top of this.
+//!
+//! For multi-process tracing, [`clock`] aligns every process's trace clock
+//! to rank 0's via a probe/response rendezvous ([`rendezvous_epoch`]), so
+//! per-rank trace exports share one time axis.
 
+pub mod clock;
 pub mod fault;
 pub mod local;
 pub mod modelcheck;
@@ -35,6 +40,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use clock::{rendezvous_epoch, ClockSync, EPOCH_TAG};
 pub use fault::{FaultInjection, SendFault};
 pub use local::{LocalEndpoint, LocalFabric};
 pub use modelcheck::{explore, Exploration, StepOutcome};

@@ -39,6 +39,7 @@ pub mod chimera;
 pub mod compact;
 mod dep;
 pub mod ids;
+pub mod named;
 pub mod onefb;
 pub mod op;
 pub mod placement;
@@ -51,6 +52,7 @@ pub mod validate;
 
 pub use crate::chimera::{chimera as chimera_schedule, ChimeraConfig, ScaleMethod};
 pub use crate::ids::{MicroId, ReplicaId, StageId, WorkerId};
+pub use crate::named::{build_named, NAMED_SCHEMES};
 pub use crate::op::{Chunk, Op, OpKind};
 pub use crate::placement::Placement;
 pub use crate::schedule::{Schedule, Scheme, SyncStrategy};

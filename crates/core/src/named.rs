@@ -1,0 +1,76 @@
+//! Building schedules by scheme *name* — the single registry behind
+//! `chimera-cli` and the trace-drift analyzer in `chimera-obs`, so every
+//! surface accepts the same scheme strings.
+
+use crate::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
+use crate::chimera::{chimera, ChimeraConfig, ScaleMethod};
+use crate::schedule::Schedule;
+
+/// Every scheme name [`build_named`] accepts, in presentation order.
+pub const NAMED_SCHEMES: [&str; 9] = [
+    "chimera",
+    "chimera-f2",
+    "doubling",
+    "halving",
+    "dapple",
+    "gpipe",
+    "gems",
+    "pipedream",
+    "pipedream-2bw",
+];
+
+/// Build the schedule for scheme `name` at depth `d` with `n` micro-batches.
+///
+/// Returns `None` for an unknown name. Panics if the configuration is
+/// invalid for the scheme (e.g. odd `d` for Chimera) — name-driven callers
+/// are CLI-adjacent and want the generator's own error message. The
+/// steady-state PipeDream schedules cover two iterations back to back, as
+/// everywhere else in the workspace.
+pub fn build_named(name: &str, d: u32, n: u32) -> Option<Schedule> {
+    Some(match name {
+        "chimera" => chimera(&ChimeraConfig::new(d, n)).expect("valid config"),
+        "chimera-f2" => chimera(&ChimeraConfig {
+            d,
+            n,
+            f: 2,
+            scale: ScaleMethod::Direct,
+        })
+        .expect("valid config"),
+        "doubling" => chimera(&ChimeraConfig {
+            d,
+            n,
+            f: 1,
+            scale: ScaleMethod::ForwardDoubling { recompute: true },
+        })
+        .expect("valid config"),
+        "halving" => chimera(&ChimeraConfig {
+            d,
+            n,
+            f: 1,
+            scale: ScaleMethod::BackwardHalving,
+        })
+        .expect("valid config"),
+        "dapple" => dapple(d, n),
+        "gpipe" => gpipe(d, n),
+        "gems" => gems(d, n),
+        "pipedream" => pipedream_steady(d, n, 2),
+        "pipedream-2bw" => pipedream_2bw_steady(d, n, 2),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit_time::{execute, UnitCosts};
+
+    #[test]
+    fn every_registered_name_builds_and_executes() {
+        for name in NAMED_SCHEMES {
+            let sched = build_named(name, 4, 4).unwrap_or_else(|| panic!("{name} builds"));
+            assert!(sched.num_workers() > 0, "{name}");
+            execute(&sched, UnitCosts::practical()).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        }
+        assert!(build_named("nonsense", 4, 4).is_none());
+    }
+}

@@ -1,0 +1,385 @@
+//! Critical-path extraction over the executed span DAG.
+//!
+//! Nodes are the executed work spans (compute + gradient sync); edges are
+//! the two dependency families a pipeline run actually has:
+//!
+//! * **execution order** — consecutive spans on the same `(pid, track)`
+//!   lane (a worker is sequential);
+//! * **pipeline data flow** — for each `(replica, micro)`, its forward
+//!   spans form a chain in start order (stage `s` feeds the next stage),
+//!   its backward/recompute spans likewise, and the last forward feeds the
+//!   first backward.
+//!
+//! Chaining by start time rather than stage index keeps the construction
+//! correct for both pipeline directions of a bidirectional schedule — the
+//! trace already encodes which stage executed first.
+//!
+//! The path itself is the **gating chain**: starting from the op that
+//! finishes last, repeatedly step to the predecessor that finished last —
+//! the one whose completion gated this op. Each op on the chain is charged
+//! only the time after its gating predecessor ended ([`CriticalOp::crit_ns`]),
+//! so the charged intervals are disjoint and the path total can never
+//! exceed the wall clock. Measured spans overlap (a forward span contains
+//! the receive wait for its input, which runs concurrently with the
+//! producer), which is why naive duration sums over a dependency chain
+//! overshoot; the gating formulation stays honest. Ops on the chain are
+//! the only ones whose speedup can shorten the run.
+
+use std::collections::BTreeMap;
+
+use chimera_trace::{Event, SpanEvent, SpanKind};
+
+/// One op on the critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalOp {
+    /// Span name (schedule rendering, e.g. `Fm3@s2/r1`).
+    pub name: String,
+    /// Lane the op ran on.
+    pub pid: u32,
+    /// Worker track.
+    pub track: u32,
+    /// Category label.
+    pub kind: SpanKind,
+    /// Start, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Critical nanoseconds: the part of this op after its gating
+    /// predecessor ended — the time only this op's speedup can recover.
+    pub crit_ns: u64,
+}
+
+/// The critical path through an executed trace.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Sum of critical nanoseconds along the gating chain. Never exceeds
+    /// the trace window (the charged intervals are disjoint).
+    pub total_ns: u64,
+    /// Ops on the path in execution order.
+    pub ops: Vec<CriticalOp>,
+    /// Number of DAG nodes considered.
+    pub nodes: usize,
+}
+
+impl CriticalPath {
+    /// The `k` most critical ops on the path, by critical time, longest
+    /// first (ties broken by earlier start).
+    pub fn top_ops(&self, k: usize) -> Vec<&CriticalOp> {
+        let mut by_crit: Vec<&CriticalOp> = self.ops.iter().collect();
+        by_crit.sort_by_key(|o| (std::cmp::Reverse(o.crit_ns), o.start_ns));
+        by_crit.truncate(k);
+        by_crit
+    }
+
+    /// Path total over the window: how much of the wall clock the gating
+    /// chain explains. Below 1.0 means some of the run waited on things the
+    /// trace does not model as dependencies (scheduling, OS noise).
+    pub fn coverage(&self, window_ns: u64) -> f64 {
+        if window_ns == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / window_ns as f64
+        }
+    }
+}
+
+fn span_end(s: &SpanEvent) -> u64 {
+    s.start_ns.saturating_add(s.dur_ns)
+}
+
+fn is_dag_node(s: &SpanEvent) -> bool {
+    matches!(
+        s.kind,
+        SpanKind::Forward
+            | SpanKind::Backward
+            | SpanKind::Recompute
+            | SpanKind::AllReduce
+            | SpanKind::AllReduceLaunch
+    )
+}
+
+fn is_backwardish(kind: SpanKind) -> bool {
+    matches!(kind, SpanKind::Backward | SpanKind::Recompute)
+}
+
+/// Extract the critical path from `events`.
+///
+/// Zero-duration spans participate (they can still carry dependencies);
+/// counter events and non-work spans (idle, p2p waits — already nested
+/// inside compute spans in runtime traces, fault machinery) are not nodes.
+pub fn critical_path(events: &[Event]) -> CriticalPath {
+    let mut nodes: Vec<&SpanEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(s) if is_dag_node(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    // Topological order for the DP: every edge built below points from an
+    // earlier (start, end) node to a later one.
+    nodes.sort_by_key(|s| (s.start_ns, s.start_ns.saturating_add(s.dur_ns)));
+    let n = nodes.len();
+    if n == 0 {
+        return CriticalPath {
+            total_ns: 0,
+            ops: Vec::new(),
+            nodes: 0,
+        };
+    }
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Execution order on each lane.
+    let mut last_on_lane: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for (i, s) in nodes.iter().enumerate() {
+        if let Some(&p) = last_on_lane.get(&(s.pid, s.track)) {
+            preds[i].push(p);
+        }
+        last_on_lane.insert((s.pid, s.track), i);
+    }
+    // Pipeline data flow per (replica, micro): forward chain, backward
+    // chain, and the forward -> backward hand-off. Spans without replica
+    // and micro tags (posthoc sync markers) only chain on their lane.
+    //
+    // Multi-iteration traces reuse (replica, micro) keys every iteration,
+    // so each key's span list is segmented: a forward arriving after
+    // backwards closes the current iteration's segment and opens the next.
+    // Within a segment every edge points later in start order, which keeps
+    // the graph acyclic; iteration-to-iteration sequencing is already
+    // covered by the per-lane execution-order edges.
+    let mut flows: BTreeMap<(u32, u64), Vec<usize>> = BTreeMap::new();
+    for (i, s) in nodes.iter().enumerate() {
+        let (Some(replica), Some(micro)) = (s.replica, s.micro) else {
+            continue;
+        };
+        if s.kind == SpanKind::Forward || is_backwardish(s.kind) {
+            flows.entry((replica, micro)).or_default().push(i);
+        }
+    }
+    fn flush_segment(preds: &mut [Vec<usize>], fwd: &mut Vec<usize>, bwd: &mut Vec<usize>) {
+        for pair in fwd.windows(2) {
+            preds[pair[1]].push(pair[0]);
+        }
+        for pair in bwd.windows(2) {
+            preds[pair[1]].push(pair[0]);
+        }
+        if let (Some(&last_f), Some(&first_b)) = (fwd.last(), bwd.first()) {
+            preds[first_b].push(last_f);
+        }
+        fwd.clear();
+        bwd.clear();
+    }
+    for ids in flows.values() {
+        let mut fwd: Vec<usize> = Vec::new();
+        let mut bwd: Vec<usize> = Vec::new();
+        for &i in ids {
+            if nodes[i].kind == SpanKind::Forward {
+                if !bwd.is_empty() {
+                    flush_segment(&mut preds, &mut fwd, &mut bwd);
+                }
+                fwd.push(i);
+            } else {
+                bwd.push(i);
+            }
+        }
+        flush_segment(&mut preds, &mut fwd, &mut bwd);
+    }
+
+    // Backtrack the gating chain from the op that finishes last. At each
+    // step the critical predecessor is the one that finished last — the
+    // dependency whose completion released this op. Deterministic
+    // tie-break: among equal ends, the pred appearing first in sorted
+    // order wins.
+    let end = (0..n)
+        .max_by_key(|&i| (span_end(nodes[i]), std::cmp::Reverse(i)))
+        .expect("n > 0");
+    let mut path = Vec::new();
+    let mut total = 0u64;
+    let mut cur = end;
+    // Charge frontier: walking backward, everything at or above `upper` is
+    // already charged to a later op on the chain. Without it, an op fully
+    // covered by its own predecessor (crit 0) would let that predecessor's
+    // charge overlap the successor's and push coverage past 1.0.
+    let mut upper = span_end(nodes[end]);
+    loop {
+        let s = nodes[cur];
+        let gating = preds[cur]
+            .iter()
+            .copied()
+            .max_by_key(|&p| (span_end(nodes[p]), std::cmp::Reverse(p)));
+        // Only the time after the gating pred's end is this op's fault;
+        // a gap before the start (pred ended early, op waited on something
+        // untracked) is charged to nobody — it shows up as coverage < 1.
+        let charged_from = match gating {
+            Some(p) => span_end(nodes[p]).max(s.start_ns),
+            None => s.start_ns,
+        };
+        let crit = span_end(s).min(upper).saturating_sub(charged_from);
+        if crit > 0 {
+            upper = charged_from;
+        }
+        total += crit;
+        path.push(CriticalOp {
+            name: s.name.clone(),
+            pid: s.pid,
+            track: s.track,
+            kind: s.kind,
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+            crit_ns: crit,
+        });
+        match gating {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    path.reverse();
+    CriticalPath {
+        total_ns: total,
+        ops: path,
+        nodes: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        kind: SpanKind,
+        track: u32,
+        start: u64,
+        dur: u64,
+        rm: Option<(u32, u64)>,
+        stage: Option<u32>,
+    ) -> Event {
+        Event::Span(SpanEvent {
+            kind,
+            name: format!("{}@t{track}s{start}", kind.label()),
+            pid: 0,
+            track,
+            start_ns: start,
+            dur_ns: dur,
+            stage,
+            replica: rm.map(|(r, _)| r),
+            micro: rm.map(|(_, m)| m),
+            bytes: None,
+        })
+    }
+
+    #[test]
+    fn empty_trace_has_empty_path() {
+        let p = critical_path(&[]);
+        assert_eq!(p.total_ns, 0);
+        assert!(p.ops.is_empty());
+    }
+
+    #[test]
+    fn two_stage_pipeline_chains_across_tracks() {
+        // F(s0) on track 0 feeds F(s1) on track 1 feeds B(s1) feeds B(s0):
+        // the chain is longer than either single lane.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 10, Some((0, 0)), Some(0)),
+            span(SpanKind::Forward, 1, 10, 10, Some((0, 0)), Some(1)),
+            span(SpanKind::Backward, 1, 20, 20, Some((0, 0)), Some(1)),
+            span(SpanKind::Backward, 0, 40, 20, Some((0, 0)), Some(0)),
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.total_ns, 60);
+        assert_eq!(p.ops.len(), 4);
+        // Execution order along the path.
+        let starts: Vec<u64> = p.ops.iter().map(|o| o.start_ns).collect();
+        assert_eq!(starts, vec![0, 10, 20, 40]);
+        // Top-op ranking: the two 20 ns backwards first.
+        let top = p.top_ops(2);
+        assert_eq!(top.len(), 2);
+        assert!(top.iter().all(|o| o.dur_ns == 20));
+        assert!(p.coverage(60) > 0.999);
+    }
+
+    #[test]
+    fn lane_order_alone_still_forms_a_path() {
+        // No replica/micro tags: only same-lane order edges.
+        let events = vec![
+            span(SpanKind::AllReduce, 0, 0, 5, None, None),
+            span(SpanKind::AllReduce, 0, 10, 7, None, None),
+            span(SpanKind::AllReduce, 1, 0, 4, None, None),
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.total_ns, 12);
+        assert_eq!(p.ops.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_waits_never_push_coverage_above_one() {
+        // Runtime-style nesting: the consumer's span starts while the
+        // producer still runs (it begins by waiting for the activation).
+        // The chain must charge the consumer only its post-producer time.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 100, Some((0, 0)), Some(0)),
+            span(SpanKind::Forward, 1, 10, 140, Some((0, 0)), Some(1)), // overlaps [10,100)
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.total_ns, 150); // 100 + (150 - 100), not 100 + 140
+        assert!(p.coverage(150) <= 1.0);
+        assert_eq!(p.ops[1].crit_ns, 50);
+        assert_eq!(p.ops[1].dur_ns, 140);
+    }
+
+    #[test]
+    fn repeated_replica_micro_keys_across_iterations_stay_acyclic() {
+        // Two iterations reuse (replica 0, micro 0). Iteration 1's backward
+        // ends before iteration 2's forward starts; the naive whole-key
+        // chain would draw an edge from the later forward back to the
+        // earlier backward and cycle.
+        let mut events = Vec::new();
+        for it in 0..2u64 {
+            let base = it * 100;
+            events.push(span(SpanKind::Forward, 0, base, 10, Some((0, 0)), Some(0)));
+            events.push(span(
+                SpanKind::Forward,
+                1,
+                base + 10,
+                10,
+                Some((0, 0)),
+                Some(1),
+            ));
+            events.push(span(
+                SpanKind::Backward,
+                1,
+                base + 20,
+                20,
+                Some((0, 0)),
+                Some(1),
+            ));
+            events.push(span(
+                SpanKind::Backward,
+                0,
+                base + 40,
+                20,
+                Some((0, 0)),
+                Some(0),
+            ));
+        }
+        let p = critical_path(&events);
+        assert_eq!(p.nodes, 8);
+        assert!(p.total_ns <= 160);
+        assert!(p.coverage(160) <= 1.0);
+        // The chain reaches back to the first iteration through lane edges.
+        assert_eq!(p.ops.first().unwrap().start_ns, 0);
+        assert_eq!(p.ops.last().unwrap().start_ns, 140);
+    }
+
+    #[test]
+    fn longest_chain_wins_over_longest_single_op() {
+        // Track 0: one 50 ns op. Track 1: chain of three 20 ns ops.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 50, Some((0, 9)), Some(0)),
+            span(SpanKind::Forward, 1, 0, 20, Some((1, 0)), Some(0)),
+            span(SpanKind::Forward, 1, 20, 20, Some((1, 1)), Some(0)),
+            span(SpanKind::Forward, 1, 40, 20, Some((1, 2)), Some(0)),
+        ];
+        let p = critical_path(&events);
+        assert_eq!(p.total_ns, 60);
+        assert!(p.ops.iter().all(|o| o.track == 1));
+    }
+}

@@ -1,0 +1,253 @@
+//! The combined profile report: bubble attribution + critical path +
+//! optional drift-vs-simulation and comm-model residuals, serialisable as
+//! a stable JSON schema (`chimera-obs/profile/v1`) and printable for
+//! humans.
+
+use std::fmt;
+
+use chimera_trace::Event;
+
+use crate::critical::{critical_path, CriticalPath};
+use crate::drift::{CommFit, CommResiduals, DriftReport};
+use crate::timeline::{analyze, TraceAnalysis};
+
+/// How many critical-path ops the JSON/text report lists.
+const TOP_K: usize = 10;
+
+/// Everything the profiler learned from one trace.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// Per-rank and aggregate time attribution.
+    pub analysis: TraceAnalysis,
+    /// Longest dependency chain through the executed spans.
+    pub critical: CriticalPath,
+    /// Predicted-vs-actual drift, when a simulation reference was given.
+    pub drift: Option<DriftReport>,
+    /// α-β comm-model residuals, one entry per fitted link that matched.
+    pub residuals: Vec<CommResiduals>,
+}
+
+/// Profile `events`, optionally attaching `drift` computed by the caller.
+pub fn profile(events: &[Event], drift: Option<DriftReport>) -> ProfileReport {
+    ProfileReport {
+        analysis: analyze(events),
+        critical: critical_path(events),
+        drift,
+        residuals: Vec::new(),
+    }
+}
+
+impl ProfileReport {
+    /// Attach comm residuals for each fit that has sized P2p spans.
+    pub fn with_residuals(mut self, events: &[Event], fits: &[CommFit]) -> ProfileReport {
+        self.residuals = fits
+            .iter()
+            .filter_map(|f| crate::drift::comm_residuals(events, f))
+            .collect();
+        self
+    }
+
+    /// The report as JSON, schema `chimera-obs/profile/v1`.
+    pub fn to_json(&self) -> serde_json::Value {
+        let a = &self.analysis;
+        let window_ns = a.window_ns();
+        let lanes: Vec<serde_json::Value> = a
+            .lanes
+            .iter()
+            .map(|l| {
+                let b = &l.breakdown;
+                serde_json::json!({
+                    "pid": l.pid,
+                    "track": l.track,
+                    "spans": l.spans,
+                    "breakdown_ns": breakdown_json(b),
+                    "bubble_ratio": b.bubble_ratio(),
+                })
+            })
+            .collect();
+        let top: Vec<serde_json::Value> = self
+            .critical
+            .top_ops(TOP_K)
+            .iter()
+            .map(|o| {
+                serde_json::json!({
+                    "name": o.name,
+                    "pid": o.pid,
+                    "track": o.track,
+                    "kind": o.kind.label(),
+                    "start_ns": o.start_ns,
+                    "dur_ns": o.dur_ns,
+                    "crit_ns": o.crit_ns,
+                })
+            })
+            .collect();
+        let mut doc = serde_json::json!({
+            "schema": "chimera-obs/profile/v1",
+            "window_ns": window_ns,
+            "attributed_fraction": a.attributed_fraction(),
+            "aggregate": {
+                "breakdown_ns": breakdown_json(&a.aggregate),
+                "bubble_ratio": a.bubble_ratio(),
+            },
+            "lanes": lanes,
+            "critical_path": {
+                "total_ns": self.critical.total_ns,
+                "coverage": self.critical.coverage(window_ns),
+                "ops_on_path": self.critical.ops.len(),
+                "nodes": self.critical.nodes,
+                "top_ops": top,
+            },
+        });
+        if let Some(d) = &self.drift {
+            doc["drift"] = d.to_json();
+        }
+        if !self.residuals.is_empty() {
+            doc["comm_residuals"] = serde_json::Value::Array(
+                self.residuals.iter().map(CommResiduals::to_json).collect(),
+            );
+        }
+        doc
+    }
+}
+
+fn breakdown_json(b: &crate::timeline::Breakdown) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (name, v) in b.entries() {
+        map.insert(name.to_string(), serde_json::json!(v));
+    }
+    serde_json::Value::Object(map)
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = &self.analysis;
+        let w = a.window_ns();
+        writeln!(
+            f,
+            "profile: {} lanes, window {:.3} ms, attributed {:.1}%",
+            a.lanes.len(),
+            w as f64 / 1e6,
+            100.0 * a.attributed_fraction()
+        )?;
+        writeln!(f, "aggregate bubble ratio: {:.3}", a.bubble_ratio())?;
+        for (name, v) in a.aggregate.entries() {
+            if v > 0 {
+                writeln!(
+                    f,
+                    "  {name:<9} {:>10.3} ms  {:>5.1}%",
+                    v as f64 / 1e6,
+                    pct(v, a.aggregate.total())
+                )?;
+            }
+        }
+        writeln!(f, "per-lane bubble ratios:")?;
+        for l in &a.lanes {
+            writeln!(
+                f,
+                "  rank {} track {}: {:.3}  ({} spans)",
+                l.pid,
+                l.track,
+                l.breakdown.bubble_ratio(),
+                l.spans
+            )?;
+        }
+        writeln!(
+            f,
+            "critical path: {:.3} ms over {} ops ({} nodes), coverage {:.1}%",
+            self.critical.total_ns as f64 / 1e6,
+            self.critical.ops.len(),
+            self.critical.nodes,
+            100.0 * self.critical.coverage(w)
+        )?;
+        for o in self.critical.top_ops(TOP_K) {
+            writeln!(
+                f,
+                "  {:<14} rank {} track {}  crit {:>9.3} ms of {:>9.3} ms  [{}]",
+                o.name,
+                o.pid,
+                o.track,
+                o.crit_ns as f64 / 1e6,
+                o.dur_ns as f64 / 1e6,
+                o.kind.label()
+            )?;
+        }
+        if let Some(d) = &self.drift {
+            writeln!(
+                f,
+                "drift vs sim ({} D={} N={}): bubble measured {:.3} sim {:.3} (delta {:+.3})",
+                d.scheme, d.d, d.n, d.measured_bubble, d.sim_bubble, d.bubble_delta
+            )?;
+            for (class, c) in &d.classes {
+                writeln!(
+                    f,
+                    "  {class:<10} drift {:.3}  (measured mean {:.3} ms over {} spans)",
+                    c.drift,
+                    c.measured_mean_ns / 1e6,
+                    c.count
+                )?;
+            }
+        }
+        for r in &self.residuals {
+            writeln!(
+                f,
+                "comm residuals vs {} fit: mean {:+.1} us, mean |r| {:.1} us, max |r| {:.1} us over {} sized p2p spans",
+                r.link,
+                r.mean_ns / 1e3,
+                r.mean_abs_ns / 1e3,
+                r.max_abs_ns / 1e3,
+                r.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_trace::{SpanEvent, SpanKind};
+
+    fn span(kind: SpanKind, track: u32, start: u64, dur: u64) -> Event {
+        Event::Span(SpanEvent {
+            kind,
+            name: format!("{}@{start}", kind.label()),
+            pid: 0,
+            track,
+            start_ns: start,
+            dur_ns: dur,
+            stage: Some(track),
+            replica: Some(0),
+            micro: Some(0),
+            bytes: None,
+        })
+    }
+
+    #[test]
+    fn report_json_has_stable_schema() {
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 10),
+            span(SpanKind::Backward, 0, 10, 20),
+            span(SpanKind::Forward, 1, 10, 10),
+        ];
+        let report = profile(&events, None);
+        let doc = report.to_json();
+        assert_eq!(doc["schema"], serde_json::json!("chimera-obs/profile/v1"));
+        assert_eq!(doc["window_ns"], serde_json::json!(30));
+        assert!((doc["attributed_fraction"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(doc["lanes"].as_array().unwrap().len(), 2);
+        assert!(doc["critical_path"]["total_ns"].as_u64().unwrap() >= 30);
+        assert!(doc.get("drift").is_none());
+        // Human rendering never panics and mentions the headline numbers.
+        let text = report.to_string();
+        assert!(text.contains("bubble ratio"));
+        assert!(text.contains("critical path"));
+    }
+}

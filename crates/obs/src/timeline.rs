@@ -1,0 +1,374 @@
+//! Timeline reconstruction and exclusive wall-clock attribution.
+//!
+//! The input is a flat event stream (a drained [`chimera_trace::BufferSink`]
+//! or a parsed JSONL file); the output decomposes every rank's wall clock
+//! into **exclusive** categories — each elementary slice of time lands in
+//! exactly one bucket, so per-lane categories sum to the analysis window by
+//! construction and bubble ratios are trustworthy.
+//!
+//! Runtime spans nest: a `Forward` span contains the `P2p` wait for its
+//! input activation. Attribution is therefore *innermost-wins*: the waited
+//! portion counts as communication, only the remainder of the enclosing
+//! compute span counts as compute. Gaps covered by no span at all — and
+//! explicit `Idle` spans from simulator traces — count as pipeline bubble.
+
+use std::collections::BTreeMap;
+
+use chimera_trace::{Event, SpanEvent, SpanKind};
+
+/// Exclusive nanosecond totals for one lane (or an aggregate). Category
+/// totals plus [`Breakdown::idle`] sum to the analysis window exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Forward compute.
+    pub forward: u64,
+    /// Backward compute.
+    pub backward: u64,
+    /// Recompute-then-backward compute.
+    pub recompute: u64,
+    /// Point-to-point communication waits.
+    pub comm_wait: u64,
+    /// Gradient synchronization (allreduce launch + wait).
+    pub sync: u64,
+    /// Fault handling: faults, detection, restore, replay.
+    pub recovery: u64,
+    /// Spans of unknown provenance ([`SpanKind::Other`]).
+    pub other: u64,
+    /// Pipeline bubble: explicit idle spans plus uncovered wall clock.
+    pub idle: u64,
+}
+
+impl Breakdown {
+    fn add(&mut self, kind: SpanKind, ns: u64) {
+        match kind {
+            SpanKind::Forward => self.forward += ns,
+            SpanKind::Backward => self.backward += ns,
+            SpanKind::Recompute => self.recompute += ns,
+            SpanKind::P2p => self.comm_wait += ns,
+            SpanKind::AllReduce | SpanKind::AllReduceLaunch => self.sync += ns,
+            SpanKind::Fault | SpanKind::Detect | SpanKind::Restore | SpanKind::Replay => {
+                self.recovery += ns;
+            }
+            SpanKind::Idle => self.idle += ns,
+            SpanKind::Other => self.other += ns,
+        }
+    }
+
+    fn accumulate(&mut self, o: &Breakdown) {
+        self.forward += o.forward;
+        self.backward += o.backward;
+        self.recompute += o.recompute;
+        self.comm_wait += o.comm_wait;
+        self.sync += o.sync;
+        self.recovery += o.recovery;
+        self.other += o.other;
+        self.idle += o.idle;
+    }
+
+    /// Sum over every category including idle.
+    pub fn total(&self) -> u64 {
+        self.busy() + self.idle
+    }
+
+    /// Sum over every non-idle category.
+    pub fn busy(&self) -> u64 {
+        self.forward
+            + self.backward
+            + self.recompute
+            + self.comm_wait
+            + self.sync
+            + self.recovery
+            + self.other
+    }
+
+    /// Compute time only (forward + backward + recompute).
+    pub fn compute(&self) -> u64 {
+        self.forward + self.backward + self.recompute
+    }
+
+    /// Idle share of the total (0 when the window is empty).
+    pub fn bubble_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.idle as f64 / t as f64
+        }
+    }
+
+    /// `(label, nanoseconds)` pairs in presentation order, idle last.
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
+        [
+            ("forward", self.forward),
+            ("backward", self.backward),
+            ("recompute", self.recompute),
+            ("comm_wait", self.comm_wait),
+            ("sync", self.sync),
+            ("recovery", self.recovery),
+            ("other", self.other),
+            ("idle", self.idle),
+        ]
+    }
+}
+
+/// One rank-track lane of the reconstructed timeline.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Process group (rank in multi-process traces).
+    pub pid: u32,
+    /// Worker track within the process.
+    pub track: u32,
+    /// Exclusive attribution over the shared analysis window.
+    pub breakdown: Breakdown,
+    /// Number of spans observed on this lane.
+    pub spans: usize,
+}
+
+/// The full attribution result.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Shared analysis window: earliest span start across all lanes.
+    pub window_start_ns: u64,
+    /// Shared analysis window: latest span end across all lanes.
+    pub window_end_ns: u64,
+    /// Per-lane breakdowns, ordered by `(pid, track)`.
+    pub lanes: Vec<Lane>,
+    /// Category totals summed across lanes (total = lanes · window).
+    pub aggregate: Breakdown,
+}
+
+impl TraceAnalysis {
+    /// Window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_end_ns - self.window_start_ns
+    }
+
+    /// Aggregate bubble ratio: total idle over total lane-time.
+    pub fn bubble_ratio(&self) -> f64 {
+        self.aggregate.bubble_ratio()
+    }
+
+    /// Fraction of total lane-time attributed to *named* work (everything
+    /// except uncovered gaps is named; gaps are named "idle" too, so this
+    /// is 1.0 by construction — exposed for report assertions).
+    pub fn attributed_fraction(&self) -> f64 {
+        let window_total = self.window_ns() as u128 * self.lanes.len() as u128;
+        if window_total == 0 {
+            return 1.0;
+        }
+        self.aggregate.total() as f64 / window_total as f64
+    }
+}
+
+fn span_end(s: &SpanEvent) -> u64 {
+    s.start_ns.saturating_add(s.dur_ns)
+}
+
+/// Attribute one lane's spans over `[w0, w1]` with innermost-wins sweeps.
+fn attribute_lane(spans: &mut Vec<&SpanEvent>, w0: u64, w1: u64) -> Breakdown {
+    // Outer-before-inner at equal starts, so "max start then min index from
+    // the back" picks the innermost active span.
+    spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(span_end(s))));
+    let mut edges: Vec<u64> = Vec::with_capacity(spans.len() * 2 + 2);
+    edges.push(w0);
+    edges.push(w1);
+    for s in spans.iter() {
+        edges.push(s.start_ns.clamp(w0, w1));
+        edges.push(span_end(s).clamp(w0, w1));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut bd = Breakdown::default();
+    let mut active: Vec<&SpanEvent> = Vec::new();
+    let mut next = 0usize;
+    for pair in edges.windows(2) {
+        let (t1, t2) = (pair[0], pair[1]);
+        while next < spans.len() && spans[next].start_ns <= t1 {
+            active.push(spans[next]);
+            next += 1;
+        }
+        // Elementary segment: every span boundary is an edge, so an active
+        // span either covers [t1, t2) fully or ended at t1.
+        active.retain(|s| span_end(s) > t1);
+        let innermost = active
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, s)| (s.start_ns, std::cmp::Reverse(span_end(s)), *i))
+            .map(|(_, s)| *s);
+        match innermost {
+            Some(s) => bd.add(s.kind, t2 - t1),
+            None => bd.idle += t2 - t1,
+        }
+    }
+    bd
+}
+
+/// Reconstruct per-lane timelines from `events` and attribute every lane's
+/// wall clock exclusively.
+///
+/// The analysis window is global — `[min start, max end]` over **all**
+/// lanes — so a lane that starts late or finishes early is charged idle
+/// time for the difference, exactly the pipeline-bubble semantics of the
+/// paper's schedule diagrams. Counter events are ignored. An empty event
+/// set yields an empty analysis with a zero-length window.
+pub fn analyze(events: &[Event]) -> TraceAnalysis {
+    let mut lanes: BTreeMap<(u32, u32), Vec<&SpanEvent>> = BTreeMap::new();
+    let mut w0 = u64::MAX;
+    let mut w1 = 0u64;
+    for ev in events {
+        if let Event::Span(s) = ev {
+            w0 = w0.min(s.start_ns);
+            w1 = w1.max(span_end(s));
+            lanes.entry((s.pid, s.track)).or_default().push(s);
+        }
+    }
+    if lanes.is_empty() {
+        return TraceAnalysis {
+            window_start_ns: 0,
+            window_end_ns: 0,
+            lanes: Vec::new(),
+            aggregate: Breakdown::default(),
+        };
+    }
+
+    let mut out = Vec::with_capacity(lanes.len());
+    let mut aggregate = Breakdown::default();
+    for ((pid, track), mut spans) in lanes {
+        let count = spans.len();
+        let breakdown = attribute_lane(&mut spans, w0, w1);
+        debug_assert_eq!(breakdown.total(), w1 - w0, "exclusive attribution");
+        aggregate.accumulate(&breakdown);
+        out.push(Lane {
+            pid,
+            track,
+            breakdown,
+            spans: count,
+        });
+    }
+    TraceAnalysis {
+        window_start_ns: w0,
+        window_end_ns: w1,
+        lanes: out,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, track: u32, start: u64, dur: u64) -> Event {
+        Event::Span(SpanEvent {
+            kind,
+            name: format!("{}@{start}", kind.label()),
+            pid: 0,
+            track,
+            start_ns: start,
+            dur_ns: dur,
+            stage: None,
+            replica: None,
+            micro: None,
+            bytes: None,
+        })
+    }
+
+    #[test]
+    fn empty_trace_is_empty_analysis() {
+        let a = analyze(&[]);
+        assert_eq!(a.window_ns(), 0);
+        assert!(a.lanes.is_empty());
+        assert_eq!(a.bubble_ratio(), 0.0);
+        assert_eq!(a.attributed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn nested_comm_wait_is_carved_out_of_compute() {
+        // Forward [0, 100) containing a p2p wait [10, 40): 70 forward,
+        // 30 comm, plus a gap [100, 120) before backward [120, 150).
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 100),
+            span(SpanKind::P2p, 0, 10, 30),
+            span(SpanKind::Backward, 0, 120, 30),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.window_ns(), 150);
+        let bd = a.lanes[0].breakdown;
+        assert_eq!(bd.forward, 70);
+        assert_eq!(bd.comm_wait, 30);
+        assert_eq!(bd.backward, 30);
+        assert_eq!(bd.idle, 20);
+        assert_eq!(bd.total(), a.window_ns());
+    }
+
+    #[test]
+    fn late_starting_lane_is_charged_ramp_idle() {
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 100),
+            span(SpanKind::Forward, 1, 60, 40),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.lanes.len(), 2);
+        assert_eq!(a.lanes[0].breakdown.idle, 0);
+        assert_eq!(a.lanes[1].breakdown.idle, 60);
+        assert!((a.bubble_ratio() - 60.0 / 200.0).abs() < 1e-12);
+        assert!((a.attributed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_idle_spans_count_as_bubble() {
+        let events = vec![
+            span(SpanKind::Idle, 0, 0, 50),
+            span(SpanKind::Forward, 0, 50, 50),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.lanes[0].breakdown.idle, 50);
+        assert_eq!(a.lanes[0].breakdown.forward, 50);
+    }
+
+    #[test]
+    fn categories_cover_all_kinds() {
+        let kinds = [
+            SpanKind::Forward,
+            SpanKind::Backward,
+            SpanKind::Recompute,
+            SpanKind::P2p,
+            SpanKind::AllReduceLaunch,
+            SpanKind::AllReduce,
+            SpanKind::Fault,
+            SpanKind::Detect,
+            SpanKind::Restore,
+            SpanKind::Replay,
+            SpanKind::Other,
+            SpanKind::Idle,
+        ];
+        let events: Vec<Event> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| span(k, 0, i as u64 * 10, 10))
+            .collect();
+        let a = analyze(&events);
+        let bd = a.lanes[0].breakdown;
+        assert_eq!(bd.forward, 10);
+        assert_eq!(bd.backward, 10);
+        assert_eq!(bd.recompute, 10);
+        assert_eq!(bd.comm_wait, 10);
+        assert_eq!(bd.sync, 20);
+        assert_eq!(bd.recovery, 40);
+        assert_eq!(bd.other, 10);
+        assert_eq!(bd.idle, 10);
+        assert_eq!(bd.total(), a.window_ns());
+    }
+
+    #[test]
+    fn overlapping_same_kind_spans_do_not_double_count() {
+        // Two overlapping forward spans: covered time is [0, 150).
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 100),
+            span(SpanKind::Forward, 0, 50, 100),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.lanes[0].breakdown.forward, 150);
+        assert_eq!(a.lanes[0].breakdown.idle, 0);
+    }
+}

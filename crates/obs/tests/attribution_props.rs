@@ -1,0 +1,98 @@
+//! Property tests for exclusive attribution: over arbitrary span soups —
+//! overlapping, nested, zero-length, multi-lane — every lane's categories
+//! must sum to the analysis window exactly, idle can never exceed the
+//! window (the u64 representation already forbids negative idle; these
+//! properties pin the stronger exact-coverage invariant), and the critical
+//! path can never explain more than the wall clock.
+
+use chimera_obs::{analyze, critical_path};
+use chimera_trace::{Event, SpanEvent, SpanKind};
+use proptest::prelude::*;
+
+const KINDS: [SpanKind; 12] = [
+    SpanKind::Forward,
+    SpanKind::Backward,
+    SpanKind::Recompute,
+    SpanKind::P2p,
+    SpanKind::AllReduceLaunch,
+    SpanKind::AllReduce,
+    SpanKind::Fault,
+    SpanKind::Detect,
+    SpanKind::Restore,
+    SpanKind::Replay,
+    SpanKind::Other,
+    SpanKind::Idle,
+];
+
+/// Deterministic span soup derived from one sampled seed (keeps the
+/// strategy surface to plain integer ranges, portable across proptest
+/// implementations). Spans overlap, nest, repeat (replica, micro) keys
+/// across "iterations", and include zero-length spans.
+fn span_soup(seed: u64, len: usize) -> Vec<Event> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| {
+            let kind = KINDS[(next() % KINDS.len() as u64) as usize];
+            let tagged = next() % 3 != 0;
+            Event::Span(SpanEvent {
+                kind,
+                name: kind.label().to_string(),
+                pid: (next() % 2) as u32,
+                track: (next() % 3) as u32,
+                start_ns: next() % 10_000,
+                dur_ns: next() % 5_000, // zero-length allowed
+                stage: Some((next() % 3) as u32),
+                replica: tagged.then(|| (next() % 2) as u32),
+                micro: tagged.then(|| next() % 4),
+                bytes: None,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    /// Exact coverage: per-lane category totals equal the shared window,
+    /// so idle is never negative (it is the exact complement of busy) and
+    /// the aggregate attributed fraction is exactly 1.
+    #[test]
+    fn attribution_is_exact_for_arbitrary_span_sets(
+        seed in 0u64..u64::MAX,
+        len in 1usize..80,
+    ) {
+        let events = span_soup(seed, len);
+        let a = analyze(&events);
+        let w = a.window_ns();
+        for lane in &a.lanes {
+            prop_assert_eq!(lane.breakdown.total(), w, "lane {}:{}", lane.pid, lane.track);
+            prop_assert!(lane.breakdown.idle <= w);
+            prop_assert!(lane.breakdown.bubble_ratio() <= 1.0);
+        }
+        prop_assert_eq!(a.aggregate.total(), w * a.lanes.len() as u64);
+        prop_assert!((a.attributed_fraction() - 1.0).abs() < 1e-12);
+        prop_assert!(a.bubble_ratio() <= 1.0);
+    }
+
+    /// The gating chain terminates (no cycles from repeated replica/micro
+    /// keys) and never explains more than the wall clock; no op is charged
+    /// more than its own duration.
+    #[test]
+    fn critical_path_is_bounded_by_the_window(
+        seed in 0u64..u64::MAX,
+        len in 1usize..80,
+    ) {
+        let events = span_soup(seed, len);
+        let a = analyze(&events);
+        let cp = critical_path(&events);
+        prop_assert!(cp.total_ns <= a.window_ns());
+        prop_assert!(cp.ops.len() <= cp.nodes);
+        for op in &cp.ops {
+            prop_assert!(op.crit_ns <= op.dur_ns);
+        }
+    }
+}

@@ -124,6 +124,7 @@ impl SupervisorTrace {
             stage: None,
             replica: None,
             micro: None,
+            bytes: None,
         }));
     }
 

@@ -135,6 +135,7 @@ impl Tracer {
         stage: Option<u32>,
         replica: Option<u32>,
         micro: Option<u64>,
+        bytes: Option<u64>,
     ) {
         self.sink.record(Event::Span(SpanEvent {
             kind,
@@ -146,6 +147,7 @@ impl Tracer {
             stage,
             replica,
             micro,
+            bytes,
         }));
     }
 }
@@ -341,6 +343,7 @@ impl Worker {
                         None,
                         None,
                         None,
+                        None,
                     );
                 }
             }
@@ -376,6 +379,7 @@ impl Worker {
                 format!("kill g{}-w{} i{}", self.group, self.id.0, self.cur_iter),
                 at,
                 at,
+                None,
                 None,
                 None,
                 None,
@@ -434,6 +438,7 @@ impl Worker {
             Some(op.stage.0),
             Some(op.replica.0),
             op.is_compute().then(|| op.micro.0 as u64 + offset),
+            None,
         );
         Ok(())
     }
@@ -643,6 +648,7 @@ impl Worker {
                 Some(stage),
                 Some(replica),
                 Some(micro),
+                Some(tensor.len() as u64 * 4),
             );
         }
         Ok(tensor)

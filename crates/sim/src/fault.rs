@@ -315,6 +315,7 @@ impl RecoveryAccounting {
                     stage: None,
                     replica: None,
                     micro: None,
+                    bytes: None,
                 })
             };
             out.push(span(

@@ -44,6 +44,7 @@ pub fn timeline_events(timeline: &Timeline, pid: u32, include_idle: bool) -> Vec
                     stage: None,
                     replica: None,
                     micro: None,
+                    bytes: None,
                 }));
             }
             out.push(Event::Span(SpanEvent {
@@ -56,6 +57,7 @@ pub fn timeline_events(timeline: &Timeline, pid: u32, include_idle: bool) -> Vec
                 stage: Some(s.op.stage.0),
                 replica: Some(s.op.replica.0),
                 micro: s.op.is_compute().then_some(s.op.micro.0 as u64),
+                bytes: None,
             }));
             cursor = cursor.max(s.finish);
         }
@@ -70,6 +72,7 @@ pub fn timeline_events(timeline: &Timeline, pid: u32, include_idle: bool) -> Vec
                 stage: None,
                 replica: None,
                 micro: None,
+                bytes: None,
             }));
         }
     }

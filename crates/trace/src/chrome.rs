@@ -65,6 +65,9 @@ pub fn chrome_trace_json(events: &[Event], process_names: &[(u32, &str)]) -> ser
                 if let Some(micro) = s.micro {
                     args.insert("micro".into(), serde_json::json!(micro));
                 }
+                if let Some(bytes) = s.bytes {
+                    args.insert("bytes".into(), serde_json::json!(bytes));
+                }
                 out.push(serde_json::json!({
                     "ph": "X",
                     "name": s.name,
@@ -121,6 +124,7 @@ mod tests {
             stage: Some(track),
             replica: Some(0),
             micro: Some(1),
+            bytes: None,
         })
     }
 

@@ -61,6 +61,25 @@ impl SpanKind {
         }
     }
 
+    /// Inverse of [`SpanKind::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<SpanKind> {
+        Some(match label {
+            "forward" => SpanKind::Forward,
+            "backward" => SpanKind::Backward,
+            "recompute" => SpanKind::Recompute,
+            "p2p" => SpanKind::P2p,
+            "allreduce_launch" => SpanKind::AllReduceLaunch,
+            "allreduce" => SpanKind::AllReduce,
+            "idle" => SpanKind::Idle,
+            "fault" => SpanKind::Fault,
+            "detect" => SpanKind::Detect,
+            "restore" => SpanKind::Restore,
+            "replay" => SpanKind::Replay,
+            "other" => SpanKind::Other,
+            _ => return None,
+        })
+    }
+
     /// Reserved Chrome trace color name (`cname`) so F/B/comm/idle spans are
     /// visually distinct in `chrome://tracing` / Perfetto.
     pub fn chrome_color(self) -> &'static str {
@@ -103,6 +122,10 @@ pub struct SpanEvent {
     pub replica: Option<u32>,
     /// Micro-batch id (global for runtime spans), if any.
     pub micro: Option<u64>,
+    /// Payload size in bytes for communication spans (p2p transfers,
+    /// allreduce payloads), if known. Lets trace consumers fit and check
+    /// α-β communication models against executed transfers.
+    pub bytes: Option<u64>,
 }
 
 /// A sampled counter value on one track.
@@ -168,6 +191,9 @@ impl Event {
                 if let Some(micro) = s.micro {
                     v["micro"] = serde_json::json!(micro);
                 }
+                if let Some(bytes) = s.bytes {
+                    v["bytes"] = serde_json::json!(bytes);
+                }
                 v
             }
             Event::Counter(c) => serde_json::json!({
@@ -178,6 +204,47 @@ impl Event {
                 "ts_ns": c.ts_ns,
                 "value": c.value,
             }),
+        }
+    }
+
+    /// Shift the event's timestamp by `offset_ns`, saturating at the `u64`
+    /// range instead of wrapping. Used by multi-process exporters to map
+    /// per-process trace clocks onto a shared axis (see
+    /// `chimera_comm::clock`). Durations are unaffected.
+    pub fn shift_ns(&mut self, offset_ns: i64) {
+        let shift = |ts: u64| (ts as i128 + offset_ns as i128).clamp(0, u64::MAX as i128) as u64;
+        match self {
+            Event::Span(s) => s.start_ns = shift(s.start_ns),
+            Event::Counter(c) => c.ts_ns = shift(c.ts_ns),
+        }
+    }
+
+    /// Parse one event from the flat JSON produced by [`Event::to_json`].
+    /// Returns `None` for unknown `type`s, unknown span kinds, or missing
+    /// required fields, so readers can skip foreign lines.
+    pub fn from_json(v: &serde_json::Value) -> Option<Event> {
+        let u32_field = |key: &str| v[key].as_u64().and_then(|x| u32::try_from(x).ok());
+        match v["type"].as_str()? {
+            "span" => Some(Event::Span(SpanEvent {
+                kind: SpanKind::from_label(v["kind"].as_str()?)?,
+                name: v["name"].as_str()?.to_string(),
+                pid: u32_field("pid")?,
+                track: u32_field("track")?,
+                start_ns: v["start_ns"].as_u64()?,
+                dur_ns: v["dur_ns"].as_u64()?,
+                stage: u32_field("stage"),
+                replica: u32_field("replica"),
+                micro: v["micro"].as_u64(),
+                bytes: v["bytes"].as_u64(),
+            })),
+            "counter" => Some(Event::Counter(CounterEvent {
+                name: v["name"].as_str()?.to_string(),
+                pid: u32_field("pid")?,
+                track: u32_field("track")?,
+                ts_ns: v["ts_ns"].as_u64()?,
+                value: v["value"].as_f64()?,
+            })),
+            _ => None,
         }
     }
 }
@@ -220,13 +287,98 @@ mod tests {
             stage: Some(2),
             replica: None,
             micro: Some(7),
+            bytes: None,
         });
         let v = ev.to_json();
         assert_eq!(v["kind"], serde_json::json!("forward"));
         assert_eq!(v["stage"], serde_json::json!(2));
         assert!(v.get("replica").is_none());
         assert_eq!(v["micro"], serde_json::json!(7));
+        assert!(v.get("bytes").is_none());
         assert_eq!(ev.ts_ns(), 10);
         assert_eq!(ev.location(), (0, 3));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_events() {
+        let span = Event::Span(SpanEvent {
+            kind: SpanKind::P2p,
+            name: "recv act".into(),
+            pid: 1,
+            track: 2,
+            start_ns: 100,
+            dur_ns: 50,
+            stage: Some(1),
+            replica: Some(0),
+            micro: Some(3),
+            bytes: Some(4096),
+        });
+        let counter = Event::Counter(CounterEvent {
+            name: "p2p_bytes".into(),
+            pid: 1,
+            track: 2,
+            ts_ns: 150,
+            value: 4096.0,
+        });
+        for ev in [span, counter] {
+            let back = Event::from_json(&ev.to_json()).expect("parses back");
+            assert_eq!(back, ev);
+        }
+        // Every kind label survives the label -> kind -> label cycle.
+        for kind in [
+            SpanKind::Forward,
+            SpanKind::Backward,
+            SpanKind::Recompute,
+            SpanKind::P2p,
+            SpanKind::AllReduceLaunch,
+            SpanKind::AllReduce,
+            SpanKind::Idle,
+            SpanKind::Fault,
+            SpanKind::Detect,
+            SpanKind::Restore,
+            SpanKind::Replay,
+            SpanKind::Other,
+        ] {
+            assert_eq!(SpanKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_label("nonsense"), None);
+        // Foreign / malformed rows are skipped, not errors.
+        assert!(Event::from_json(&serde_json::json!({"type": "weird"})).is_none());
+        assert!(
+            Event::from_json(&serde_json::json!({"type": "span", "kind": "forward"})).is_none()
+        );
+    }
+
+    #[test]
+    fn shift_saturates_at_u64_range() {
+        let mut ev = Event::Span(SpanEvent {
+            kind: SpanKind::Forward,
+            name: "F".into(),
+            pid: 0,
+            track: 0,
+            start_ns: 100,
+            dur_ns: 5,
+            stage: None,
+            replica: None,
+            micro: None,
+            bytes: None,
+        });
+        ev.shift_ns(50);
+        assert_eq!(ev.ts_ns(), 150);
+        ev.shift_ns(-1_000);
+        assert_eq!(ev.ts_ns(), 0);
+        ev.shift_ns(i64::MAX);
+        ev.shift_ns(i64::MAX);
+        ev.shift_ns(i64::MAX);
+        assert_eq!(ev.ts_ns(), u64::MAX);
+        let mut c = Event::Counter(CounterEvent {
+            name: "c".into(),
+            pid: 0,
+            track: 0,
+            ts_ns: 10,
+            value: 1.0,
+        });
+        c.shift_ns(-3);
+        assert_eq!(c.ts_ns(), 7);
     }
 }

@@ -31,6 +31,37 @@ pub fn write_jsonl(path: impl AsRef<Path>, events: &[Event]) -> io::Result<()> {
     std::fs::write(path, events_to_jsonl(events))
 }
 
+/// Parse JSONL text back into events.
+///
+/// Blank lines and lines that are valid JSON but not recognizable events
+/// (foreign `type`s, unknown span kinds) are skipped, so logs with mixed
+/// content still load. A line that fails to parse as JSON at all is an
+/// error — it means the file is truncated or not a JSONL event log.
+pub fn parse_jsonl(text: &str) -> io::Result<Vec<Event>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: not JSON: {e}", i + 1),
+            )
+        })?;
+        if let Some(ev) = Event::from_json(&v) {
+            out.push(ev);
+        }
+    }
+    Ok(out)
+}
+
+/// Read a JSONL event log from `path`.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<Event>> {
+    parse_jsonl(&std::fs::read_to_string(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +81,7 @@ mod tests {
                     stage: Some(i),
                     replica: None,
                     micro: None,
+                    bytes: (i == 0).then_some(128),
                 })
             })
             .collect();
@@ -61,5 +93,58 @@ mod tests {
             assert_eq!(v["type"], serde_json::json!("span"));
             assert_eq!(v["track"], serde_json::json!(i));
         }
+    }
+
+    #[test]
+    fn text_parses_back_to_identical_events() {
+        let events: Vec<Event> = (0..3)
+            .map(|i| {
+                Event::Span(SpanEvent {
+                    kind: SpanKind::Backward,
+                    name: format!("b{i}"),
+                    pid: 0,
+                    track: i,
+                    start_ns: i as u64 * 10,
+                    dur_ns: 5,
+                    stage: Some(i),
+                    replica: Some(1),
+                    micro: Some(i as u64),
+                    bytes: None,
+                })
+            })
+            .collect();
+        let parsed = parse_jsonl(&events_to_jsonl(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn foreign_and_blank_lines_are_skipped_garbage_is_an_error() {
+        let text = "\n{\"type\":\"unknown\",\"x\":1}\n\
+                    {\"type\":\"counter\",\"name\":\"c\",\"pid\":0,\"track\":1,\"ts_ns\":5,\"value\":2.5}\n";
+        let parsed = parse_jsonl(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].location(), (0, 1));
+        assert!(parse_jsonl("not json at all").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let events = vec![Event::Span(SpanEvent {
+            kind: SpanKind::P2p,
+            name: "xfer".into(),
+            pid: 2,
+            track: 0,
+            start_ns: 7,
+            dur_ns: 3,
+            stage: None,
+            replica: None,
+            micro: None,
+            bytes: Some(1024),
+        })];
+        let path = std::env::temp_dir().join("chimera_trace_jsonl_roundtrip.jsonl");
+        write_jsonl(&path, &events).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, events);
     }
 }

@@ -32,6 +32,6 @@ pub mod sink;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{CounterEvent, Event, SpanEvent, SpanKind};
-pub use jsonl::{events_to_jsonl, write_jsonl};
+pub use jsonl::{events_to_jsonl, parse_jsonl, read_jsonl, write_jsonl, write_jsonl_to};
 pub use metrics::{Counter, Histogram, MetricsRegistry};
 pub use sink::{now_ns, BufferSink, NullSink, TraceSink};

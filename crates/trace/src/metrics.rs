@@ -90,6 +90,61 @@ impl Histogram {
         }
     }
 
+    /// Estimated value at percentile `p` (in `0.0..=100.0`): find the log2
+    /// bucket holding the target rank and interpolate linearly inside its
+    /// `[2^(i-1), 2^i)` range. Exact for zeros (bucket 0), within the
+    /// bucket's factor-of-two resolution otherwise. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (p / 100.0 * n as f64).clamp(0.0, n as f64);
+        let mut below = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            last_nonempty = i;
+            if (below + c) as f64 >= target {
+                return Self::interpolate(i, below, c, target);
+            }
+            below += c;
+        }
+        // Floating-point rounding can push `target` past the final
+        // cumulative count; clamp into the last occupied bucket.
+        Self::interpolate(last_nonempty, n.saturating_sub(1), 1, n as f64)
+    }
+
+    /// Median estimate; see [`Histogram::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th-percentile estimate; see [`Histogram::percentile`].
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th-percentile estimate; see [`Histogram::percentile`].
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Linear interpolation of the target rank within bucket `i`, which
+    /// holds `c` values and has `below` values before it.
+    fn interpolate(i: usize, below: u64, c: u64, target: f64) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i > 63 { u64::MAX } else { (1u64 << i) - 1 };
+        let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+        lo + ((hi - lo) as f64 * frac) as u64
+    }
+
     /// Non-empty buckets as `(lower_bound_inclusive, count)` pairs.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -165,7 +220,7 @@ impl MetricsRegistry {
 
     /// All metrics as a JSON object:
     /// `{"counters": {name: value}, "histograms": {name: {count, sum, mean,
-    /// buckets: [[lower_bound, count]]}}}`.
+    /// p50, p90, p99, buckets: [[lower_bound, count]]}}}`.
     pub fn snapshot(&self) -> serde_json::Value {
         let mut counters = serde_json::Map::new();
         for (name, c) in self.counters.lock().iter() {
@@ -179,6 +234,9 @@ impl MetricsRegistry {
                     "count": h.count(),
                     "sum": h.sum(),
                     "mean": h.mean(),
+                    "p50": h.p50(),
+                    "p90": h.p90(),
+                    "p99": h.p99(),
                     "buckets": h.buckets(),
                 }),
             );
@@ -233,6 +291,39 @@ mod tests {
         assert_eq!(snap["counters"]["a"], serde_json::json!(3));
         assert_eq!(snap["histograms"]["h"]["count"], serde_json::json!(1));
         assert_eq!(snap["histograms"]["h"]["sum"], serde_json::json!(5));
+        // Percentiles are part of the snapshot contract.
+        assert!(snap["histograms"]["h"]["p50"].as_u64().is_some());
+        assert!(snap["histograms"]["h"]["p99"].as_u64().is_some());
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0); // empty
+                                           // All mass in bucket [512, 1023]: every percentile lands inside it.
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        for p in [1.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!((512..=1023).contains(&v), "p{p} = {v}");
+        }
+        // Percentiles are monotone in p.
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        // Zeros dominate: median is exactly zero, the tail is not.
+        let h2 = Histogram::default();
+        for _ in 0..90 {
+            h2.record(0);
+        }
+        for _ in 0..10 {
+            h2.record(100);
+        }
+        assert_eq!(h2.p50(), 0);
+        assert!((64..=127).contains(&h2.p99()), "p99 = {}", h2.p99());
+        // Extreme values do not overflow the top bucket's bounds.
+        let h3 = Histogram::default();
+        h3.record(u64::MAX);
+        assert!(h3.p99() >= 1u64 << 63);
     }
 
     #[test]

@@ -86,14 +86,31 @@ impl BufferSink {
         self.len() == 0
     }
 
-    /// Remove and return all buffered events, sorted by timestamp.
+    /// Remove and return all buffered events in a deterministic total order:
+    /// by timestamp, then `(pid, track)`, then duration, then name.
+    ///
+    /// **Guarantee:** the returned order is a function of the event *set*
+    /// alone — it does not depend on which thread recorded which event, how
+    /// events were sharded, or the drain call's timing. Two runs that record
+    /// the same events drain identically, so exporters and diff-based tests
+    /// can compare traces byte-for-byte.
     pub fn drain(&self) -> Vec<Event> {
         let mut all: Vec<Event> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             all.append(&mut shard.lock());
         }
-        all.sort_by_key(Event::ts_ns);
+        all.sort_by(|a, b| Self::total_order(a).cmp(&Self::total_order(b)));
         all
+    }
+
+    /// Sort key giving the deterministic drain order. Identical keys imply
+    /// events indistinguishable up to counter values, which have no ordering
+    /// contract of their own.
+    fn total_order(ev: &Event) -> (u64, (u32, u32), u64, &str) {
+        match ev {
+            Event::Span(s) => (s.start_ns, (s.pid, s.track), s.dur_ns, s.name.as_str()),
+            Event::Counter(c) => (c.ts_ns, (c.pid, c.track), 0, c.name.as_str()),
+        }
     }
 }
 
@@ -119,6 +136,7 @@ mod tests {
             stage: None,
             replica: None,
             micro: None,
+            bytes: None,
         })
     }
 
@@ -154,6 +172,28 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(sink.drain().len(), threads as usize * per_thread);
+    }
+
+    #[test]
+    fn drain_order_is_shard_independent() {
+        // Record the same event set under different shard layouts (standing
+        // in for different thread-to-shard assignments); drains must agree.
+        let mk = |shards: usize| {
+            let sink = BufferSink::with_shards(shards);
+            // Equal timestamps force the (pid, track) and name tiebreakers.
+            for track in [3, 1, 2, 0] {
+                sink.record(span(track, 50));
+                sink.record(span(track, 10));
+            }
+            sink.drain()
+        };
+        let a = mk(1);
+        let b = mk(7);
+        assert_eq!(a, b);
+        let keys: Vec<(u64, (u32, u32))> = a.iter().map(|e| (e.ts_ns(), e.location())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -4,11 +4,27 @@
 //! chimera-cli render  <scheme> [D] [N]            ASCII schedule + analytics
 //! chimera-cli plan    <bert48|gpt2> [P] [B̂]       best (W,D,B) per scheme
 //! chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B̂>
-//! chimera-cli train   [D] [N] [iters]             real pipelined training
+//! chimera-cli train   [D] [N] [iters] [--trace f] real pipelined training
 //! chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N]
-//!                     [--iters I]                 multi-process training
+//!                     [--iters I] [--trace dir]   multi-process training
+//!                     [--metrics-every ms] [--metrics-out f] [--metrics-port p]
 //! chimera-cli verify  [scheme [D] [N]] [--json]   static schedule verifier
+//! chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]
+//! chimera-cli overhead-check [D] [N] [iters] [--repeats R]
 //! ```
+//!
+//! `profile` reconstructs per-rank timelines from one or more trace files
+//! (pass every `trace-rank*.jsonl` of a launch together — they share one
+//! time axis), attributes every rank's wall clock exclusively (compute,
+//! comm waits, gradient sync, recovery, bubble), extracts the critical
+//! path, and — with `--sim` — reports per-class drift against the
+//! unit-cost simulation of the same configuration. When
+//! `results/comm_overhead.json` exists, sized communication spans are also
+//! checked against its α-β fits.
+//!
+//! `overhead-check` measures tracing overhead: best-of-R wall clock of the
+//! same training run with tracing off and on, printed as JSON (used by CI
+//! to enforce the <5% overhead budget).
 //!
 //! `verify` runs the static analyses of `chimera-verify` (happens-before
 //! deadlock detection, send/recv matching, buffer-hazard and memory lints)
@@ -25,24 +41,28 @@
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 
+use chimera::comm::{rendezvous_epoch, ClockSync};
 use chimera::comm::{TcpConfig, TcpFabric, Transport};
 use chimera::core::analysis;
-use chimera::core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
 use chimera::core::chimera::{chimera as chimera_sched, ChimeraConfig, ScaleMethod};
 use chimera::core::render;
 use chimera::core::schedule::{Schedule, Scheme, SyncStrategy};
 use chimera::core::sync::place_sync;
 use chimera::core::unit_time::{execute, UnitCosts};
 use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
+use chimera::obs::{
+    drift, load_comm_fits, profile, MetricsAggregator, MetricsPublisher, MetricsServer,
+};
 use chimera::perf::planner::{best, plan_chimera, PlanScheme};
 use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
 use chimera::runtime::{train, train_hybrid, train_worker_process, TrainOptions};
 use chimera::sim::simulate;
+use chimera::trace::{now_ns, read_jsonl, write_jsonl, BufferSink, MetricsRegistry};
 use chimera::verify::verify_span;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -52,36 +72,7 @@ fn parse<T: std::str::FromStr>(s: Option<String>, default: T) -> T {
 }
 
 fn build_schedule(scheme: &str, d: u32, n: u32) -> Schedule {
-    match scheme {
-        "chimera" => chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config"),
-        "chimera-f2" => chimera_sched(&ChimeraConfig {
-            d,
-            n,
-            f: 2,
-            scale: ScaleMethod::Direct,
-        })
-        .expect("valid config"),
-        "doubling" => chimera_sched(&ChimeraConfig {
-            d,
-            n,
-            f: 1,
-            scale: ScaleMethod::ForwardDoubling { recompute: true },
-        })
-        .expect("valid config"),
-        "halving" => chimera_sched(&ChimeraConfig {
-            d,
-            n,
-            f: 1,
-            scale: ScaleMethod::BackwardHalving,
-        })
-        .expect("valid config"),
-        "dapple" => dapple(d, n),
-        "gpipe" => gpipe(d, n),
-        "gems" => gems(d, n),
-        "pipedream" => pipedream_steady(d, n, 2),
-        "pipedream-2bw" => pipedream_2bw_steady(d, n, 2),
-        _ => usage(),
-    }
+    chimera::core::build_named(scheme, d, n).unwrap_or_else(|| usage())
 }
 
 fn model_spec(name: &str) -> ModelSpec {
@@ -199,24 +190,51 @@ fn cmd_simulate(mut args: std::env::Args) {
     );
 }
 
-fn cmd_train(mut args: std::env::Args) {
-    let d = parse(args.next(), 4u32);
-    let n = parse(args.next(), d);
-    let iterations = parse(args.next(), 8u32);
+fn cmd_train(args: std::env::Args) {
+    let mut positional = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => {
+                trace_path = it.next();
+                if trace_path.is_none() {
+                    eprintln!("--trace needs a path");
+                    usage();
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unexpected flag: {other}");
+                usage();
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let d = parse(positional.next(), 4u32);
+    let n = parse(positional.next(), d);
+    let iterations = parse(positional.next(), 8u32);
     let cfg = ModelConfig {
         layers: d as usize,
         ..ModelConfig::tiny()
     };
+    let sink = trace_path.as_ref().map(|_| Arc::new(BufferSink::new()));
     let opts = TrainOptions {
         micro_batch: 2,
         iterations,
         lr: 0.05,
         momentum: 0.9,
         data_seed: 7,
+        trace: sink.clone().map(|s| s as _),
         ..TrainOptions::default()
     };
     let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
     let result = train(&sched, cfg, opts.clone()).expect("training succeeds");
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        let events = sink.drain();
+        write_jsonl(path, &events).expect("write trace file");
+        println!("trace: {} events -> {path}", events.len());
+    }
     println!("Chimera D={d} N={n}, {iterations} iterations on {d} threads:");
     for (i, l) in result.iteration_losses.iter().enumerate() {
         println!("  iter {i:>3}: loss {l:.4}");
@@ -408,13 +426,41 @@ fn cmd_launch(args: std::env::Args) {
     let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
     let cfg = launch_model(d);
     let opts = launch_opts(iterations);
+    let trace_dir = flags.get("trace").cloned();
+    if let Some(dir) = &trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
 
     let (dist_losses, dist_params) = match transport.as_str() {
         "local" => {
             // One process, thread-per-worker over the in-process fabric —
-            // the baseline the TCP path is checked against.
+            // the baseline the TCP path is checked against. All threads
+            // share one trace clock, so no epoch rendezvous is needed.
+            let sink = trace_dir.as_ref().map(|_| Arc::new(BufferSink::new()));
+            let mut local_opts = opts.clone();
+            local_opts.trace = sink.clone().map(|s| s as _);
             let result =
-                train_hybrid(&sched, cfg, opts.clone(), w).expect("in-process training succeeds");
+                train_hybrid(&sched, cfg, local_opts, w).expect("in-process training succeeds");
+            if let (Some(dir), Some(sink)) = (&trace_dir, &sink) {
+                let path = format!("{dir}/trace.jsonl");
+                let events = sink.drain();
+                write_jsonl(&path, &events).expect("write trace file");
+                println!("trace: {} events -> {path}", events.len());
+            }
+            if let Some(path) = flags.get("metrics-out") {
+                // Single process: the "merged" view is just this process's
+                // registry under rank 0.
+                let snap = MetricsRegistry::global().snapshot();
+                let totals = snap["counters"].clone();
+                let merged = serde_json::json!({
+                    "schema": "chimera-obs/metrics/v1",
+                    "world": 1,
+                    "ranks": {"0": snap},
+                    "totals": totals,
+                });
+                std::fs::write(path, merged.to_string()).expect("write metrics file");
+                println!("metrics -> {path}");
+            }
             (result.iteration_losses.clone(), result.flat_params())
         }
         "tcp" => {
@@ -442,6 +488,20 @@ fn cmd_launch(args: std::env::Args) {
                     if rank == 0 {
                         cmd.args(["--out", &out_path.display().to_string()]);
                     }
+                    if let Some(dir) = &trace_dir {
+                        cmd.args(["--trace", &format!("{dir}/trace-rank{rank}.jsonl")]);
+                    }
+                    if let Some(every) = flags.get("metrics-every") {
+                        cmd.args(["--metrics-every", every]);
+                        if rank == 0 {
+                            if let Some(out) = flags.get("metrics-out") {
+                                cmd.args(["--metrics-out", out]);
+                            }
+                            if let Some(port) = flags.get("metrics-port") {
+                                cmd.args(["--metrics-port", port]);
+                            }
+                        }
+                    }
                     cmd.spawn().expect("spawn worker process")
                 })
                 .collect();
@@ -458,6 +518,9 @@ fn cmd_launch(args: std::env::Args) {
             }
             let bytes = std::fs::read(&out_path).expect("rank 0 result file");
             let _ = std::fs::remove_file(&out_path);
+            if let Some(dir) = &trace_dir {
+                println!("trace: per-rank files in {dir}/trace-rank*.jsonl (shared time axis)");
+            }
             let mut pos = 0;
             let losses = read_f32s(&bytes, &mut pos);
             let params = read_f32s(&bytes, &mut pos);
@@ -525,7 +588,62 @@ fn cmd_worker(args: std::env::Args) {
             std::process::exit(1);
         }
     };
-    match train_worker_process(ep, &sched, launch_model(d), launch_opts(iterations), w) {
+    // Live metrics: non-zero ranks publish registry snapshots to rank 0
+    // over the fabric; rank 0 aggregates, optionally serves them over
+    // HTTP during the run, and writes the final merged view at exit.
+    let metrics_every_ms: u64 = flag(&flags, "metrics-every", 0u64);
+    let mut publisher = None;
+    let mut aggregator: Option<Arc<MetricsAggregator>> = None;
+    let mut server = None;
+    if metrics_every_ms > 0 {
+        if rank == 0 {
+            let agg = Arc::new(MetricsAggregator::spawn(
+                ep.clone(),
+                MetricsRegistry::global(),
+            ));
+            if let Some(port) = flags.get("metrics-port") {
+                let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap_or_else(|_| {
+                    eprintln!("bad value for --metrics-port");
+                    std::process::exit(2);
+                });
+                let agg2 = agg.clone();
+                match MetricsServer::serve(addr, move || agg2.merged()) {
+                    Ok(s) => {
+                        eprintln!("rank 0: serving metrics on http://{}", s.addr);
+                        server = Some(s);
+                    }
+                    Err(e) => eprintln!("rank 0: metrics server bind failed: {e}"),
+                }
+            }
+            aggregator = Some(agg);
+        } else {
+            publisher = Some(MetricsPublisher::spawn(
+                ep.clone(),
+                MetricsRegistry::global(),
+                std::time::Duration::from_millis(metrics_every_ms),
+            ));
+        }
+    }
+    let trace_path = flags.get("trace").cloned();
+    let mut opts = launch_opts(iterations);
+    let sink = trace_path.as_ref().map(|_| Arc::new(BufferSink::new()));
+    let mut clock = ClockSync::identity();
+    if let Some(s) = &sink {
+        opts.trace = Some(s.clone());
+        // Agree on a shared trace epoch before training. This is a
+        // collective over the whole fabric: `launch` passes --trace to
+        // every rank or to none. Pin this process's local epoch first so
+        // the offset measured here is the one events are stamped against.
+        let _ = now_ns();
+        clock = match rendezvous_epoch(ep.as_ref(), &now_ns, opts.recv_timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("rank {rank}: trace clock rendezvous failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    }
+    match train_worker_process(ep, &sched, launch_model(d), opts, w) {
         Ok(Some(outcome)) => {
             if let Some(path) = flags.get("out") {
                 let mut bytes = Vec::new();
@@ -540,6 +658,168 @@ fn cmd_worker(args: std::env::Args) {
             std::process::exit(1);
         }
     }
+    if let (Some(path), Some(sink)) = (&trace_path, &sink) {
+        // Export on the shared time axis: shift every event by this rank's
+        // measured clock offset and stamp the rank as the process group, so
+        // per-rank files overlay coherently in one viewer.
+        let mut events = sink.drain();
+        for ev in &mut events {
+            ev.shift_ns(clock.offset_ns);
+            match ev {
+                chimera::trace::Event::Span(s) => s.pid = rank,
+                chimera::trace::Event::Counter(c) => c.pid = rank,
+            }
+        }
+        write_jsonl(path, &events).expect("write trace file");
+    }
+    if let Some(p) = publisher {
+        p.stop(); // sends the final snapshot
+    }
+    if let Some(agg) = aggregator {
+        // Give the other ranks' final snapshots a moment to arrive.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let merged = agg.stop();
+        if let Some(path) = flags.get("metrics-out") {
+            std::fs::write(path, merged.to_string()).expect("write metrics file");
+            eprintln!("rank 0: metrics -> {path}");
+        } else {
+            println!("{merged}");
+        }
+    }
+    drop(server);
+}
+
+/// Profile one or more trace files: exclusive bubble attribution, critical
+/// path, optional drift against the unit-cost simulation, and α-β comm
+/// residuals when the comm-overhead benchmark results are on disk.
+fn cmd_profile(args: std::env::Args) {
+    let mut paths = Vec::new();
+    let mut json = false;
+    let mut sim: Option<(String, u32, u32)> = None;
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--sim" => {
+                let scheme = it.next().unwrap_or_else(|| usage());
+                let d = parse(it.next(), 0u32);
+                let n = parse(it.next(), 0u32);
+                if d == 0 || n == 0 {
+                    eprintln!("--sim needs <scheme> <D> <N>");
+                    usage();
+                }
+                sim = Some((scheme, d, n));
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unexpected flag: {other}");
+                usage();
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("profile needs at least one trace file");
+        usage();
+    }
+    let mut events = Vec::new();
+    for p in &paths {
+        match read_jsonl(p) {
+            Ok(mut ev) => events.append(&mut ev),
+            Err(e) => {
+                eprintln!("{p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let drift_report = sim.map(|(scheme, d, n)| {
+        drift(&events, &scheme, d, n).unwrap_or_else(|e| {
+            eprintln!("drift: {e}");
+            std::process::exit(1);
+        })
+    });
+    let mut report = profile(&events, drift_report);
+    if let Ok(fits) = load_comm_fits("results/comm_overhead.json") {
+        report = report.with_residuals(&events, &fits);
+    }
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+}
+
+/// Measure tracing overhead: best-of-R wall clock of the same in-process
+/// training run with the trace sink off and on.
+fn cmd_overhead(args: std::env::Args) {
+    let mut positional = Vec::new();
+    let mut repeats = 3u32;
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--repeats" => repeats = parse(it.next(), 3u32),
+            other if other.starts_with("--") => {
+                eprintln!("unexpected flag: {other}");
+                usage();
+            }
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let d = parse(positional.next(), 4u32);
+    let n = parse(positional.next(), d);
+    let iterations = parse(positional.next(), 8u32);
+    // A heavier-than-tiny model so per-op compute dominates fixed costs:
+    // the overhead fraction then reflects real workloads instead of the
+    // clock-read/event-construction floor of microsecond toy ops.
+    let cfg = ModelConfig {
+        layers: d as usize,
+        hidden: 64,
+        seq: 16,
+        vocab: 64,
+        heads: 4,
+        ..ModelConfig::tiny()
+    };
+    let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
+    let mut events_captured = 0usize;
+    let mut run = |traced: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let sink = traced.then(|| Arc::new(BufferSink::new()));
+            let opts = TrainOptions {
+                micro_batch: 2,
+                iterations,
+                lr: 0.05,
+                momentum: 0.9,
+                data_seed: 7,
+                trace: sink.clone().map(|s| s as _),
+                ..TrainOptions::default()
+            };
+            let t0 = std::time::Instant::now();
+            train(&sched, cfg, opts).expect("training succeeds");
+            best = best.min(t0.elapsed().as_secs_f64());
+            if let Some(s) = &sink {
+                events_captured = s.drain().len();
+            }
+        }
+        best
+    };
+    let baseline_s = run(false);
+    let traced_s = run(true);
+    let overhead_frac = traced_s / baseline_s - 1.0;
+    println!(
+        "{}",
+        serde_json::json!({
+            "schema": "chimera-obs/overhead/v1",
+            "d": d,
+            "n": n,
+            "iterations": iterations,
+            "repeats": repeats,
+            "events": events_captured,
+            "baseline_s": baseline_s,
+            "traced_s": traced_s,
+            "overhead_frac": overhead_frac,
+        })
+    );
 }
 
 fn main() {
@@ -553,6 +833,8 @@ fn main() {
         Some("launch") => cmd_launch(args),
         Some("worker") => cmd_worker(args),
         Some("verify") => cmd_verify(args),
+        Some("profile") => cmd_profile(args),
+        Some("overhead-check") => cmd_overhead(args),
         _ => usage(),
     }
 }

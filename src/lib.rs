@@ -24,6 +24,9 @@
 //!   any schedule on a real model, in-process or multi-process;
 //! * [`trace`] — structured tracing, a metrics registry, and Chrome/Perfetto
 //!   trace export for both the simulator and the runtime;
+//! * [`obs`] — the pipeline profiler: exclusive bubble attribution,
+//!   critical-path analysis, drift against the simulator's cost model, and
+//!   live cross-rank metrics aggregation, surfaced as `chimera-cli profile`;
 //! * [`verify`] — static schedule/communication verifier: happens-before
 //!   deadlock analysis, send/recv matching lints, buffer-hazard and memory
 //!   lints, surfaced as `chimera-cli verify`.
@@ -34,6 +37,7 @@ pub use chimera_collectives as collectives;
 pub use chimera_comm as comm;
 pub use chimera_core as core;
 pub use chimera_nn as nn;
+pub use chimera_obs as obs;
 pub use chimera_perf as perf;
 pub use chimera_runtime as runtime;
 pub use chimera_sim as sim;
