@@ -5,11 +5,20 @@
 //! `checkpoint_every` knob controls. Also reports the expected sustained
 //! throughput when failures arrive at a 6-hour MTBF.
 //!
+//! Also sweeps the self-healing transport's seeded network-chaos plans
+//! through their analytic mirror ([`FaultPlan::net_chaos`]): flaky, slow,
+//! partitioned and breaking links on the stage-0 → stage-1 boundary, with
+//! the predicted reconnect/retransmit overhead written to
+//! `results/chaos_overhead.json`.
+//!
 //! `--trace <path>` additionally writes a Chrome trace of the D = 4,
 //! cadence-4 faulty run (crash, detect, restore and replay spans visible
 //! on the crashed worker's track).
 
+use std::time::Duration;
+
 use chimera_bench::{arg_value, print_table, save_json};
+use chimera_comm::NetChaos;
 use chimera_core::chimera::{chimera, ChimeraConfig};
 use chimera_core::schedule::SyncStrategy;
 use chimera_core::sync::place_sync;
@@ -106,6 +115,103 @@ fn main() {
         &rows,
     );
     save_json("recovery_overhead", serde_json::json!(json));
+
+    // Network-chaos overhead: each seeded transport plan, mirrored onto the
+    // stage-0 → stage-1 link, vs the healthy run. `rto` matches the session
+    // layer's default retransmit timeout.
+    let rto_s = 0.1;
+    let scenarios: Vec<(&str, NetChaos)> = vec![
+        ("flaky-1pct", NetChaos::new(0xC2).with_flaky(0.01)),
+        ("flaky-5pct", NetChaos::new(0xC2).with_flaky(0.05)),
+        (
+            "slow-1ms",
+            NetChaos::new(0xC2).with_slow(Duration::from_millis(1)),
+        ),
+        ("partition-64", NetChaos::new(0xC2).with_partition(128, 64)),
+        ("break-once", NetChaos::new(0xC2).with_break_at(256)),
+        (
+            "lossy-mix",
+            NetChaos::new(0xC2)
+                .with_flaky(0.02)
+                .with_duplicate(0.02)
+                .with_reorder(0.02),
+        ),
+    ];
+    let mut chaos_rows = Vec::new();
+    let mut chaos_json = Vec::new();
+    for d in [4u32, 8] {
+        let (p, b_hat) = (4 * d as u64, 256 * d as u64);
+        let w = p as u32 / d;
+        let n = (b_hat / (w as u64 * b as u64)) as u32;
+        let sched = place_sync(
+            chimera(&ChimeraConfig::new(d, n)).unwrap(),
+            SyncStrategy::EagerOpt,
+            UnitCosts::practical(),
+        );
+        let cost = TrainConfig {
+            model,
+            cluster,
+            d,
+            w,
+            b,
+            stage_replicas: 2,
+        }
+        .cost_model();
+        let healthy = simulate(&sched, &cost).expect("simulates");
+        let recovery = RecoveryModel {
+            detect_s: 5.0,
+            restore_s: 20.0,
+            checkpoint_s: 2.0,
+            checkpoint_every: 4,
+        };
+        for (name, chaos) in &scenarios {
+            let plan = FaultPlan::new(0xC2).net_chaos(0, 1, chaos, rto_s);
+            let rep = simulate_faulty(&sched, &cost, &plan, &recovery, run_iterations)
+                .expect("simulates");
+            let acc = rep
+                .recovery
+                .as_ref()
+                .expect("chaotic run accounts recovery");
+            let iter_overhead = rep.iter_time_s / healthy.iter_time_s - 1.0;
+            chaos_rows.push(vec![
+                d.to_string(),
+                (*name).to_string(),
+                format!("{:.4}", healthy.iter_time_s),
+                format!("{:.4}", rep.iter_time_s),
+                format!("{:.2}%", 100.0 * iter_overhead),
+                format!("{:.2}", acc.net_outage_s),
+                format!(
+                    "{:.3}x",
+                    acc.run_s / (healthy.iter_time_s * run_iterations as f64)
+                ),
+            ]);
+            chaos_json.push(serde_json::json!({
+                "d": d,
+                "scenario": name,
+                "rto_s": rto_s,
+                "healthy_iter_s": healthy.iter_time_s,
+                "chaotic_iter_s": rep.iter_time_s,
+                "iter_overhead_frac": iter_overhead,
+                "net_outage_s": acc.net_outage_s,
+                "run_slowdown": acc.run_s / (healthy.iter_time_s * run_iterations as f64),
+            }));
+        }
+    }
+    print_table(
+        "Mirrored network-chaos overhead on the stage-0 → stage-1 link, Bert-48",
+        &[
+            "D",
+            "scenario",
+            "healthy iter s",
+            "chaotic iter s",
+            "iter overhead",
+            "outage s",
+            "run slowdown",
+        ],
+        &chaos_rows,
+    );
+    save_json("chaos_overhead", serde_json::json!(chaos_json));
+
     if let (Some(path), Some(events)) = (trace_path, trace_doc) {
         chimera_trace::write_chrome_trace(&path, &events, &[(0, "chimera d4, crash + recovery")])
             .expect("write Chrome trace");

@@ -23,15 +23,26 @@
 //! Every blocking receive takes a deadline and fails with
 //! [`CommError::Timeout`] instead of hanging on a dead peer.
 //!
-//! The transport layer also owns **message-level fault injection**
-//! ([`FaultInjection`]): dropping or delaying one specific message on its
-//! send path, uniformly for every backend. `chimera-runtime` builds its
-//! recovery tests on top of this.
+//! The TCP backend is **self-healing**: frames sent through the trait join
+//! per-link sessions (sequence numbers, cumulative acks, a bounded
+//! retransmit buffer, receive-side dedup), a heartbeat failure detector
+//! tracks per-peer [`Liveness`], and a broken socket is reconnected with
+//! the session replayed — a transient link failure is invisible above the
+//! [`Transport`] trait. See [`tcp`] for the protocol.
+//!
+//! The transport layer also owns **fault injection**, in two flavors:
+//! [`FaultInjection`] drops or delays one specific message (surgical
+//! recovery tests), while a seeded [`NetChaos`] plan degrades whole links —
+//! flaky loss, duplication, reordering, slow links, partition windows, and
+//! hard socket breaks — deterministically in its seed, uniformly for both
+//! backends. `chimera-runtime` and the chaos-soak CI job build their
+//! recovery guarantees on top of these.
 //!
 //! For multi-process tracing, [`clock`] aligns every process's trace clock
 //! to rank 0's via a probe/response rendezvous ([`rendezvous_epoch`]), so
 //! per-rank trace exports share one time axis.
 
+pub mod chaos;
 pub mod clock;
 pub mod fault;
 pub mod local;
@@ -40,9 +51,11 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{LinkChaos, NetChaos, Verdict};
 pub use clock::{rendezvous_epoch, ClockSync, EPOCH_TAG};
 pub use fault::{FaultInjection, SendFault};
 pub use local::{LocalEndpoint, LocalFabric};
 pub use modelcheck::{explore, Exploration, StepOutcome};
-pub use tcp::{TcpConfig, TcpEndpoint, TcpFabric};
+pub use tcp::{Liveness, SessionStats, TcpConfig, TcpEndpoint, TcpFabric, TAG_HEARTBEAT};
 pub use transport::{CommError, KeyedReduce, MsgKey, Payload, Rank, Transport};
+pub use wire::{Frame, MAX_FRAME, SEQ_UNSEQUENCED, WIRE_VERSION};

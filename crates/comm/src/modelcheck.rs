@@ -231,6 +231,96 @@ mod tests {
         assert!(ex.executions >= 1);
     }
 
+    /// Duplicated delivery vs keyed reduction: a sender whose every parcel
+    /// is delivered twice (chaos `duplicate = 1.0`, the transport-level
+    /// equivalent of a retransmit racing its original), and a receiver
+    /// accumulating contributions in `KeyedReduce` deposit order. Across
+    /// every interleaving the receive-side dedup must absorb each copy, so
+    /// the reduction is bit-exact and nothing is left in the inbox.
+    #[test]
+    fn duplicated_delivery_keeps_keyed_reduction_bit_exact() {
+        use crate::chaos::NetChaos;
+        use crate::local::{LocalEndpoint, LocalFabric};
+        use crate::transport::{MsgKey, Payload, Transport};
+
+        const VALS: [f32; 2] = [0.1, 0.2];
+        let expected = (VALS[0] + VALS[1]).to_bits();
+        let key = |round: u64| MsgKey::Coll {
+            tag: 0,
+            round,
+            from: 1,
+        };
+
+        struct W {
+            eps: Vec<LocalEndpoint>,
+            sent: u64,
+            got: u64,
+            sum: f32,
+        }
+        let ex = explore(
+            2,
+            || {
+                let mut eps = LocalFabric::new(2);
+                // Every send is also delivered a second time.
+                eps[1].install_chaos(NetChaos::new(1).with_duplicate(1.0));
+                W {
+                    eps,
+                    sent: 0,
+                    got: 0,
+                    sum: 0.0,
+                }
+            },
+            |w, t| match t {
+                0 => {
+                    // Sender: one (duplicated) contribution per step.
+                    let r = w.sent;
+                    w.sent += 1;
+                    w.eps[1]
+                        .send(0, key(r), Payload::Flat(vec![VALS[r as usize]]))
+                        .expect("receiver alive");
+                    if w.sent == 2 {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Progress
+                    }
+                }
+                _ => {
+                    // Receiver: fetch contributions in deposit order, like
+                    // `KeyedReduce` members do, and accumulate bit-exactly.
+                    match w.eps[0].try_recv(&key(w.got)) {
+                        None => StepOutcome::Blocked,
+                        Some(p) => {
+                            w.sum += p.into_flat()[0];
+                            w.got += 1;
+                            if w.got == 2 {
+                                StepOutcome::Done
+                            } else {
+                                StepOutcome::Progress
+                            }
+                        }
+                    }
+                }
+            },
+            |w, sched| {
+                assert_eq!(
+                    w.sum.to_bits(),
+                    expected,
+                    "duplicate leaked into the reduction on schedule {sched:?}"
+                );
+                // Exactly-once: the duplicated copies left nothing behind.
+                for r in 0..2 {
+                    assert!(
+                        w.eps[0].try_recv(&key(r)).is_none(),
+                        "stale duplicate for round {r} on schedule {sched:?}"
+                    );
+                }
+                assert_eq!(w.eps[0].dup_dropped(), 2);
+            },
+        );
+        assert!(ex.deadlock_free());
+        assert!(ex.executions >= 2, "interleavings actually explored");
+    }
+
     /// Two threads each waiting on a flag only the other sets, with the set
     /// happening *after* the wait: every schedule deadlocks.
     #[test]

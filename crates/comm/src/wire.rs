@@ -1,17 +1,30 @@
-//! Wire format of the TCP backend: length-prefixed binary frames.
+//! Wire format of the TCP backend: length-prefixed binary frames with a
+//! versioned, checksummed header.
 //!
 //! ```text
 //! frame   := u32 body_len (LE) · body
-//! body    := u32 from_rank · key · payload
+//! body    := u8 version · u8 kind · u32 checksum · rest
+//! kind    := Data(0) | Ack(1) | Hello(2)
+//! Data    := u64 seq · u32 from_rank · key · payload
+//! Ack     := u32 from_rank · u64 upto
+//! Hello   := u32 from_rank · u8 resume
 //! key     := u8 kind · fields        (Act/Grad/Coll/Ctrl)
 //! payload := u8 kind · data          (Tensor/Keyed/Flat/Losses/Bytes)
 //! ```
 //!
 //! All integers are little-endian; `f32` vectors are raw LE bytes. The
-//! format is versionless on purpose — both ends of a connection are always
-//! the same build (the launcher spawns its own binary) — but every decoder
-//! validates lengths and tags so a corrupt or truncated frame surfaces as
-//! [`CommError::Protocol`] rather than a panic or a mis-typed payload.
+//! `checksum` is FNV-1a-32 over `rest`, so a frame whose length prefix was
+//! garbled — or whose body was bit-flipped in flight — is rejected as
+//! [`CommError::Protocol`] instead of silently mis-framing the stream.
+//! The `version` byte rejects frames from an incompatible build outright.
+//!
+//! **Session frames.** `Data` frames carry an optional per-link sequence
+//! number (`seq == 0` marks unsequenced control traffic: rendezvous,
+//! heartbeats). Sequenced frames are acknowledged by the receiver with
+//! cumulative `Ack` frames and retained by the sender for retransmission
+//! until acknowledged; `Hello` opens (or, with `resume`, re-opens) a data
+//! connection and identifies the sending rank so the receiver can report
+//! its delivered watermark back. See [`crate::tcp`] for the protocol.
 
 use chimera_tensor::Tensor;
 
@@ -20,6 +33,18 @@ use crate::transport::{CommError, MsgKey, Payload, Rank};
 /// Frames larger than this are rejected as corrupt (64 MiB of payload is
 /// two orders of magnitude above the largest boundary tensor we ship).
 pub const MAX_FRAME: usize = 64 << 20;
+
+/// Current wire format version. Version 1 was the unversioned pre-session
+/// format; decoders reject anything that is not exactly this version.
+pub const WIRE_VERSION: u8 = 2;
+
+/// `Data` frames with this sequence number are outside any session:
+/// delivered immediately, never acknowledged, never retransmitted.
+pub const SEQ_UNSEQUENCED: u64 = 0;
+
+const FK_DATA: u8 = 0;
+const FK_ACK: u8 = 1;
+const FK_HELLO: u8 = 2;
 
 const KEY_ACT: u8 = 0;
 const KEY_GRAD: u8 = 1;
@@ -32,89 +57,229 @@ const PAY_FLAT: u8 = 2;
 const PAY_LOSSES: u8 = 3;
 const PAY_BYTES: u8 = 4;
 
-/// Encode one frame (including the 4-byte length prefix).
-pub fn encode_frame(from: Rank, key: &MsgKey, payload: &Payload) -> Vec<u8> {
-    let mut body = Vec::with_capacity(32 + payload.wire_bytes() as usize);
-    put_u32(&mut body, from);
+/// One decoded frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A message. `seq` is the per-link session sequence number
+    /// ([`SEQ_UNSEQUENCED`] for sessionless control traffic).
+    Data {
+        /// Session sequence number on the sender→receiver link.
+        seq: u64,
+        /// Sending rank.
+        from: Rank,
+        /// Message key.
+        key: MsgKey,
+        /// Message payload.
+        payload: Payload,
+    },
+    /// Cumulative acknowledgement: every sequenced frame with
+    /// `seq <= upto` from the addressed sender has been delivered.
+    Ack {
+        /// Acknowledging rank (the receiver of the data).
+        from: Rank,
+        /// Highest contiguously delivered sequence number.
+        upto: u64,
+    },
+    /// Connection opener: identifies the sending rank on a fresh socket.
+    /// `resume` marks a reconnect that will replay unacknowledged frames.
+    Hello {
+        /// Connecting rank.
+        from: Rank,
+        /// True when this connection resumes an interrupted session.
+        resume: bool,
+    },
+}
+
+/// FNV-1a 32-bit over `bytes` — the payload checksum of the frame header.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn seal(kind: u8, rest: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(10 + rest.len());
+    put_u32(&mut frame, (rest.len() + 6) as u32);
+    frame.push(WIRE_VERSION);
+    frame.push(kind);
+    put_u32(&mut frame, checksum(&rest));
+    frame.extend_from_slice(&rest);
+    frame
+}
+
+/// Encode one sequenced data frame (including the 4-byte length prefix).
+pub fn encode_data(seq: u64, from: Rank, key: &MsgKey, payload: &Payload) -> Vec<u8> {
+    let mut rest = Vec::with_capacity(40 + payload.wire_bytes() as usize);
+    put_u64(&mut rest, seq);
+    put_u32(&mut rest, from);
     match *key {
         MsgKey::Act {
             replica,
             stage,
             micro,
         } => {
-            body.push(KEY_ACT);
-            put_u32(&mut body, replica);
-            put_u32(&mut body, stage);
-            put_u64(&mut body, micro);
+            rest.push(KEY_ACT);
+            put_u32(&mut rest, replica);
+            put_u32(&mut rest, stage);
+            put_u64(&mut rest, micro);
         }
         MsgKey::Grad {
             replica,
             stage,
             micro,
         } => {
-            body.push(KEY_GRAD);
-            put_u32(&mut body, replica);
-            put_u32(&mut body, stage);
-            put_u64(&mut body, micro);
+            rest.push(KEY_GRAD);
+            put_u32(&mut rest, replica);
+            put_u32(&mut rest, stage);
+            put_u64(&mut rest, micro);
         }
         MsgKey::Coll { tag, round, from } => {
-            body.push(KEY_COLL);
-            put_u32(&mut body, tag);
-            put_u64(&mut body, round);
-            put_u32(&mut body, from);
+            rest.push(KEY_COLL);
+            put_u32(&mut rest, tag);
+            put_u64(&mut rest, round);
+            put_u32(&mut rest, from);
         }
         MsgKey::Ctrl { tag, from } => {
-            body.push(KEY_CTRL);
-            put_u32(&mut body, tag);
-            put_u32(&mut body, from);
+            rest.push(KEY_CTRL);
+            put_u32(&mut rest, tag);
+            put_u32(&mut rest, from);
         }
     }
     match payload {
         Payload::Tensor(t) => {
-            body.push(PAY_TENSOR);
-            put_u32(&mut body, t.rows() as u32);
-            put_u32(&mut body, t.cols() as u32);
-            put_f32s(&mut body, t.data());
+            rest.push(PAY_TENSOR);
+            put_u32(&mut rest, t.rows() as u32);
+            put_u32(&mut rest, t.cols() as u32);
+            put_f32s(&mut rest, t.data());
         }
         Payload::Keyed(pairs) => {
-            body.push(PAY_KEYED);
-            put_u32(&mut body, pairs.len() as u32);
+            rest.push(PAY_KEYED);
+            put_u32(&mut rest, pairs.len() as u32);
             for (k, v) in pairs {
-                put_u64(&mut body, *k);
-                put_u32(&mut body, v.len() as u32);
-                put_f32s(&mut body, v);
+                put_u64(&mut rest, *k);
+                put_u32(&mut rest, v.len() as u32);
+                put_f32s(&mut rest, v);
             }
         }
         Payload::Flat(v) => {
-            body.push(PAY_FLAT);
-            put_u32(&mut body, v.len() as u32);
-            put_f32s(&mut body, v);
+            rest.push(PAY_FLAT);
+            put_u32(&mut rest, v.len() as u32);
+            put_f32s(&mut rest, v);
         }
         Payload::Losses(l) => {
-            body.push(PAY_LOSSES);
-            put_u32(&mut body, l.len() as u32);
+            rest.push(PAY_LOSSES);
+            put_u32(&mut rest, l.len() as u32);
             for (micro, loss) in l {
-                put_u64(&mut body, *micro);
-                put_f32s(&mut body, std::slice::from_ref(loss));
+                put_u64(&mut rest, *micro);
+                put_f32s(&mut rest, std::slice::from_ref(loss));
             }
         }
         Payload::Bytes(b) => {
-            body.push(PAY_BYTES);
-            put_u32(&mut body, b.len() as u32);
-            body.extend_from_slice(b);
+            rest.push(PAY_BYTES);
+            put_u32(&mut rest, b.len() as u32);
+            rest.extend_from_slice(b);
         }
     }
-    let mut frame = Vec::with_capacity(4 + body.len());
-    put_u32(&mut frame, body.len() as u32);
-    frame.extend_from_slice(&body);
-    frame
+    seal(FK_DATA, rest)
 }
 
-/// Decode one frame body (the bytes after the length prefix).
+/// Encode one unsequenced frame (including the 4-byte length prefix) —
+/// the sessionless form used by the rendezvous control plane.
+pub fn encode_frame(from: Rank, key: &MsgKey, payload: &Payload) -> Vec<u8> {
+    encode_data(SEQ_UNSEQUENCED, from, key, payload)
+}
+
+/// Encode one cumulative acknowledgement frame.
+pub fn encode_ack(from: Rank, upto: u64) -> Vec<u8> {
+    let mut rest = Vec::with_capacity(12);
+    put_u32(&mut rest, from);
+    put_u64(&mut rest, upto);
+    seal(FK_ACK, rest)
+}
+
+/// Encode one connection-opener frame.
+pub fn encode_hello(from: Rank, resume: bool) -> Vec<u8> {
+    let mut rest = Vec::with_capacity(5);
+    put_u32(&mut rest, from);
+    rest.push(u8::from(resume));
+    seal(FK_HELLO, rest)
+}
+
+/// Decode one frame body (the bytes after the length prefix): validate the
+/// version byte and checksum, then parse by frame kind.
+pub fn decode_frame(body: &[u8]) -> Result<Frame, CommError> {
+    if body.len() < 6 {
+        return Err(CommError::Protocol(format!(
+            "frame body of {} bytes is shorter than the header",
+            body.len()
+        )));
+    }
+    if body[0] != WIRE_VERSION {
+        return Err(CommError::Protocol(format!(
+            "wire version {} (expected {WIRE_VERSION})",
+            body[0]
+        )));
+    }
+    let kind = body[1];
+    let stored = u32::from_le_bytes([body[2], body[3], body[4], body[5]]);
+    let rest = &body[6..];
+    let computed = checksum(rest);
+    if stored != computed {
+        return Err(CommError::Protocol(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut r = Reader { buf: rest, pos: 0 };
+    let frame = match kind {
+        FK_DATA => {
+            let seq = r.u64()?;
+            let from = r.u32()?;
+            let key = decode_key(&mut r)?;
+            let payload = decode_payload(&mut r)?;
+            Frame::Data {
+                seq,
+                from,
+                key,
+                payload,
+            }
+        }
+        FK_ACK => Frame::Ack {
+            from: r.u32()?,
+            upto: r.u64()?,
+        },
+        FK_HELLO => Frame::Hello {
+            from: r.u32()?,
+            resume: r.u8()? != 0,
+        },
+        tag => return Err(CommError::Protocol(format!("unknown frame kind {tag}"))),
+    };
+    if r.pos != rest.len() {
+        return Err(CommError::Protocol(format!(
+            "{} trailing bytes after frame",
+            rest.len() - r.pos
+        )));
+    }
+    Ok(frame)
+}
+
+/// Decode one frame body that must be a data frame; convenience for the
+/// control plane (rendezvous, clock sync) which never sees session frames.
 pub fn decode_body(body: &[u8]) -> Result<(Rank, MsgKey, Payload), CommError> {
-    let mut r = Reader { buf: body, pos: 0 };
-    let from = r.u32()?;
-    let key = match r.u8()? {
+    match decode_frame(body)? {
+        Frame::Data {
+            from, key, payload, ..
+        } => Ok((from, key, payload)),
+        other => Err(CommError::Protocol(format!(
+            "expected a data frame, got {other:?}"
+        ))),
+    }
+}
+
+fn decode_key(r: &mut Reader<'_>) -> Result<MsgKey, CommError> {
+    Ok(match r.u8()? {
         KEY_ACT => MsgKey::Act {
             replica: r.u32()?,
             stage: r.u32()?,
@@ -135,8 +300,11 @@ pub fn decode_body(body: &[u8]) -> Result<(Rank, MsgKey, Payload), CommError> {
             from: r.u32()?,
         },
         tag => return Err(CommError::Protocol(format!("unknown key tag {tag}"))),
-    };
-    let payload = match r.u8()? {
+    })
+}
+
+fn decode_payload(r: &mut Reader<'_>) -> Result<Payload, CommError> {
+    Ok(match r.u8()? {
         PAY_TENSOR => {
             let rows = r.u32()? as usize;
             let cols = r.u32()? as usize;
@@ -175,14 +343,7 @@ pub fn decode_body(body: &[u8]) -> Result<(Rank, MsgKey, Payload), CommError> {
             Payload::Bytes(r.bytes(len)?.to_vec())
         }
         tag => return Err(CommError::Protocol(format!("unknown payload tag {tag}"))),
-    };
-    if r.pos != body.len() {
-        return Err(CommError::Protocol(format!(
-            "{} trailing bytes after payload",
-            body.len() - r.pos
-        )));
-    }
-    Ok((from, key, payload))
+    })
 }
 
 struct Reader<'a> {
@@ -306,6 +467,42 @@ mod tests {
     }
 
     #[test]
+    fn session_frames_roundtrip() {
+        let data = encode_data(
+            42,
+            3,
+            &MsgKey::Act {
+                replica: 0,
+                stage: 1,
+                micro: 9,
+            },
+            &Payload::Flat(vec![1.5]),
+        );
+        match decode_frame(&data[4..]).unwrap() {
+            Frame::Data { seq, from, .. } => {
+                assert_eq!(seq, 42);
+                assert_eq!(from, 3);
+            }
+            other => panic!("expected data frame, got {other:?}"),
+        }
+        let ack = encode_ack(2, 99);
+        assert_eq!(
+            decode_frame(&ack[4..]).unwrap(),
+            Frame::Ack { from: 2, upto: 99 }
+        );
+        let hello = encode_hello(5, true);
+        assert_eq!(
+            decode_frame(&hello[4..]).unwrap(),
+            Frame::Hello {
+                from: 5,
+                resume: true
+            }
+        );
+        // Sequenced frames are not valid control-plane bodies.
+        assert!(decode_body(&ack[4..]).is_err());
+    }
+
+    #[test]
     fn float_bits_survive_exactly() {
         // Non-associativity-sensitive values must cross the wire bit-exact.
         let vals = vec![1e8f32, -1e8, 1.0, f32::EPSILON, -0.0];
@@ -336,13 +533,47 @@ mod tests {
         for cut in 4..frame.len() - 1 {
             assert!(decode_body(&frame[4..cut]).is_err(), "cut at {cut}");
         }
-        // Unknown key tag.
+        // Unknown frame kind.
         let mut bad = frame[4..].to_vec();
-        bad[4] = 99;
+        bad[1] = 99;
         assert!(matches!(decode_body(&bad), Err(CommError::Protocol(_))));
-        // Trailing garbage.
+        // Trailing garbage (invalidates the checksum too).
         let mut long = frame[4..].to_vec();
         long.push(0);
         assert!(decode_body(&long).is_err());
+    }
+
+    #[test]
+    fn version_and_checksum_guard_the_body() {
+        let frame = encode_frame(
+            0,
+            &MsgKey::Ctrl { tag: 7, from: 0 },
+            &Payload::Flat(vec![3.0, 4.0]),
+        );
+        let body = &frame[4..];
+        // Wrong version byte.
+        let mut wrong_ver = body.to_vec();
+        wrong_ver[0] = WIRE_VERSION + 1;
+        match decode_body(&wrong_ver) {
+            Err(CommError::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // A single bit flip anywhere in the sealed region must be caught by
+        // the checksum (or by structural validation — either way, rejected).
+        for i in 6..body.len() {
+            let mut flipped = body.to_vec();
+            flipped[i] ^= 0x40;
+            assert!(
+                decode_body(&flipped).is_err(),
+                "bit flip at offset {i} went undetected"
+            );
+        }
+        // Corrupting the stored checksum itself is also rejected.
+        let mut bad_sum = body.to_vec();
+        bad_sum[2] ^= 0xFF;
+        match decode_body(&bad_sum) {
+            Err(CommError::Protocol(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum error, got {other:?}"),
+        }
     }
 }

@@ -54,6 +54,8 @@ pub enum CheckpointError {
     /// [`load_state`] was asked to restore optimizer state from a
     /// parameters-only (version 1) checkpoint.
     MissingState,
+    /// Reading or writing the checkpoint's backing storage failed.
+    Io(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -77,6 +79,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::MissingState => {
                 write!(f, "checkpoint has no optimizer state (version 1)")
             }
+            CheckpointError::Io(e) => write!(f, "checkpoint storage: {e}"),
         }
     }
 }

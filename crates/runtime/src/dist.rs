@@ -12,10 +12,26 @@
 //! and the keyed-ordered reduction are all identical to the in-process
 //! [`crate::train_hybrid`] path, so a distributed run's final parameters are
 //! **bit-identical** to the threaded run's (and therefore to sequential
-//! SGD). Checkpoint-restart recovery is an in-process supervisor feature and
-//! is not available here; injected faults surface as [`TrainError`]s.
+//! SGD).
+//!
+//! # Cross-process recovery
+//!
+//! With a [`RecoverySpec`], training proceeds in **segments** of
+//! `every` iterations. After each segment — whose closing allreduce is a
+//! de-facto barrier, so no rank can be a full segment ahead — every rank
+//! writes its slice of the model (held stage replicas, optimizer moments
+//! and its loss log) to `rank{r}.seg{k}.ckpt` in a shared directory,
+//! atomically (tmp + rename). A checkpoint is **committed** only when all
+//! ranks have written it; on `resume`, every rank independently scans the
+//! directory for the newest committed segment and replays from there —
+//! deterministically, so the restarted run's final parameters are
+//! bit-identical to an uninterrupted one. A cross-process supervisor
+//! (`chimera-cli launch`) drives this: it detects a dead rank via exit
+//! codes and the transport failure detector, kills the stragglers, and
+//! gang-restarts every worker with `resume` set.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,7 +39,7 @@ use chimera_collectives::TransportKeyed;
 use chimera_comm::{KeyedReduce, MsgKey, Payload, Rank, Transport};
 use chimera_core::schedule::Schedule;
 use chimera_core::{StageId, WorkerId};
-use chimera_nn::{ModelConfig, Optimizer, Stage, SyntheticData};
+use chimera_nn::{CheckpointError, ModelConfig, Optimizer, Stage, SyntheticData};
 
 use crate::error::{TrainError, WorkerError};
 use crate::worker::{SegmentSpec, TrainOptions, Worker};
@@ -94,6 +110,21 @@ fn gather_timeout(iterations: u32, key: MsgKey, waited: Duration) -> TrainError 
     }
 }
 
+/// How a worker process checkpoints for — and resumes after — a
+/// cross-process failure. See the module docs for the commit protocol.
+#[derive(Debug, Clone)]
+pub struct RecoverySpec {
+    /// Directory shared by all ranks (same host or shared filesystem)
+    /// holding the per-rank segment checkpoints.
+    pub dir: PathBuf,
+    /// Segment length in iterations (a checkpoint after each). Zero means
+    /// one segment for the whole run (checkpoint only at the end).
+    pub every: u32,
+    /// Scan `dir` for the newest committed segment and replay from it.
+    /// With no committed checkpoint the run starts fresh.
+    pub resume: bool,
+}
+
 /// Run this process's single pipeline worker of a `W·D` fabric and take
 /// part in the final result gather.
 ///
@@ -109,6 +140,19 @@ pub fn train_worker_process(
     opts: TrainOptions,
     w: u32,
 ) -> Result<Option<DistOutcome>, TrainError> {
+    train_worker_process_recoverable(ep, sched, cfg, opts, w, None)
+}
+
+/// [`train_worker_process`] with segment checkpointing and resume — the
+/// worker half of the cross-process recovery protocol.
+pub fn train_worker_process_recoverable(
+    ep: Arc<dyn Transport>,
+    sched: &Schedule,
+    cfg: ModelConfig,
+    opts: TrainOptions,
+    w: u32,
+    recovery: Option<&RecoverySpec>,
+) -> Result<Option<DistOutcome>, TrainError> {
     let d = sched.d;
     let per_group = sched.num_workers() as u32;
     assert_eq!(
@@ -121,33 +165,11 @@ pub fn train_worker_process(
     let lw = rank % per_group;
     let wid = WorkerId(lw);
 
-    let data = SyntheticData::new(cfg, opts.data_seed);
     let kind = opts.optimizer_kind();
     let canon_stages = Stage::build_all(cfg, d);
 
-    // One keyed-ordered allreduce group per held stage, spanning every
-    // data-parallel group's holders in (group, holder) member order — the
-    // exact order the in-process runtime assigns, so the key-ordered sum is
-    // bitwise identical.
-    let mut sync: HashMap<u32, Box<dyn KeyedReduce>> = HashMap::new();
-    for s in 0..d {
-        let holders = sched.placement.stage_holders(StageId(s));
-        if !holders.contains(&wid) {
-            continue;
-        }
-        let mut members: Vec<Rank> = Vec::with_capacity(holders.len() * w as usize);
-        for g in 0..w {
-            for h in &holders {
-                members.push(g * per_group + h.0);
-            }
-        }
-        sync.insert(
-            s,
-            Box::new(TransportKeyed::new(ep.clone(), s, members)) as _,
-        );
-    }
-
-    let stages: Vec<(u32, u32, Stage, Optimizer)> = sched
+    // Fresh state at iteration 0…
+    let mut stages: Vec<(u32, u32, Stage, Optimizer)> = sched
         .placement
         .held_by(wid)
         .into_iter()
@@ -157,31 +179,91 @@ pub fn train_worker_process(
             (r.0, s.0, stage, opt)
         })
         .collect();
+    let mut losses: Vec<(u64, f32)> = Vec::new();
+    let mut done: u32 = 0;
 
-    let seg = SegmentSpec {
-        start_iter: 0,
-        iterations: opts.iterations,
-        micro_base: 0,
-    };
+    // …unless resuming from the newest checkpoint committed by ALL ranks
+    // (ranks that got further before the crash roll back with everyone).
+    if let Some(rec) = recovery.filter(|r| r.resume) {
+        if let Some(seg) = latest_committed(&rec.dir, ep.world()) {
+            let (ck_losses, ck_stages) =
+                load_rank_ckpt(&rank_ckpt_path(&rec.dir, rank, seg), kind, &stages)
+                    .map_err(TrainError::Checkpoint)?;
+            losses = ck_losses;
+            stages = ck_stages;
+            done = seg;
+        }
+    }
+
     let timeout = opts.recv_timeout;
     let iterations = opts.iterations;
-    let worker = Worker::new(
-        wid,
-        d,
-        group,
-        w,
-        sched.n,
-        sched.workers[lw as usize].clone(),
-        sched.placement.clone(),
-        stages,
-        sync,
-        ep.clone(),
-        data,
-        opts,
-        seg,
-        sched.flushes,
-    );
-    let result = worker.run().map_err(escalate)?;
+
+    while done < iterations {
+        let len = match recovery {
+            Some(rec) if rec.every > 0 => rec.every.min(iterations - done),
+            _ => iterations - done,
+        };
+        let seg = SegmentSpec {
+            start_iter: done,
+            iterations: len,
+            // W never degrades across process boundaries (the supervisor
+            // gang-restarts at full strength), so the cursor is derivable.
+            micro_base: done as u64 * sched.n as u64 * w as u64,
+        };
+        // One keyed-ordered allreduce group per held stage, spanning every
+        // data-parallel group's holders in (group, holder) member order —
+        // the exact order the in-process runtime assigns, so the
+        // key-ordered sum is bitwise identical. Rebuilt per segment so a
+        // replayed segment restarts its rounds from zero on every rank.
+        let mut sync: HashMap<u32, Box<dyn KeyedReduce>> = HashMap::new();
+        for s in 0..d {
+            let holders = sched.placement.stage_holders(StageId(s));
+            if !holders.contains(&wid) {
+                continue;
+            }
+            let mut members: Vec<Rank> = Vec::with_capacity(holders.len() * w as usize);
+            for g in 0..w {
+                for h in &holders {
+                    members.push(g * per_group + h.0);
+                }
+            }
+            sync.insert(
+                s,
+                Box::new(TransportKeyed::new(ep.clone(), s, members)) as _,
+            );
+        }
+        let worker = Worker::new(
+            wid,
+            d,
+            group,
+            w,
+            sched.n,
+            sched.workers[lw as usize].clone(),
+            sched.placement.clone(),
+            stages,
+            sync,
+            ep.clone(),
+            SyntheticData::new(cfg, opts.data_seed),
+            opts.clone(),
+            seg,
+            sched.flushes,
+        );
+        let result = worker.run().map_err(escalate)?;
+        losses.extend(result.losses);
+        stages = result.stages;
+        done += len;
+        if let Some(rec) = recovery {
+            save_rank_ckpt(
+                &rank_ckpt_path(&rec.dir, rank, done),
+                rank,
+                &losses,
+                &stages,
+            )
+            .map_err(TrainError::Checkpoint)?;
+        }
+    }
+    let result_losses = losses;
+    let result_stages = stages;
 
     if rank != 0 {
         // Ship this worker's slice to rank 0. A failed send means rank 0 is
@@ -192,9 +274,9 @@ pub fn train_worker_process(
                 tag: LOSS_TAG,
                 from: rank,
             },
-            Payload::Losses(result.losses),
+            Payload::Losses(result_losses),
         );
-        for (r, s, stage, _) in result.stages {
+        for (r, s, stage, _) in result_stages {
             let _ = ep.send(
                 0,
                 MsgKey::Ctrl {
@@ -208,7 +290,7 @@ pub fn train_worker_process(
     }
 
     // Rank 0: gather losses and every (replica, stage) parameter copy.
-    let mut losses = result.losses;
+    let mut losses = result_losses;
     for from in 1..ep.world() {
         let key = MsgKey::Ctrl {
             tag: LOSS_TAG,
@@ -222,7 +304,7 @@ pub fn train_worker_process(
     losses.sort_unstable_by_key(|&(g, _)| g);
 
     let mut replica_params: HashMap<u32, Vec<Vec<f32>>> = HashMap::new();
-    for (_, s, stage, _) in &result.stages {
+    for (_, s, stage, _) in &result_stages {
         replica_params.entry(*s).or_default().push(stage.params());
     }
     for from in 1..ep.world() {
@@ -267,6 +349,191 @@ pub fn train_worker_process(
         iteration_losses,
         flat_params,
     }))
+}
+
+/// Magic for per-rank segment checkpoints (`b"CHPR"`, little-endian).
+const RANK_CKPT_MAGIC: u32 = u32::from_le_bytes(*b"CHPR");
+const RANK_CKPT_VERSION: u32 = 1;
+
+/// `dir/rank{r}.seg{k}.ckpt` — rank `r`'s state after `k` committed
+/// global iterations.
+fn rank_ckpt_path(dir: &Path, rank: Rank, seg: u32) -> PathBuf {
+    dir.join(format!("rank{rank}.seg{seg}.ckpt"))
+}
+
+/// Newest segment for which **every** rank's checkpoint exists — the
+/// commit rule that keeps a gang-restart consistent when some ranks died
+/// between finishing a segment and persisting it.
+pub fn latest_committed(dir: &Path, world: u32) -> Option<u32> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    // seg -> how many ranks have it
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("rank") else {
+            continue;
+        };
+        let Some(rest) = rest.strip_suffix(".ckpt") else {
+            continue;
+        };
+        let Some((r, s)) = rest.split_once(".seg") else {
+            continue;
+        };
+        let (Ok(r), Ok(s)) = (r.parse::<u32>(), s.parse::<u32>()) else {
+            continue;
+        };
+        if r < world {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, n)| n >= world)
+        .map(|(s, _)| s)
+        .max()
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    put_u64(buf, vs.len() as u64);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        if self.0.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, CheckpointError> {
+        let n = self.u64()? as usize;
+        let raw = self.bytes(n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Atomically persist one rank's segment state: its loss log plus, per
+/// held `(replica, stage)`: parameters and optimizer moments.
+fn save_rank_ckpt(
+    path: &Path,
+    rank: Rank,
+    losses: &[(u64, f32)],
+    stages: &[(u32, u32, Stage, Optimizer)],
+) -> Result<(), CheckpointError> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, RANK_CKPT_MAGIC);
+    put_u32(&mut buf, RANK_CKPT_VERSION);
+    put_u32(&mut buf, rank);
+    put_u64(&mut buf, losses.len() as u64);
+    for &(g, l) in losses {
+        put_u64(&mut buf, g);
+        put_u32(&mut buf, l.to_bits());
+    }
+    put_u32(&mut buf, stages.len() as u32);
+    for (r, s, stage, opt) in stages {
+        put_u32(&mut buf, *r);
+        put_u32(&mut buf, *s);
+        put_f32s(&mut buf, &stage.params());
+        let (m, v, t) = opt.state();
+        put_u64(&mut buf, t);
+        put_f32s(&mut buf, m);
+        put_f32s(&mut buf, v);
+    }
+    let io = |e: std::io::Error| CheckpointError::Io(format!("{}: {e}", path.display()));
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, &buf).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// One rank's decoded segment checkpoint: the `(iteration, loss)` log plus
+/// the rank's owned `(replica, stage)` entries with their optimizer state.
+type RankCkpt = (Vec<(u64, f32)>, Vec<(u32, u32, Stage, Optimizer)>);
+
+/// Restore one rank's segment state. `template` fixes which
+/// `(replica, stage)` entries (and parameter shapes) this rank must hold;
+/// a checkpoint disagreeing with it is rejected rather than trusted.
+fn load_rank_ckpt(
+    path: &Path,
+    kind: chimera_nn::OptimizerKind,
+    template: &[(u32, u32, Stage, Optimizer)],
+) -> Result<RankCkpt, CheckpointError> {
+    let raw =
+        std::fs::read(path).map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+    let mut rd = Reader(&raw);
+    if rd.u32()? != RANK_CKPT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = rd.u32()?;
+    if version != RANK_CKPT_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let _rank = rd.u32()?;
+    let n_losses = rd.u64()? as usize;
+    let mut losses = Vec::with_capacity(n_losses);
+    for _ in 0..n_losses {
+        let g = rd.u64()?;
+        let l = f32::from_bits(rd.u32()?);
+        losses.push((g, l));
+    }
+    let n_stages = rd.u32()? as usize;
+    if n_stages != template.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            expected: template.len(),
+            got: n_stages,
+        });
+    }
+    let mut out = Vec::with_capacity(n_stages);
+    for (er, es, estage, _) in template {
+        let r = rd.u32()?;
+        let s = rd.u32()?;
+        if (r, s) != (*er, *es) {
+            return Err(CheckpointError::BadMagic);
+        }
+        let params = rd.f32s()?;
+        if params.len() != estage.num_params() {
+            return Err(CheckpointError::ShapeMismatch {
+                expected: estage.num_params(),
+                got: params.len(),
+            });
+        }
+        let t = rd.u64()?;
+        let m = rd.f32s()?;
+        let v = rd.f32s()?;
+        let mut stage = estage.clone();
+        stage.set_params(&params);
+        out.push((r, s, stage, Optimizer::from_state(kind, m, v, t)));
+    }
+    if !rd.0.is_empty() {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok((losses, out))
 }
 
 #[cfg(test)]
@@ -327,5 +594,117 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// The cross-process recovery protocol end to end, minus the process
+    /// spawning: run 1 loses a rank mid-training (everyone else errors out
+    /// against the dead peer), then the whole gang restarts with `resume`
+    /// — exactly what `chimera-cli launch` does with real processes — and
+    /// the recovered run's output is bit-identical to an undisturbed one.
+    #[test]
+    fn gang_restart_from_committed_segments_is_bitwise_identical() {
+        use crate::fault::{FaultSpec, KillFault};
+
+        let sched = chimera(&ChimeraConfig::new(2, 2)).unwrap();
+        let cfg = ModelConfig::tiny();
+        let w = 2u32;
+        let world = sched.num_workers() as u32 * w;
+        let dir = std::env::temp_dir().join(format!(
+            "chimera-gang-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Round 1: rank 0 (group 0, worker 0) dies at iteration 3 — inside
+        // the second 2-iteration segment. Everyone fails fast.
+        let mut round1 = opts(4);
+        round1.recv_timeout = Duration::from_millis(300);
+        round1.fault = Some(FaultSpec {
+            kill: Some(KillFault {
+                group: 0,
+                worker: 0,
+                iteration: 3,
+            }),
+            ..FaultSpec::default()
+        });
+        let rec = |resume| RecoverySpec {
+            dir: dir.clone(),
+            every: 2,
+            resume,
+        };
+        let handles: Vec<_> = LocalFabric::new(world)
+            .into_iter()
+            .map(|e| {
+                let sched = sched.clone();
+                let opts = round1.clone();
+                let rec = rec(false);
+                let dying = e.rank() == 0;
+                thread::spawn(move || {
+                    let got = train_worker_process_recoverable(
+                        Arc::new(e),
+                        &sched,
+                        cfg,
+                        opts,
+                        w,
+                        Some(&rec),
+                    );
+                    (dying, got)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (dying, got) = h.join().unwrap();
+            let err = got.expect_err("round 1 must fail on every rank");
+            if dying {
+                assert!(
+                    matches!(err, TrainError::WorkerLost { .. }),
+                    "killed rank reports itself lost, got {err}"
+                );
+            }
+        }
+        // The crash left segment 1 (iterations 0..2) committed by all ranks.
+        assert_eq!(latest_committed(&dir, world), Some(2));
+
+        // Round 2: gang restart, no fault, resume from the committed
+        // segment — the supervisor's respawn path.
+        let handles: Vec<_> = LocalFabric::new(world)
+            .into_iter()
+            .map(|e| {
+                let sched = sched.clone();
+                let rec = rec(true);
+                thread::spawn(move || {
+                    train_worker_process_recoverable(
+                        Arc::new(e),
+                        &sched,
+                        cfg,
+                        opts(4),
+                        w,
+                        Some(&rec),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        let mut outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let recovered = outcomes.remove(0).expect("rank 0 assembles the outcome");
+
+        let reference = train_hybrid(&sched, cfg, opts(4), w).unwrap();
+        let rec_bits: Vec<u32> = recovered.flat_params.iter().map(|f| f.to_bits()).collect();
+        let ref_bits: Vec<u32> = reference
+            .flat_params()
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        assert_eq!(rec_bits, ref_bits, "recovered run diverged from reference");
+        assert_eq!(recovered.iteration_losses.len(), 4);
+        for (a, b) in recovered
+            .iteration_losses
+            .iter()
+            .zip(&reference.iteration_losses)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

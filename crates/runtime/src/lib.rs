@@ -20,7 +20,10 @@ pub mod fault;
 pub mod runtime;
 pub mod worker;
 
-pub use dist::{train_worker_process, DistOutcome};
+pub use dist::{
+    latest_committed, train_worker_process, train_worker_process_recoverable, DistOutcome,
+    RecoverySpec,
+};
 pub use error::{TrainError, WorkerError};
 pub use fault::{FaultSpec, KillFault, MsgFault, RecoveryPolicy};
 pub use runtime::{train, train_hybrid, TrainResult};

@@ -11,6 +11,13 @@
 //! Everything is a pure function of `(plan.seed, op identity)` — two runs
 //! with the same plan produce bit-identical reports, which is what makes
 //! fault scenarios usable in regression tests.
+//!
+//! [`FaultPlan::net_chaos`] mirrors the transport layer's seeded
+//! [`chimera_comm::NetChaos`] plans analytically: frame loss, duplication,
+//! reordering, slow links, partition windows and socket breaks are mapped
+//! onto link bandwidth factors, expected retransmit stalls and one-time
+//! outage charges, so a chaos scenario run on the real TCP backend has a
+//! simulated counterpart to drift-check against.
 
 use chimera_core::op::{Op, OpKind};
 use chimera_core::placement::Placement;
@@ -40,6 +47,12 @@ pub struct FaultPlan {
     jitter: f64,
     /// Worker crashes: `(worker, tick)` into the training run.
     crashes: Vec<(u32, u64)>,
+    /// Additive per-message p2p delay in seconds for `(from, to)` links —
+    /// expected retransmit/reorder stalls, chaos slow-link delays.
+    extra_delays: Vec<(u32, u32, f64)>,
+    /// One-time link outages in seconds charged to the whole run —
+    /// partition windows and socket breaks healed by reconnect.
+    outages: Vec<(u32, u32, f64)>,
 }
 
 impl FaultPlan {
@@ -51,6 +64,8 @@ impl FaultPlan {
             links: Vec::new(),
             jitter: 0.0,
             crashes: Vec::new(),
+            extra_delays: Vec::new(),
+            outages: Vec::new(),
         }
     }
 
@@ -81,6 +96,65 @@ impl FaultPlan {
     pub fn crash_at(mut self, worker: u32, at: u64) -> Self {
         self.crashes.push((worker, at));
         self
+    }
+
+    /// Add `seconds` of fixed delay to every p2p message `from → to`.
+    pub fn delay_link(mut self, from: u32, to: u32, seconds: f64) -> Self {
+        assert!(seconds >= 0.0, "link delay must be non-negative");
+        self.extra_delays.push((from, to, seconds));
+        self
+    }
+
+    /// Charge a one-time `seconds` outage of the link `from → to` to the
+    /// run (a partition window or a socket break healed by reconnect).
+    pub fn link_outage(mut self, from: u32, to: u32, seconds: f64) -> Self {
+        assert!(seconds >= 0.0, "outage must be non-negative");
+        self.outages.push((from, to, seconds));
+        self
+    }
+
+    /// Mirror a transport-layer [`chimera_comm::NetChaos`] plan
+    /// analytically on the link `from → to`, so a chaos scenario measured
+    /// on the real TCP backend can be compared against its simulated
+    /// counterpart. `rto_s` is the retransmit timeout of the session layer
+    /// (`TcpConfig::retransmit_after`). The mapping matches how the
+    /// self-healing transport absorbs each fault:
+    ///
+    /// - **flaky `p`** — every lost frame is retransmitted, so goodput
+    ///   shrinks by `1/(1-p)` and each message waits an expected `p·rto`
+    ///   for the timer;
+    /// - **duplicate `p`** — the second copy burns bandwidth: `1+p`;
+    /// - **reorder `p`** — a held frame waits for its successor or the
+    ///   timer, an expected extra `p·rto/2`;
+    /// - **slow** — fixed added delay;
+    /// - **partition `(start, len)`** — every frame in the window is
+    ///   dropped and recovered one RTO later: a `len·rto` outage;
+    /// - **break** — one reconnect-plus-replay stall of about one RTO.
+    pub fn net_chaos(self, from: u32, to: u32, chaos: &chimera_comm::NetChaos, rto_s: f64) -> Self {
+        assert!(rto_s > 0.0, "retransmit timeout must be positive");
+        let mut plan = self;
+        if chaos.flaky > 0.0 {
+            assert!(chaos.flaky < 1.0, "a fully lossy link never converges");
+            plan = plan
+                .degrade_link(from, to, 1.0 / (1.0 - chaos.flaky))
+                .delay_link(from, to, chaos.flaky * rto_s);
+        }
+        if chaos.duplicate > 0.0 {
+            plan = plan.degrade_link(from, to, 1.0 + chaos.duplicate);
+        }
+        if chaos.reorder > 0.0 {
+            plan = plan.delay_link(from, to, chaos.reorder * rto_s / 2.0);
+        }
+        if let Some(d) = chaos.slow {
+            plan = plan.delay_link(from, to, d.as_secs_f64());
+        }
+        if let Some((_, len)) = chaos.partition {
+            plan = plan.link_outage(from, to, len as f64 * rto_s);
+        }
+        if chaos.break_at.is_some() {
+            plan = plan.link_outage(from, to, rto_s);
+        }
+        plan
     }
 
     /// Combined compute slowdown of `worker`.
@@ -128,12 +202,28 @@ impl FaultPlan {
         c
     }
 
+    /// Total additive delay of the link `from → to`, seconds.
+    pub fn extra_delay_s(&self, from: u32, to: u32) -> f64 {
+        self.extra_delays
+            .iter()
+            .filter(|&&(f, t, _)| f == from && t == to)
+            .map(|&(_, _, s)| s)
+            .sum()
+    }
+
+    /// Total one-time link-outage seconds charged to the run.
+    pub fn outage_s(&self) -> f64 {
+        self.outages.iter().map(|&(_, _, s)| s).sum()
+    }
+
     /// Whether the plan perturbs anything at all.
     pub fn is_healthy(&self) -> bool {
         self.slowdowns.is_empty()
             && self.links.is_empty()
             && self.jitter == 0.0
             && self.crashes.is_empty()
+            && self.extra_delays.is_empty()
+            && self.outages.is_empty()
     }
 }
 
@@ -199,7 +289,8 @@ impl CostProvider for PerturbedCost<'_> {
 
     fn p2p_delay(&self, from: WorkerId, to: WorkerId, op: &Op) -> u64 {
         let base = self.base.p2p_delay(from, to, op);
-        (base as f64 * self.plan.link_factor(from.0, to.0)).round() as u64
+        let scaled = base as f64 * self.plan.link_factor(from.0, to.0);
+        scaled.round() as u64 + SimCostModel::ticks(self.plan.extra_delay_s(from.0, to.0))
     }
 
     fn allreduce_duration(&self, stage: StageId) -> u64 {
@@ -271,6 +362,9 @@ pub struct RecoveryAccounting {
     pub lost_work_s: f64,
     /// Seconds spent detecting failures and restoring checkpoints.
     pub recovery_overhead_s: f64,
+    /// One-time link-outage seconds (partition windows, reconnects) from
+    /// the plan's mirrored network chaos.
+    pub net_outage_s: f64,
     /// Total run time including all overheads, seconds.
     pub run_s: f64,
     /// Survived crashes, in tick order.
@@ -346,7 +440,7 @@ impl RecoveryAccounting {
 impl serde::Serialize for RecoveryAccounting {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("RecoveryAccounting", 10)?;
+        let mut st = serializer.serialize_struct("RecoveryAccounting", 11)?;
         st.serialize_field("run_iterations", &self.run_iterations)?;
         st.serialize_field("checkpoint_every", &self.checkpoint_every)?;
         st.serialize_field("checkpoints", &self.checkpoints)?;
@@ -354,6 +448,7 @@ impl serde::Serialize for RecoveryAccounting {
         st.serialize_field("checkpoint_overhead_s", &self.checkpoint_overhead_s)?;
         st.serialize_field("lost_work_s", &self.lost_work_s)?;
         st.serialize_field("recovery_overhead_s", &self.recovery_overhead_s)?;
+        st.serialize_field("net_outage_s", &self.net_outage_s)?;
         st.serialize_field("run_s", &self.run_s)?;
         st.serialize_field("effective_iter_time_s", &self.effective_iter_time_s())?;
         st.serialize_field("crashes", &self.crashes)?;
@@ -434,7 +529,8 @@ pub fn simulate_faulty(
 
     let lost_total: u64 = crashes.iter().map(|c| c.lost_ns).sum();
     let recover_total: u64 = crashes.iter().map(|c| c.detect_ns + c.restore_ns).sum();
-    let run_ns = healthy_ns + ckpt_overhead_ns + lost_total + recover_total;
+    let outage_ns = SimCostModel::ticks(plan.outage_s());
+    let run_ns = healthy_ns + ckpt_overhead_ns + lost_total + recover_total + outage_ns;
     rep.recovery = Some(RecoveryAccounting {
         run_iterations,
         checkpoint_every: every,
@@ -443,6 +539,7 @@ pub fn simulate_faulty(
         checkpoint_overhead_s: SimCostModel::seconds(ckpt_overhead_ns),
         lost_work_s: SimCostModel::seconds(lost_total),
         recovery_overhead_s: SimCostModel::seconds(recover_total),
+        net_outage_s: SimCostModel::seconds(outage_ns),
         run_s: SimCostModel::seconds(run_ns),
         crashes,
     });
@@ -607,6 +704,48 @@ mod tests {
             .unwrap();
         assert!(dense.lost_work_s < sparse.lost_work_s);
         assert!(dense.checkpoint_overhead_s > sparse.checkpoint_overhead_s);
+    }
+
+    /// The transport chaos mirror: bandwidth inflation from loss and
+    /// duplication, expected RTO stalls from loss/reorder/slow links, and
+    /// one-time outage charges for partition windows and socket breaks —
+    /// only on the chaotic link, and visible in the run accounting.
+    #[test]
+    fn net_chaos_mirror_inflates_links_and_accounts_outages() {
+        use chimera_comm::NetChaos;
+        let d = 4;
+        let c = cost(d);
+        let sched = chimera(&ChimeraConfig::new(d, d)).unwrap();
+        let chaos = NetChaos::new(7)
+            .with_flaky(0.2)
+            .with_duplicate(0.1)
+            .with_reorder(0.1)
+            .with_slow(std::time::Duration::from_millis(1))
+            .with_partition(30, 10)
+            .with_break_at(50);
+        let rto = 0.1;
+        let plan = FaultPlan::new(7).net_chaos(0, 1, &chaos, rto);
+        assert!(!plan.is_healthy());
+        // Bandwidth inflation: retransmits 1/(1-p), duplicates 1+p.
+        assert!((plan.link_factor(0, 1) - 1.1 / 0.8).abs() < 1e-12);
+        // Expected stalls: flaky p·rto, reorder p·rto/2, slow d.
+        let want = 0.2 * rto + 0.1 * rto / 2.0 + 1e-3;
+        assert!((plan.extra_delay_s(0, 1) - want).abs() < 1e-12);
+        // The reverse link is untouched.
+        assert_eq!(plan.link_factor(1, 0), 1.0);
+        assert_eq!(plan.extra_delay_s(1, 0), 0.0);
+        // Outages: the partition window plus one reconnect.
+        assert!((plan.outage_s() - 11.0 * rto).abs() < 1e-12);
+        // Mirrored chaos stretches both the iteration and the run.
+        let healthy = simulate(&sched, &c).unwrap();
+        let rep = simulate_faulty(&sched, &c, &plan, &recovery(2), 8).unwrap();
+        assert!(
+            rep.span_s > healthy.span_s,
+            "chaotic link off critical path"
+        );
+        let acc = rep.recovery.unwrap();
+        assert!((acc.net_outage_s - plan.outage_s()).abs() < 1e-9);
+        assert!(acc.slowdown() > 1.0);
     }
 
     #[test]

@@ -37,12 +37,29 @@
 //! the identical configuration in-process and verifies the two parameter
 //! sets are bit-identical. The hidden `worker` subcommand is what each
 //! spawned process executes.
+//!
+//! `launch` is also a **supervisor**: workers write committed segment
+//! checkpoints (`--ckpt-dir`/`--ckpt-every`), and when any worker process
+//! dies — e.g. an injected `--kill-rank R --kill-iter I` crash, or a rank
+//! that exits because the heartbeat failure detector declared a peer dead —
+//! the supervisor kills the remaining ranks, picks a fresh rendezvous port,
+//! and gang-restarts the job with `--resume`, which replays from the newest
+//! segment **every** rank committed. Seeded network chaos
+//! (`--chaos-seed/-flaky/-dup/-reorder/-partition/-break`) is forwarded to
+//! every worker and healed below the transport by retransmit, receive-side
+//! dedup and session-resuming reconnect, so the final parameters stay
+//! bit-identical to the fault-free in-process run. Per-rank session
+//! counters (reconnects, retransmits, duplicates dropped, chaos events)
+//! land in `--stats-dir` and are aggregated into the printed `recoveries`
+//! line.
 
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use chimera::comm::{rendezvous_epoch, ClockSync};
-use chimera::comm::{TcpConfig, TcpFabric, Transport};
+use chimera::comm::{Liveness, NetChaos, TcpConfig, TcpFabric, Transport};
 use chimera::core::analysis;
 use chimera::core::chimera::{chimera as chimera_sched, ChimeraConfig, ScaleMethod};
 use chimera::core::render;
@@ -55,14 +72,16 @@ use chimera::obs::{
 };
 use chimera::perf::planner::{best, plan_chimera, PlanScheme};
 use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
-use chimera::runtime::{train, train_hybrid, train_worker_process, TrainOptions};
+use chimera::runtime::{
+    train, train_hybrid, train_worker_process_recoverable, FaultSpec, RecoverySpec, TrainOptions,
+};
 use chimera::sim::simulate;
 use chimera::trace::{now_ns, read_jsonl, write_jsonl, BufferSink, MetricsRegistry};
 use chimera::verify::verify_span;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -367,6 +386,39 @@ fn flag<T: std::str::FromStr>(
     }
 }
 
+/// The `--chaos-*` flags `launch` forwards verbatim to every worker.
+const CHAOS_FLAGS: [&str; 6] = [
+    "chaos-seed",
+    "chaos-flaky",
+    "chaos-dup",
+    "chaos-reorder",
+    "chaos-partition",
+    "chaos-break",
+];
+
+/// Build the seeded network-chaos plan described by the `--chaos-*` flags.
+/// With none present the plan is empty and `install_chaos` ignores it.
+fn chaos_from_flags(flags: &std::collections::HashMap<String, String>) -> NetChaos {
+    let mut plan = NetChaos::new(flag(flags, "chaos-seed", 1u64))
+        .with_flaky(flag(flags, "chaos-flaky", 0.0))
+        .with_duplicate(flag(flags, "chaos-dup", 0.0))
+        .with_reorder(flag(flags, "chaos-reorder", 0.0));
+    if let Some(win) = flags.get("chaos-partition") {
+        let parsed = win
+            .split_once(':')
+            .and_then(|(s, l)| Some((s.parse().ok()?, l.parse().ok()?)));
+        let Some((start, len)) = parsed else {
+            eprintln!("--chaos-partition wants start:len (frame indices)");
+            usage();
+        };
+        plan = plan.with_partition(start, len);
+    }
+    if flags.contains_key("chaos-break") {
+        plan = plan.with_break_at(flag(flags, "chaos-break", 0u64));
+    }
+    plan
+}
+
 /// The fixed hyper-parameters `launch`/`worker` share — every process must
 /// build the identical run for the bit-identity check to be meaningful.
 fn launch_opts(iterations: u32) -> TrainOptions {
@@ -433,6 +485,13 @@ fn cmd_launch(args: std::env::Args) {
 
     let (dist_losses, dist_params) = match transport.as_str() {
         "local" => {
+            let fault_flags = ["kill-rank", "kill-iter", "ckpt-dir", "stats-dir"];
+            if fault_flags.iter().any(|f| flags.contains_key(*f))
+                || CHAOS_FLAGS.iter().any(|f| flags.contains_key(*f))
+            {
+                eprintln!("fault-tolerance flags need --transport tcp");
+                std::process::exit(2);
+            }
             // One process, thread-per-worker over the in-process fabric —
             // the baseline the TCP path is checked against. All threads
             // share one trace clock, so no epoch rendezvous is needed.
@@ -464,63 +523,196 @@ fn cmd_launch(args: std::env::Args) {
             (result.iteration_losses.clone(), result.flat_params())
         }
         "tcp" => {
+            let exe = std::env::current_exe().expect("own executable path");
+            let out_path =
+                std::env::temp_dir().join(format!("chimera-launch-{}.bin", std::process::id()));
+
+            // Fault-tolerance configuration. A requested kill (or an explicit
+            // --ckpt-dir) turns on segment checkpointing so the gang restart
+            // has a committed state to resume from; the checkpoint and stats
+            // directories default to per-launch temp dirs.
+            let kill_requested = flags.contains_key("kill-rank") || flags.contains_key("kill-iter");
+            if flags.contains_key("kill-rank") != flags.contains_key("kill-iter") {
+                eprintln!("--kill-rank and --kill-iter go together");
+                std::process::exit(2);
+            }
+            let ckpt_dir_tmp = kill_requested && !flags.contains_key("ckpt-dir");
+            let ckpt_dir = flags.get("ckpt-dir").cloned().or_else(|| {
+                kill_requested.then(|| {
+                    std::env::temp_dir()
+                        .join(format!("chimera-ckpt-{}", std::process::id()))
+                        .display()
+                        .to_string()
+                })
+            });
+            let ckpt_every: u32 = flag(&flags, "ckpt-every", 1);
+            let max_respawns: u32 = flag(&flags, "max-respawns", 3);
+            if let Some(dir) = &ckpt_dir {
+                std::fs::create_dir_all(dir).expect("create checkpoint directory");
+            }
+            let stats_dir_tmp = !flags.contains_key("stats-dir");
+            let stats_dir = flags.get("stats-dir").cloned().unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("chimera-stats-{}", std::process::id()))
+                    .display()
+                    .to_string()
+            });
+            std::fs::create_dir_all(&stats_dir).expect("create stats directory");
+
             // A free rendezvous port: bind ephemeral, remember, release.
             // Rank 0 rebinds it immediately, so reuse races are negligible.
-            let coordinator = {
+            // Every gang restart picks a fresh one — the old port lingers
+            // in TIME_WAIT.
+            let fresh_coordinator = || -> SocketAddr {
                 let l = TcpListener::bind(("127.0.0.1", 0)).expect("bind ephemeral port");
                 l.local_addr().expect("local addr")
             };
-            let exe = std::env::current_exe().expect("own executable path");
-            let out_path = std::env::temp_dir().join(format!(
-                "chimera-launch-{}-{coordinator}.bin",
-                std::process::id()
-            ));
-            let mut children: Vec<std::process::Child> = (0..workers)
-                .map(|rank| {
-                    let mut cmd = std::process::Command::new(&exe);
-                    cmd.arg("worker")
-                        .args(["--rank", &rank.to_string()])
-                        .args(["--workers", &workers.to_string()])
-                        .args(["--d", &d.to_string()])
-                        .args(["--n", &n.to_string()])
-                        .args(["--iters", &iterations.to_string()])
-                        .args(["--coordinator", &coordinator.to_string()]);
-                    if rank == 0 {
-                        cmd.args(["--out", &out_path.display().to_string()]);
-                    }
-                    if let Some(dir) = &trace_dir {
-                        cmd.args(["--trace", &format!("{dir}/trace-rank{rank}.jsonl")]);
-                    }
-                    if let Some(every) = flags.get("metrics-every") {
-                        cmd.args(["--metrics-every", every]);
+            let spawn_all = |coordinator: SocketAddr,
+                             resume: bool,
+                             arm_kill: bool|
+             -> Vec<std::process::Child> {
+                (0..workers)
+                    .map(|rank| {
+                        let mut cmd = std::process::Command::new(&exe);
+                        cmd.arg("worker")
+                            .args(["--rank", &rank.to_string()])
+                            .args(["--workers", &workers.to_string()])
+                            .args(["--d", &d.to_string()])
+                            .args(["--n", &n.to_string()])
+                            .args(["--iters", &iterations.to_string()])
+                            .args(["--coordinator", &coordinator.to_string()])
+                            .args(["--stats", &format!("{stats_dir}/stats-rank{rank}.json")]);
                         if rank == 0 {
-                            if let Some(out) = flags.get("metrics-out") {
-                                cmd.args(["--metrics-out", out]);
-                            }
-                            if let Some(port) = flags.get("metrics-port") {
-                                cmd.args(["--metrics-port", port]);
+                            cmd.args(["--out", &out_path.display().to_string()]);
+                        }
+                        if let Some(dir) = &ckpt_dir {
+                            cmd.args(["--ckpt-dir", dir])
+                                .args(["--ckpt-every", &ckpt_every.to_string()]);
+                        }
+                        if resume {
+                            cmd.args(["--resume", "1"]);
+                        }
+                        if arm_kill {
+                            if let (Some(r), Some(i)) =
+                                (flags.get("kill-rank"), flags.get("kill-iter"))
+                            {
+                                cmd.args(["--kill-rank", r]).args(["--kill-iter", i]);
                             }
                         }
+                        for f in CHAOS_FLAGS {
+                            if let Some(v) = flags.get(f) {
+                                cmd.args([&format!("--{f}"), v]);
+                            }
+                        }
+                        if let Some(dir) = &trace_dir {
+                            cmd.args(["--trace", &format!("{dir}/trace-rank{rank}.jsonl")]);
+                        }
+                        if let Some(every) = flags.get("metrics-every") {
+                            cmd.args(["--metrics-every", every]);
+                            if rank == 0 {
+                                if let Some(out) = flags.get("metrics-out") {
+                                    cmd.args(["--metrics-out", out]);
+                                }
+                                if let Some(port) = flags.get("metrics-port") {
+                                    cmd.args(["--metrics-port", port]);
+                                }
+                            }
+                        }
+                        cmd.spawn().expect("spawn worker process")
+                    })
+                    .collect()
+            };
+
+            // Supervisor loop: poll the gang; on any non-zero exit (a killed
+            // rank, or a rank that exited because the failure detector
+            // declared a peer dead), kill the survivors and gang-restart
+            // from the newest committed segment. The kill fault is armed
+            // only on the first incarnation so it cannot re-fire on replay.
+            let mut respawns = 0u32;
+            let mut children = spawn_all(fresh_coordinator(), false, true);
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let mut dead: Option<(usize, std::process::ExitStatus)> = None;
+                let mut running = 0u32;
+                for (rank, child) in children.iter_mut().enumerate() {
+                    match child.try_wait().expect("poll worker") {
+                        Some(status) if !status.success() => {
+                            dead = Some((rank, status));
+                            break;
+                        }
+                        Some(_) => {}
+                        None => running += 1,
                     }
-                    cmd.spawn().expect("spawn worker process")
-                })
-                .collect();
-            let mut failed = false;
-            for (rank, child) in children.iter_mut().enumerate() {
-                let status = child.wait().expect("wait for worker");
-                if !status.success() {
-                    eprintln!("worker rank {rank} exited with {status}");
-                    failed = true;
+                }
+                if let Some((rank, status)) = dead {
+                    eprintln!("supervisor: rank {rank} died ({status}); gang-restarting");
+                    for child in &mut children {
+                        let _ = child.kill();
+                    }
+                    for child in &mut children {
+                        let _ = child.wait();
+                    }
+                    respawns += 1;
+                    if respawns > max_respawns {
+                        eprintln!("supervisor: gave up after {max_respawns} respawns");
+                        std::process::exit(1);
+                    }
+                    if ckpt_dir.is_none() {
+                        eprintln!("supervisor: no --ckpt-dir, restarting from scratch");
+                    }
+                    children = spawn_all(fresh_coordinator(), ckpt_dir.is_some(), false);
+                    continue;
+                }
+                if running == 0 {
+                    break;
                 }
             }
-            if failed {
-                std::process::exit(1);
-            }
+
             let bytes = std::fs::read(&out_path).expect("rank 0 result file");
             let _ = std::fs::remove_file(&out_path);
             if let Some(dir) = &trace_dir {
                 println!("trace: per-rank files in {dir}/trace-rank*.jsonl (shared time axis)");
             }
+
+            // Aggregate the per-rank session counters into one recovery line.
+            let mut total = [0u64; 4]; // reconnects, retransmits, dup_dropped, chaos_events
+            for rank in 0..workers {
+                let path = format!("{stats_dir}/stats-rank{rank}.json");
+                let Ok(body) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                if let Ok(v) = serde_json::from_str(&body) {
+                    for (slot, field) in
+                        ["reconnects", "retransmits", "dup_dropped", "chaos_events"]
+                            .iter()
+                            .enumerate()
+                    {
+                        total[slot] += v
+                            .get(field)
+                            .and_then(serde_json::Value::as_u64)
+                            .unwrap_or(0);
+                    }
+                }
+            }
+            let recoveries = respawns as u64 + total[0];
+            println!(
+                "recoveries: {recoveries} (respawns {respawns}, reconnects {}, retransmits {}, \
+                 dup_dropped {}, chaos_events {})",
+                total[0], total[1], total[2], total[3]
+            );
+            if kill_requested && respawns == 0 {
+                eprintln!("✗ --kill-rank was requested but no worker died");
+                std::process::exit(1);
+            }
+            if ckpt_dir_tmp {
+                if let Some(dir) = &ckpt_dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            if stats_dir_tmp {
+                let _ = std::fs::remove_dir_all(&stats_dir);
+            }
+
             let mut pos = 0;
             let losses = read_f32s(&bytes, &mut pos);
             let params = read_f32s(&bytes, &mut pos);
@@ -581,13 +773,40 @@ fn cmd_worker(args: std::env::Args) {
     };
     let w = workers / d;
     let sched = chimera_sched(&ChimeraConfig::new(d, n)).expect("valid config");
-    let ep = match TcpFabric::connect(TcpConfig::new(rank, workers, coordinator)) {
-        Ok(ep) => Arc::new(ep) as Arc<dyn Transport>,
+    let mut tcp_ep = match TcpFabric::connect(TcpConfig::new(rank, workers, coordinator)) {
+        Ok(ep) => ep,
         Err(e) => {
             eprintln!("rank {rank}: joining fabric failed: {e}");
             std::process::exit(1);
         }
     };
+    // Arm the seeded chaos plan before the endpoint is shared; an empty
+    // plan (no --chaos-* flags) is ignored.
+    tcp_ep.install_chaos(chaos_from_flags(&flags));
+    let tcp_ep = Arc::new(tcp_ep);
+    let ep = tcp_ep.clone() as Arc<dyn Transport>;
+    // Failure-detector watchdog: when the heartbeat detector declares a
+    // previously-heard peer dead, exit with a distinctive status instead of
+    // blocking until the recv deadline — the supervisor reads any non-zero
+    // exit as "gang-restart now". Disarmed once training finishes, so ranks
+    // draining final results at slightly different times don't misfire.
+    let training_done = Arc::new(AtomicBool::new(false));
+    {
+        let done = training_done.clone();
+        let tep = tcp_ep.clone();
+        std::thread::spawn(move || loop {
+            if done.load(Ordering::Relaxed) {
+                return;
+            }
+            for peer in 0..workers {
+                if peer != rank && tep.liveness(peer) == Liveness::Dead {
+                    eprintln!("rank {rank}: failure detector declared rank {peer} dead");
+                    std::process::exit(17);
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
     // Live metrics: non-zero ranks publish registry snapshots to rank 0
     // over the fabric; rank 0 aggregates, optionally serves them over
     // HTTP during the run, and writes the final merged view at exit.
@@ -626,6 +845,24 @@ fn cmd_worker(args: std::env::Args) {
     }
     let trace_path = flags.get("trace").cloned();
     let mut opts = launch_opts(iterations);
+    // An injected crash: map the victim's global rank onto its (group,
+    // local worker) coordinates. Only the targeted worker fires; `launch`
+    // omits these flags on respawn so the kill cannot recur on replay.
+    if let (Some(kr), Some(ki)) = (flags.get("kill-rank"), flags.get("kill-iter")) {
+        let (Ok(kr), Ok(ki)) = (kr.parse::<u32>(), ki.parse::<u32>()) else {
+            eprintln!("bad value for --kill-rank/--kill-iter");
+            usage();
+        };
+        let per_group = sched.num_workers() as u32;
+        opts.fault = Some(FaultSpec::kill_at(kr / per_group, kr % per_group, ki));
+    }
+    // Segment checkpointing + resume (the worker half of the supervisor's
+    // gang-restart protocol).
+    let recovery = flags.get("ckpt-dir").map(|dir| RecoverySpec {
+        dir: PathBuf::from(dir),
+        every: flag(&flags, "ckpt-every", 1u32),
+        resume: flag(&flags, "resume", 0u32) != 0,
+    });
     let sink = trace_path.as_ref().map(|_| Arc::new(BufferSink::new()));
     let mut clock = ClockSync::identity();
     if let Some(s) = &sink {
@@ -643,7 +880,8 @@ fn cmd_worker(args: std::env::Args) {
             }
         };
     }
-    match train_worker_process(ep, &sched, launch_model(d), opts, w) {
+    match train_worker_process_recoverable(ep, &sched, launch_model(d), opts, w, recovery.as_ref())
+    {
         Ok(Some(outcome)) => {
             if let Some(path) = flags.get("out") {
                 let mut bytes = Vec::new();
@@ -657,6 +895,26 @@ fn cmd_worker(args: std::env::Args) {
             eprintln!("rank {rank}: training failed: {e}");
             std::process::exit(1);
         }
+    }
+    training_done.store(true, Ordering::Relaxed);
+    // Land every still-unacknowledged frame (final gather results, last
+    // pipeline messages) before this process exits — a dead process can
+    // never retransmit, and that is the one loss the session cannot heal.
+    if !tcp_ep.drain_unacked(std::time::Duration::from_secs(5)) {
+        eprintln!("rank {rank}: exiting with unacknowledged frames (peer gone?)");
+    }
+    if let Some(path) = flags.get("stats") {
+        let s = tcp_ep.session_stats();
+        let stats = serde_json::json!({
+            "schema": "chimera-comm/session/v1",
+            "rank": rank,
+            "reconnects": s.reconnects,
+            "retransmits": s.retransmits,
+            "dup_dropped": s.dup_dropped,
+            "chaos_events": s.chaos_events,
+            "heartbeats_sent": s.heartbeats_sent,
+        });
+        std::fs::write(path, stats.to_string()).expect("write session stats file");
     }
     if let (Some(path), Some(sink)) = (&trace_path, &sink) {
         // Export on the shared time axis: shift every event by this rank's

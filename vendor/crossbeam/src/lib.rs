@@ -1,0 +1,68 @@
+//! Offline stub of `crossbeam` channels backed by `std::sync::mpsc`.
+//!
+//! Note: unlike real crossbeam, `Receiver` wraps `mpsc` and is `!Sync`;
+//! workspace code documents and accommodates this (drains under a mutex).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(value),
+                // crossbeam's bounded send blocks when full; SyncSender::send
+                // has the same semantics.
+                Tx::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+}

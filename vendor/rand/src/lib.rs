@@ -1,0 +1,41 @@
+//! Offline stub of `rand`: a seeded xorshift generator behind a minimal
+//! `Rng` trait. The workspace declares rand as a dev-dependency but rolls
+//! its own deterministic generators; this exists to satisfy the manifest.
+
+/// Minimal random-source trait.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+}
+
+/// Deterministic xorshift64* generator.
+pub struct StdRng(u64);
+
+impl StdRng {
+    /// Seeded construction (zero is mapped to a fixed non-zero seed).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A generator seeded from the current process id (stub for `rand`'s
+/// thread-local generator; deterministic enough for dev use).
+pub fn thread_rng() -> StdRng {
+    StdRng::seed_from_u64(std::process::id() as u64 + 1)
+}

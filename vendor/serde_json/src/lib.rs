@@ -1,0 +1,1050 @@
+//! Offline stub of `serde_json`: `Value`, a `json!` macro, a JSON parser and
+//! printers, and `to_value`/`to_string` bridges over the `serde` stub.
+//!
+//! Semantics follow real serde_json where the workspace depends on them:
+//! object keys are sorted (BTreeMap-backed `Map`), integer `Number`s compare
+//! equal across signedness when numerically equal, and floats never compare
+//! equal to integers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+/// Serialization / parse error.
+pub struct Error(String);
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Number
+// ---------------------------------------------------------------------------
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative (or any signed) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Value as `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Value as `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Value as `f64` (always succeeds for finite numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U(v) => Some(v as f64),
+            Number::I(v) => Some(v as f64),
+            Number::F(v) => Some(v),
+        }
+    }
+
+    /// From a finite `f64`; `None` for NaN / infinities.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number::F(v))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            (Number::U(a), Number::I(b)) | (Number::I(b), Number::U(a)) => {
+                b >= 0 && a == b as u64
+            }
+            // Ints and floats are never equal, as in real serde_json.
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    // Rust's shortest-roundtrip Display; integral floats lose
+                    // the ".0" (they re-parse as integers with equal as_f64).
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// A JSON object: string keys to values, sorted by key.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K = String, V = Value>(BTreeMap<K, V>);
+
+impl Map<String, Value> {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map(BTreeMap::new())
+    }
+
+    /// Insert, returning any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.0.insert(key, value)
+    }
+
+    /// Look up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.0.get_mut(key)
+    }
+
+    /// Remove by key.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.0.remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.0.iter()
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> std::collections::btree_map::Keys<'_, String, Value> {
+        self.0.keys()
+    }
+
+    /// Iterate values in key order.
+    pub fn values(&self) -> std::collections::btree_map::Values<'_, String, Value> {
+        self.0.values()
+    }
+
+    fn entry_or_null(&mut self, key: &str) -> &mut Value {
+        self.0.entry(key.to_string()).or_insert(Value::Null)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map(iter.into_iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// `&str` view of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `u64` view of an integer value.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `i64` view of an integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `f64` view of any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array view.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object view.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Pretty rendering with two-space indentation.
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Value::Array(a) if !a.is_empty() => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&PAD.repeat(indent + 1));
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&PAD.repeat(indent + 1));
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent));
+                out.push('}');
+            }
+            other => {
+                use fmt::Write;
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    write_escaped(&mut key, k);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if self.is_null() {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => m.entry_or_null(key),
+            other => panic!("cannot index non-object value {other} by string"),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(a) => &mut a[idx],
+            other => panic!("cannot index non-array value {other} by position"),
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize bridge (Value <- any Serialize, Value -> text)
+// ---------------------------------------------------------------------------
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => serializer.serialize_unit(),
+            Value::Bool(b) => serializer.serialize_bool(*b),
+            Value::Number(Number::U(v)) => serializer.serialize_u64(*v),
+            Value::Number(Number::I(v)) => serializer.serialize_i64(*v),
+            Value::Number(Number::F(v)) => serializer.serialize_f64(*v),
+            Value::String(s) => serializer.serialize_str(s),
+            Value::Array(a) => {
+                use serde::ser::SerializeSeq;
+                let mut seq = serializer.serialize_seq(Some(a.len()))?;
+                for v in a {
+                    seq.serialize_element(v)?;
+                }
+                seq.end()
+            }
+            Value::Object(m) => {
+                use serde::ser::SerializeMap;
+                let mut map = serializer.serialize_map(Some(m.len()))?;
+                for (k, v) in m {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+struct ValueSerializer;
+
+#[doc(hidden)]
+pub struct SeqBuilder(Vec<Value>);
+
+impl serde::ser::SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: ?Sized + serde::Serialize>(
+        &mut self,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+#[doc(hidden)]
+pub struct MapBuilder(Map);
+
+impl serde::ser::SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: ?Sized + serde::Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0.insert(key.to_string(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl serde::ser::SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_entry<K: ?Sized + serde::Serialize, V: ?Sized + serde::Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::String(s) => s,
+            Value::Number(n) => n.to_string(),
+            other => {
+                return Err(serde::ser::Error::custom(format!(
+                    "map key must be a string, got {other}"
+                )))
+            }
+        };
+        self.0.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+impl serde::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeStruct = MapBuilder;
+    type SerializeSeq = SeqBuilder;
+    type SerializeMap = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::I(v)))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::U(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Number::from_f64(v).map_or(Value::Null, Value::Number))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: ?Sized + serde::Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder(Map::new()))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder(Map::new()))
+    }
+}
+
+/// Convert any `Serialize` value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Compact JSON text for any `Serialize` value.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_string())
+}
+
+/// Pretty (two-space indented) JSON text for any `Serialize` value.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let v = to_value(value)?;
+    let mut out = String::new();
+    v.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b => {
+                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    debug_assert_eq!(s.as_bytes()[0], b);
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+            Ok(Value::Number(Number::F(v)))
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Value::Number(Number::I(v))),
+                Err(_) => {
+                    let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+                    Ok(Value::Number(Number::F(v)))
+                }
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Ok(Value::Number(Number::U(v))),
+                Err(_) => {
+                    let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+                    Ok(Value::Number(Number::F(v)))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            out.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal; non-literal positions accept
+/// any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_arr!(vec $($tt)*);
+        $crate::Value::Array(vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_obj!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+/// Internal `json!` helper: object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident , $($rest:tt)+) => { $crate::json_obj!($map $($rest)+); };
+    ($map:ident $key:literal : { $($v:tt)* } $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::json!({ $($v)* }));
+        $crate::json_obj!($map $($rest)*);
+    };
+    ($map:ident $key:literal : [ $($v:tt)* ] $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::json!([ $($v)* ]));
+        $crate::json_obj!($map $($rest)*);
+    };
+    ($map:ident $key:literal : null $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::Value::Null);
+        $crate::json_obj!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $v:expr , $($rest:tt)*) => {
+        $map.insert($key.into(), $crate::json!($v));
+        $crate::json_obj!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $v:expr) => {
+        $map.insert($key.into(), $crate::json!($v));
+    };
+}
+
+/// Internal `json!` helper: array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_arr {
+    ($vec:ident) => {};
+    ($vec:ident ,) => {};
+    ($vec:ident , $($rest:tt)+) => { $crate::json_arr!($vec $($rest)+); };
+    ($vec:ident { $($v:tt)* } $($rest:tt)*) => {
+        $vec.push($crate::json!({ $($v)* }));
+        $crate::json_arr!($vec $($rest)*);
+    };
+    ($vec:ident [ $($v:tt)* ] $($rest:tt)*) => {
+        $vec.push($crate::json!([ $($v)* ]));
+        $crate::json_arr!($vec $($rest)*);
+    };
+    ($vec:ident null $($rest:tt)*) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_arr!($vec $($rest)*);
+    };
+    ($vec:ident $v:expr , $($rest:tt)*) => {
+        $vec.push($crate::json!($v));
+        $crate::json_arr!($vec $($rest)*);
+    };
+    ($vec:ident $v:expr) => {
+        $vec.push($crate::json!($v));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "worker 3".to_string();
+        let start_ns: u64 = 1500;
+        let v = json!({
+            "ph": "X",
+            "name": name,
+            "ts": start_ns as f64 / 1e3,
+            "stage": 2,
+            "nested": {"a": [1, 2, 3], "b": null},
+            "flag": true,
+        });
+        assert_eq!(v["ph"], json!("X"));
+        assert_eq!(v["name"].as_str().unwrap(), "worker 3");
+        assert_eq!(v["ts"].as_f64().unwrap(), 1.5);
+        assert_eq!(v["stage"], json!(2));
+        assert_eq!(v["nested"]["a"].as_array().unwrap().len(), 3);
+        assert!(v["nested"]["b"].is_null());
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({"a": 1, "b": [true, null, "x\n\"y\""], "c": 2.5, "d": -7});
+        let text = v.to_string();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back["a"].as_u64(), Some(1));
+        assert_eq!(back["b"].as_array().unwrap().len(), 3);
+        assert_eq!(back["b"][2].as_str(), Some("x\n\"y\""));
+        assert_eq!(back["c"].as_f64(), Some(2.5));
+        assert_eq!(back["d"].as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn number_equality_semantics() {
+        // Unsigned and signed integers compare equal when numerically equal.
+        assert_eq!(json!(3u64), json!(3i32));
+        // Integers and floats never compare equal.
+        assert_ne!(json!(1u64), json!(1.0));
+        assert_eq!(json!(1.5), json!(1.5));
+    }
+
+    #[test]
+    fn index_mut_inserts() {
+        let mut v = json!({"a": 1});
+        v["b"] = json!("x");
+        assert_eq!(v["b"].as_str(), Some("x"));
+        let mut fresh = Value::Null;
+        fresh["k"] = json!(2);
+        assert_eq!(fresh["k"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn pretty_printing_is_parseable() {
+        let v = json!({"outer": {"inner": [1, 2]}, "s": "t"});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n"));
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn to_value_maps_and_tuples() {
+        let pairs: Vec<(u64, u64)> = vec![(0, 1), (4, 2)];
+        let v = to_value(&pairs).unwrap();
+        assert_eq!(v[0][0].as_u64(), Some(0));
+        assert_eq!(v[1][1].as_u64(), Some(2));
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(to_value(&m).unwrap()["k"].as_u64(), Some(9));
+    }
+}
