@@ -184,6 +184,22 @@ fn check_regressions(rows: &[MatmulRow]) -> bool {
             None => {} // baseline shape not measured in this mode
         }
     }
+    // Threading-regression gate: the multi-threaded kernel must never lose
+    // to single-threaded beyond noise. This caught the PAR_MIN_FLOPS
+    // mis-tune once (mt 0.89× 1t on small shapes, PR-5 era) — shapes below
+    // the gate now run the identical sequential path, larger shapes must
+    // show threading paying for itself. The 0.9 factor absorbs
+    // container-scheduler noise, not structural losses.
+    for r in rows {
+        if r.tiled_mt < 0.9 * r.tiled_1t {
+            eprintln!(
+                "check {}: THREADING REGRESSION mt {:.2} GFLOP/s < 0.9 x 1t {:.2} \
+                 (raise PAR_MIN_FLOPS or fix the parallel partitioning)",
+                r.shape, r.tiled_mt, r.tiled_1t
+            );
+            ok = false;
+        }
+    }
     ok
 }
 

@@ -111,24 +111,10 @@ pub fn candidate_headers() -> Vec<&'static str> {
     ]
 }
 
-/// Candidate → JSON.
-pub fn candidate_json(c: &Candidate) -> serde_json::Value {
-    serde_json::json!({
-        "scheme": c.scheme.label(),
-        "w": c.w,
-        "d": c.d,
-        "b": c.b,
-        "n": c.n,
-        "recompute": c.recompute,
-        "fits": c.fits,
-        "iter_time_s": c.iter_time_s,
-        "throughput": c.throughput,
-        "peak_mem_bytes": c.peak_mem,
-        "bubble_ratio": c.bubble_ratio,
-        "predicted_s": c.predicted_s,
-        "b_hat": c.b_hat,
-    })
-}
+/// Candidate → JSON. This is the canonical `chimera-serve` serializer,
+/// re-exported so the figure binaries, `chimera-cli plan --json`, and the
+/// planning service all emit the same candidate schema.
+pub use chimera_serve::response::candidate_json;
 
 #[cfg(test)]
 mod tests {

@@ -90,6 +90,55 @@ pub enum Frame {
     },
 }
 
+/// Write one length-prefixed raw frame (`u32 LE length · body`) — the
+/// framing discipline every chimera stream protocol shares. Rejects bodies
+/// over [`MAX_FRAME`] with [`std::io::ErrorKind::InvalidInput`] so a bug
+/// can never emit a frame its peer is obliged to drop the connection over.
+pub fn write_raw_frame(w: &mut impl std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one length-prefixed raw frame written by [`write_raw_frame`].
+/// Returns `Ok(None)` on clean EOF at a frame boundary; a length prefix
+/// over [`MAX_FRAME`] or EOF inside a frame is
+/// [`std::io::ErrorKind::InvalidData`] / `UnexpectedEof`.
+pub fn read_raw_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
 /// FNV-1a 32-bit over `bytes` — the payload checksum of the frame header.
 pub fn checksum(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
@@ -500,6 +549,39 @@ mod tests {
         );
         // Sequenced frames are not valid control-plane bodies.
         assert!(decode_body(&ack[4..]).is_err());
+    }
+
+    #[test]
+    fn raw_frames_roundtrip_and_reject_oversize() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_raw_frame(&mut buf, b"hello").unwrap();
+        write_raw_frame(&mut buf, b"").unwrap();
+        write_raw_frame(&mut buf, &[7u8; 300]).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_raw_frame(&mut r).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_raw_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_raw_frame(&mut r).unwrap().unwrap().len(), 300);
+        assert!(read_raw_frame(&mut r).unwrap().is_none()); // clean EOF
+
+        // Oversize writes are refused before touching the stream.
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(write_raw_frame(&mut sink, &huge).is_err());
+        assert!(sink.is_empty());
+
+        // A garbled length prefix is rejected, truncated bodies error.
+        let mut bad = std::io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert!(read_raw_frame(&mut bad).is_err());
+        let mut cut = std::io::Cursor::new({
+            let mut v = Vec::new();
+            write_raw_frame(&mut v, b"abcdef").unwrap();
+            v.truncate(7);
+            v
+        });
+        assert!(read_raw_frame(&mut cut).is_err());
     }
 
     #[test]

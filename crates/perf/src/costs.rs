@@ -1,7 +1,7 @@
 //! Building simulator cost models from a model spec, device profile and
 //! cluster description.
 
-use chimera_sim::{AllReduceAlgo, NetworkModel, SimCostModel, StageCosts, Topology};
+use chimera_sim::{AllReduceAlgo, NetScenario, NetworkModel, SimCostModel, StageCosts, Topology};
 
 use crate::device::DeviceProfile;
 use crate::model::ModelSpec;
@@ -66,6 +66,33 @@ impl ClusterSpec {
     /// Memory available to model state and activations on each device.
     pub fn usable_mem(&self) -> u64 {
         self.device.mem_bytes - self.reserved_mem_bytes
+    }
+
+    /// Build a cluster from a named network scenario. The interconnect and
+    /// node packing come from the scenario; the device and host-side
+    /// constants follow the closest paper cluster — the one-GPU-per-node
+    /// Aries preset is the P100 machine, every dense-node preset runs the
+    /// V100 profile.
+    pub fn from_scenario(s: &NetScenario) -> Self {
+        let base = if s.gpus_per_node == 1 {
+            ClusterSpec::piz_daint()
+        } else {
+            ClusterSpec::v100_cluster()
+        };
+        ClusterSpec {
+            network: s.network,
+            gpus_per_node: s.gpus_per_node,
+            ..base
+        }
+    }
+
+    /// Cap the per-device memory available to the model at `budget` bytes
+    /// (a tenant's quota). A budget at or above [`ClusterSpec::usable_mem`]
+    /// is a no-op — the device cannot grow.
+    pub fn with_mem_budget(mut self, budget: u64) -> Self {
+        let usable = self.usable_mem().min(budget);
+        self.reserved_mem_bytes = self.device.mem_bytes - usable;
+        self
     }
 }
 
@@ -216,6 +243,23 @@ mod tests {
             let c = TrainConfig { b, ..cfg() }.cost_model();
             assert!(c.half_chunk_penalty >= 1.0, "b={b}");
         }
+    }
+
+    #[test]
+    fn scenario_clusters_and_mem_budget() {
+        let rail = ClusterSpec::from_scenario(&NetScenario::rail_optimized());
+        assert_eq!(rail.gpus_per_node, 8);
+        assert_eq!(rail.device, crate::DeviceProfile::v100());
+        let daint = ClusterSpec::from_scenario(&NetScenario::piz_daint());
+        assert_eq!(daint.gpus_per_node, 1);
+        assert_eq!(daint.network, NetworkModel::cray_aries());
+
+        // A tighter budget caps usable memory exactly; a looser one is a
+        // no-op.
+        let tight = daint.with_mem_budget(1 << 30);
+        assert_eq!(tight.usable_mem(), 1 << 30);
+        let loose = daint.with_mem_budget(u64::MAX);
+        assert_eq!(loose.usable_mem(), daint.usable_mem());
     }
 
     #[test]

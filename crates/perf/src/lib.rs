@@ -25,4 +25,7 @@ pub use costs::{ClusterSpec, TrainConfig};
 pub use device::DeviceProfile;
 pub use eq1::{predict, PerfPrediction};
 pub use model::ModelSpec;
-pub use planner::{best, evaluate, plan_chimera, sweep, Candidate, PlanScheme};
+pub use planner::{
+    best, best_until, evaluate, plan_chimera, plan_chimera_until, sweep, sweep_until, Candidate,
+    PlanScheme, SearchTimeout,
+};

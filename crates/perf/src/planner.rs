@@ -5,6 +5,8 @@
 //! the largest micro-batch that fits memory and lets the §3.4 performance
 //! model pick (W, D).
 
+use std::time::Instant;
+
 use chimera_core::baselines::{dapple, gems, gpipe, pipedream_2bw_steady, pipedream_steady};
 use chimera_core::chimera::{chimera, ChimeraConfig, ScaleMethod};
 use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
@@ -301,6 +303,24 @@ pub fn batch_candidates(b_hat: u64, w: u32) -> Vec<u32> {
         .collect()
 }
 
+/// A budgeted search ran out of time before covering its grid. The partial
+/// result is withheld — a "best" configuration from a truncated sweep would
+/// silently depend on grid iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchTimeout;
+
+impl std::fmt::Display for SearchTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule-space search hit its deadline")
+    }
+}
+
+impl std::error::Error for SearchTimeout {}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// Grid-search all `(W, D, B)` combinations (Figs. 10/11). Returns all
 /// valid, memory-fitting candidates sorted by descending throughput.
 pub fn sweep(
@@ -310,10 +330,27 @@ pub fn sweep(
     p: u32,
     b_hat: u64,
 ) -> Vec<Candidate> {
+    sweep_until(scheme, model, cluster, p, b_hat, None).expect("no deadline")
+}
+
+/// [`sweep`] with a wall-clock budget: the deadline is checked before each
+/// candidate evaluation (the per-candidate simulation is the unit of work),
+/// and hitting it mid-grid aborts the whole search with [`SearchTimeout`].
+pub fn sweep_until(
+    scheme: PlanScheme,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    p: u32,
+    b_hat: u64,
+    deadline: Option<Instant>,
+) -> Result<Vec<Candidate>, SearchTimeout> {
     let mut out = Vec::new();
     for d in depth_candidates(p, &model) {
         let w = p / d;
         for b in batch_candidates(b_hat, w) {
+            if expired(deadline) {
+                return Err(SearchTimeout);
+            }
             if let Some(c) = evaluate(scheme, model, cluster, p, b_hat, w, d, b) {
                 if c.fits {
                     out.push(c);
@@ -334,7 +371,7 @@ pub fn sweep(
     } else {
         out.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).unwrap());
     }
-    out
+    Ok(out)
 }
 
 /// Best configuration from a [`sweep`], if any fits.
@@ -346,6 +383,20 @@ pub fn best(
     b_hat: u64,
 ) -> Option<Candidate> {
     sweep(scheme, model, cluster, p, b_hat).into_iter().next()
+}
+
+/// [`best`] with a wall-clock budget (see [`sweep_until`]).
+pub fn best_until(
+    scheme: PlanScheme,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    p: u32,
+    b_hat: u64,
+    deadline: Option<Instant>,
+) -> Result<Option<Candidate>, SearchTimeout> {
+    Ok(sweep_until(scheme, model, cluster, p, b_hat, deadline)?
+        .into_iter()
+        .next())
 }
 
 /// Chimera's planning procedure (§3.4/§4.2.2): per feasible (W, D) pick the
@@ -381,31 +432,53 @@ pub fn plan_chimera(
     p: u32,
     b_hat: u64,
 ) -> Option<Candidate> {
+    plan_chimera_until(f, scale, model, cluster, p, b_hat, None).expect("no deadline")
+}
+
+/// [`plan_chimera`] with a wall-clock budget (see [`sweep_until`]).
+#[allow(clippy::too_many_arguments)] // plan_chimera's dimensions + a deadline
+pub fn plan_chimera_until(
+    f: u32,
+    scale: ScaleMethod,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    p: u32,
+    b_hat: u64,
+    deadline: Option<Instant>,
+) -> Result<Option<Candidate>, SearchTimeout> {
     let scheme = PlanScheme::Chimera { f, scale };
     let mut per_wd: Vec<Candidate> = Vec::new();
     for d in depth_candidates(p, &model) {
         let w = p / d;
-        let chosen = batch_candidates(b_hat, w)
-            .into_iter()
-            .filter_map(|b| evaluate(scheme, model, cluster, p, b_hat, w, d, b))
-            .filter(|c| c.fits)
-            .min_by(|a, b| {
-                a.predicted_s
-                    .unwrap_or(f64::INFINITY)
-                    .partial_cmp(&b.predicted_s.unwrap_or(f64::INFINITY))
-                    .unwrap()
+        let mut chosen: Option<Candidate> = None;
+        for b in batch_candidates(b_hat, w) {
+            if expired(deadline) {
+                return Err(SearchTimeout);
+            }
+            let Some(c) = evaluate(scheme, model, cluster, p, b_hat, w, d, b) else {
+                continue;
+            };
+            if !c.fits {
+                continue;
+            }
+            let better = chosen.as_ref().is_none_or(|cur| {
+                c.predicted_s.unwrap_or(f64::INFINITY) < cur.predicted_s.unwrap_or(f64::INFINITY)
             });
+            if better {
+                chosen = Some(c);
+            }
+        }
         if let Some(c) = chosen {
             per_wd.push(c);
         }
     }
     // Model-driven selection: minimize the Eq. 1 prediction.
-    per_wd.into_iter().min_by(|a, b| {
+    Ok(per_wd.into_iter().min_by(|a, b| {
         a.predicted_s
             .unwrap_or(f64::INFINITY)
             .partial_cmp(&b.predicted_s.unwrap_or(f64::INFINITY))
             .unwrap()
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -502,6 +575,39 @@ mod tests {
             );
             assert_eq!(rep.max_peak_mem(), cand.peak_mem);
         }
+    }
+
+    #[test]
+    fn budgeted_search_times_out_and_unbudgeted_agrees() {
+        let (m, c) = bert_setup();
+        // An already-expired deadline aborts before evaluating anything.
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            sweep_until(PlanScheme::Dapple, m, c, 32, 512, Some(past)).err(),
+            Some(SearchTimeout)
+        );
+        assert_eq!(
+            plan_chimera_until(1, ScaleMethod::Direct, m, c, 32, 256, Some(past)).err(),
+            Some(SearchTimeout)
+        );
+        // A generous deadline returns exactly the unbudgeted result.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let budgeted = best_until(PlanScheme::Dapple, m, c, 32, 512, Some(far))
+            .unwrap()
+            .unwrap();
+        let plain = best(PlanScheme::Dapple, m, c, 32, 512).unwrap();
+        assert_eq!(
+            (budgeted.w, budgeted.d, budgeted.b),
+            (plain.w, plain.d, plain.b)
+        );
+        let chim = plan_chimera_until(1, ScaleMethod::Direct, m, c, 32, 256, Some(far))
+            .unwrap()
+            .unwrap();
+        let chim_plain = plan_chimera(1, ScaleMethod::Direct, m, c, 32, 256).unwrap();
+        assert_eq!(
+            (chim.w, chim.d, chim.b),
+            (chim_plain.w, chim_plain.d, chim_plain.b)
+        );
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Bounded plan cache with single-flight coalescing.
+//!
+//! The cache maps canonical query keys (see `PlanQuery::key`) to finished
+//! plan responses, evicting least-recently-used entries past the capacity.
+//! The *inflight* side is what makes a thundering herd cheap: the first
+//! request for a key becomes the **owner** and runs the search; identical
+//! requests arriving meanwhile attach to the owner's [`Flight`] and are all
+//! answered by the one search when it completes. Failed searches complete
+//! their flight with the error but are never inserted into the ready map —
+//! errors are not cacheable answers.
+//!
+//! The waiter type `W` is generic (the engine attaches responders; tests
+//! attach channels) so coalescing is testable without sockets.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// Outcome a flight completes with: the shared response, or the error every
+/// coalesced waiter receives.
+pub type Outcome = Result<Arc<Value>, ServeError>;
+
+/// One in-flight search that identical queries coalesce onto.
+pub struct Flight<W> {
+    state: Mutex<FlightState<W>>,
+}
+
+struct FlightState<W> {
+    done: Option<Outcome>,
+    waiters: Vec<W>,
+}
+
+impl<W> Flight<W> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState {
+                done: None,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a waiter. If the flight already completed (the owner finished
+    /// between claim and attach), the waiter is handed back together with
+    /// the outcome so the caller answers it immediately; otherwise it is
+    /// stored and will be drained by the owner's [`PlanCache::fulfill`].
+    pub fn attach(&self, w: W) -> Result<(), (W, Outcome)> {
+        let mut st = self.state.lock();
+        match &st.done {
+            Some(outcome) => Err((w, outcome.clone())),
+            None => {
+                st.waiters.push(w);
+                Ok(())
+            }
+        }
+    }
+
+    fn complete(&self, outcome: Outcome) -> Vec<W> {
+        let mut st = self.state.lock();
+        st.done = Some(outcome);
+        std::mem::take(&mut st.waiters)
+    }
+}
+
+/// What `lookup_or_claim` resolved a key to.
+pub enum Claim<W> {
+    /// Cached answer, ready now.
+    Hit(Arc<Value>),
+    /// Nobody is searching this key: the caller owns the search and must
+    /// call [`PlanCache::fulfill`] exactly once.
+    Owner,
+    /// Someone else is already searching: attach to their flight.
+    Wait(Arc<Flight<W>>),
+}
+
+/// Bounded LRU plan cache + single-flight table.
+pub struct PlanCache<W> {
+    cap: usize,
+    inner: Mutex<CacheInner<W>>,
+}
+
+struct CacheInner<W> {
+    ready: HashMap<String, Arc<Value>>,
+    /// LRU order: front = coldest, back = hottest.
+    order: VecDeque<String>,
+    inflight: HashMap<String, Arc<Flight<W>>>,
+}
+
+impl<W> PlanCache<W> {
+    /// A cache holding at most `cap` ready entries (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap: cap.max(1),
+            inner: Mutex::new(CacheInner {
+                ready: HashMap::new(),
+                order: VecDeque::new(),
+                inflight: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Resolve `key`: a ready hit (bumped to hottest), a claim to search it,
+    /// or the existing flight to coalesce onto.
+    pub fn lookup_or_claim(&self, key: &str) -> Claim<W> {
+        let mut inner = self.inner.lock();
+        if let Some(v) = inner.ready.get(key).cloned() {
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                inner.order.remove(pos);
+                inner.order.push_back(key.to_string());
+            }
+            return Claim::Hit(v);
+        }
+        if let Some(flight) = inner.inflight.get(key) {
+            return Claim::Wait(flight.clone());
+        }
+        inner
+            .inflight
+            .insert(key.to_string(), Arc::new(Flight::new()));
+        Claim::Owner
+    }
+
+    /// Complete the search for `key`: cache the response (successes only),
+    /// retire the flight, and return every coalesced waiter so the caller
+    /// can answer them. Must be called exactly once per `Claim::Owner`.
+    pub fn fulfill(&self, key: &str, outcome: Outcome) -> Vec<W> {
+        let flight = {
+            let mut inner = self.inner.lock();
+            let flight = inner.inflight.remove(key);
+            if let Ok(v) = &outcome {
+                if inner.ready.insert(key.to_string(), v.clone()).is_none() {
+                    inner.order.push_back(key.to_string());
+                }
+                while inner.ready.len() > self.cap {
+                    let Some(coldest) = inner.order.pop_front() else {
+                        break;
+                    };
+                    inner.ready.remove(&coldest);
+                }
+            }
+            flight
+        };
+        flight.map_or_else(Vec::new, |f| f.complete(outcome))
+    }
+
+    /// Ready entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ready.len()
+    }
+
+    /// Whether the ready map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` has a ready entry (test/introspection hook; does not
+    /// bump LRU order).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().ready.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: u64) -> Arc<Value> {
+        Arc::new(serde_json::json!({"n": n}))
+    }
+
+    fn own_and_fill(cache: &PlanCache<u32>, key: &str, n: u64) {
+        assert!(matches!(cache.lookup_or_claim(key), Claim::Owner));
+        let waiters = cache.fulfill(key, Ok(val(n)));
+        assert!(waiters.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_lru() {
+        let cache: PlanCache<u32> = PlanCache::new(2);
+        own_and_fill(&cache, "a", 1);
+        own_and_fill(&cache, "b", 2);
+        assert_eq!(cache.len(), 2);
+        // Touch "a" so "b" becomes the coldest entry.
+        assert!(matches!(cache.lookup_or_claim("a"), Claim::Hit(_)));
+        own_and_fill(&cache, "c", 3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains("a") && cache.contains("c"));
+        assert!(!cache.contains("b"), "LRU entry must be the one evicted");
+    }
+
+    #[test]
+    fn single_flight_coalesces_and_drains_waiters() {
+        let cache: PlanCache<u32> = PlanCache::new(4);
+        assert!(matches!(cache.lookup_or_claim("k"), Claim::Owner));
+        // Concurrent identical queries attach to the one flight.
+        for w in 0..3u32 {
+            match cache.lookup_or_claim("k") {
+                Claim::Wait(f) => assert!(f.attach(w).is_ok()),
+                _ => panic!("expected Wait"),
+            }
+        }
+        let waiters = cache.fulfill("k", Ok(val(9)));
+        assert_eq!(waiters, vec![0, 1, 2]);
+        // Late arrivals now hit the ready map.
+        match cache.lookup_or_claim("k") {
+            Claim::Hit(v) => assert_eq!(v["n"].as_u64(), Some(9)),
+            _ => panic!("expected Hit"),
+        }
+    }
+
+    #[test]
+    fn attach_after_completion_returns_the_outcome() {
+        let cache: PlanCache<u32> = PlanCache::new(4);
+        assert!(matches!(cache.lookup_or_claim("k"), Claim::Owner));
+        let flight = match cache.lookup_or_claim("k") {
+            Claim::Wait(f) => f,
+            _ => panic!("expected Wait"),
+        };
+        cache.fulfill("k", Ok(val(1)));
+        // The flight finished between claim and attach: the waiter comes
+        // back with the outcome instead of being stranded.
+        match flight.attach(7) {
+            Err((7, Ok(v))) => assert_eq!(v["n"].as_u64(), Some(1)),
+            _ => panic!("expected the waiter handed back with the outcome"),
+        }
+    }
+
+    #[test]
+    fn errors_reach_waiters_but_are_not_cached() {
+        let cache: PlanCache<u32> = PlanCache::new(4);
+        assert!(matches!(cache.lookup_or_claim("k"), Claim::Owner));
+        match cache.lookup_or_claim("k") {
+            Claim::Wait(f) => assert!(f.attach(5).is_ok()),
+            _ => panic!("expected Wait"),
+        }
+        let waiters = cache.fulfill("k", Err(ServeError::DeadlineExceeded));
+        assert_eq!(waiters, vec![5]);
+        assert!(!cache.contains("k"));
+        // The key is claimable again — a transient failure does not poison
+        // the key.
+        assert!(matches!(cache.lookup_or_claim("k"), Claim::Owner));
+    }
+}

@@ -1,0 +1,100 @@
+//! Client for the framed planning protocol.
+//!
+//! [`PlanClient`] speaks the `PlanServer` wire format: length-prefixed JSON
+//! frames, pipelined, with responses matched to requests by the echoed
+//! `id`. The simple path is [`PlanClient::query`] (send one, wait for its
+//! answer); load generators use the split [`PlanClient::send`] /
+//! [`PlanClient::recv`] halves to keep many queries in flight on one
+//! connection.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+
+use chimera_comm::{read_raw_frame, write_raw_frame};
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// A connection to a [`crate::server::PlanServer`].
+pub struct PlanClient {
+    reader: TcpStream,
+    writer: TcpStream,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different id (pipelined
+    /// connections answer out of order).
+    pending: HashMap<u64, Value>,
+}
+
+impl PlanClient {
+    /// Connect to a running plan server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<PlanClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = writer.try_clone()?;
+        Ok(PlanClient {
+            reader,
+            writer,
+            next_id: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Send `query` (an `id` is injected if absent) and return the assigned
+    /// id without waiting for the response.
+    pub fn send(&mut self, mut query: Value) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Some(obj) = query.as_object_mut() {
+            if !obj.contains_key("id") {
+                obj.insert("id".into(), serde_json::json!(id));
+            }
+        }
+        write_raw_frame(&mut self.writer, query.to_string().as_bytes())
+            .map_err(|e| ServeError::Internal(format!("send failed: {e}")))?;
+        Ok(id)
+    }
+
+    /// Wait for the response whose `id` is `want`, buffering any other
+    /// responses that arrive first.
+    pub fn recv(&mut self, want: u64) -> Result<Value, ServeError> {
+        if let Some(v) = self.pending.remove(&want) {
+            return Ok(v);
+        }
+        loop {
+            let body = read_raw_frame(&mut self.reader)
+                .map_err(|e| ServeError::Internal(format!("recv failed: {e}")))?
+                .ok_or_else(|| ServeError::Internal("server closed the connection".into()))?;
+            let v: Value = std::str::from_utf8(&body)
+                .ok()
+                .and_then(|s| serde_json::from_str(s).ok())
+                .ok_or_else(|| ServeError::Internal("unparseable response frame".into()))?;
+            match v.get("id").and_then(Value::as_u64) {
+                Some(id) if id == want => return Ok(v),
+                Some(id) => {
+                    self.pending.insert(id, v);
+                }
+                None => {
+                    // A response we cannot match (e.g. the server could not
+                    // recover an id). Surface it rather than spinning.
+                    return Ok(v);
+                }
+            }
+        }
+    }
+
+    /// Send one query and block for its response.
+    pub fn query(&mut self, query: Value) -> Result<Value, ServeError> {
+        let id = self.send(query)?;
+        self.recv(id)
+    }
+
+    /// Fetch the server's live counters (`{"op": "stats"}`).
+    pub fn stats(&mut self) -> Result<Value, ServeError> {
+        self.query(serde_json::json!({"op": "stats"}))
+    }
+
+    /// Round-trip a ping.
+    pub fn ping(&mut self) -> Result<Value, ServeError> {
+        self.query(serde_json::json!({"op": "ping"}))
+    }
+}

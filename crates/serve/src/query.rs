@@ -1,0 +1,403 @@
+//! Planning-query parsing and canonicalization.
+//!
+//! Two queries that mean the same thing must share one cache entry, so the
+//! cache key is built from a *canonical* form: model and topology names are
+//! case/separator-normalized, the scheme filter is sorted and deduplicated
+//! (an empty or absent filter expands to the full scheme list), congestion
+//! is held as an integer percent, and per-request fields that do not change
+//! the answer — the client's `id` and `deadline_ms` — are excluded.
+
+use std::time::{Duration, Instant};
+
+use chimera_perf::ModelSpec;
+use chimera_sim::NetScenario;
+use serde_json::Value;
+
+use crate::error::ServeError;
+
+/// Every scheme the service can plan for, in canonical listing order.
+pub const ALL_SCHEMES: [&str; 9] = [
+    "chimera",
+    "chimera-f2",
+    "doubling",
+    "halving",
+    "gpipe",
+    "dapple",
+    "gems",
+    "pipedream",
+    "pipedream-2bw",
+];
+
+/// Admission limits a query is validated against (part of the service
+/// configuration; exceeding them is an [`ServeError::OverBudget`] rejection,
+/// not a malformed query).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryLimits {
+    /// Largest device count a single query may search.
+    pub max_devices: u32,
+    /// Largest mini-batch size a single query may search.
+    pub max_b_hat: u64,
+}
+
+impl Default for QueryLimits {
+    fn default() -> Self {
+        QueryLimits {
+            max_devices: 512,
+            max_b_hat: 1 << 16,
+        }
+    }
+}
+
+/// A validated, canonicalized planning query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanQuery {
+    /// Canonical model name (resolvable via [`model_by_name`]).
+    pub model: String,
+    /// Device count `P`.
+    pub devices: u32,
+    /// Mini-batch size `B̂`.
+    pub b_hat: u64,
+    /// Canonical topology preset name (resolvable via
+    /// [`NetScenario::by_name`]).
+    pub topology: String,
+    /// Background-congestion factor as an integer percent (100 = quiet).
+    pub congestion_pct: u32,
+    /// Optional per-device memory quota in bytes.
+    pub mem_budget_bytes: Option<u64>,
+    /// Canonical sorted+deduped scheme filter; empty means *all* schemes.
+    pub schemes: Vec<String>,
+    /// Wall-clock budget for this request (not part of the cache key).
+    pub deadline_ms: Option<u64>,
+    /// Client correlation id, echoed verbatim (not part of the cache key).
+    pub id: Value,
+}
+
+fn canon_name(s: &str) -> String {
+    s.trim()
+        .chars()
+        .map(|c| match c {
+            '_' | '.' => '-',
+            c => c.to_ascii_lowercase(),
+        })
+        .collect()
+}
+
+/// Resolve a canonical model name to its [`ModelSpec`].
+pub fn model_by_name(name: &str) -> Option<ModelSpec> {
+    match canon_name(name).as_str() {
+        "bert48" => Some(ModelSpec::bert48()),
+        "bert48-seq512" => Some(ModelSpec::bert48_seq512()),
+        "gpt2" => Some(ModelSpec::gpt2()),
+        "gpt2-32" => Some(ModelSpec::gpt2_32()),
+        _ => None,
+    }
+}
+
+fn get_u64(v: &Value, field: &str) -> Result<Option<u64>, ServeError> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            ServeError::MalformedQuery(format!("{field} must be a non-negative integer"))
+        }),
+    }
+}
+
+fn get_str<'v>(v: &'v Value, field: &str) -> Result<Option<&'v str>, ServeError> {
+    match v.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ServeError::MalformedQuery(format!("{field} must be a string"))),
+    }
+}
+
+impl PlanQuery {
+    /// Parse and validate a raw JSON query against the service limits.
+    pub fn parse(v: &Value, limits: &QueryLimits) -> Result<PlanQuery, ServeError> {
+        if v.as_object().is_none() {
+            return Err(ServeError::MalformedQuery(
+                "query must be a JSON object".into(),
+            ));
+        }
+        let model_raw = get_str(v, "model")?
+            .ok_or_else(|| ServeError::MalformedQuery("model is required".into()))?;
+        let model = canon_name(model_raw);
+        if model_by_name(&model).is_none() {
+            return Err(ServeError::UnknownModel(model_raw.to_string()));
+        }
+
+        let devices = get_u64(v, "devices")?
+            .ok_or_else(|| ServeError::MalformedQuery("devices is required".into()))?;
+        if devices < 2 {
+            return Err(ServeError::MalformedQuery(
+                "devices must be at least 2 (pipelines need D >= 2)".into(),
+            ));
+        }
+        let b_hat = get_u64(v, "b_hat")?.unwrap_or(512);
+        if b_hat == 0 {
+            return Err(ServeError::MalformedQuery("b_hat must be positive".into()));
+        }
+        if devices > u64::from(limits.max_devices) {
+            return Err(ServeError::OverBudget(format!(
+                "devices {devices} exceeds the service limit {}",
+                limits.max_devices
+            )));
+        }
+        let devices = devices as u32;
+        if b_hat > limits.max_b_hat {
+            return Err(ServeError::OverBudget(format!(
+                "b_hat {b_hat} exceeds the service limit {}",
+                limits.max_b_hat
+            )));
+        }
+
+        let topology_raw = get_str(v, "topology")?.unwrap_or("piz-daint");
+        let topology = canon_name(topology_raw);
+        if NetScenario::by_name(&topology).is_none() {
+            return Err(ServeError::UnknownTopology(topology_raw.to_string()));
+        }
+
+        let congestion_pct = match get_u64(v, "congestion_pct")? {
+            None => 100,
+            Some(p) if (100..=10_000).contains(&p) => p as u32,
+            Some(p) => {
+                return Err(ServeError::MalformedQuery(format!(
+                    "congestion_pct {p} out of range [100, 10000]"
+                )))
+            }
+        };
+
+        let mem_budget_bytes = get_u64(v, "mem_budget_bytes")?;
+        if mem_budget_bytes == Some(0) {
+            return Err(ServeError::MalformedQuery(
+                "mem_budget_bytes must be positive".into(),
+            ));
+        }
+
+        let schemes = match v.get("schemes") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Array(xs)) => {
+                let mut out = Vec::new();
+                for x in xs {
+                    let name = x.as_str().ok_or_else(|| {
+                        ServeError::MalformedQuery("schemes entries must be strings".into())
+                    })?;
+                    let canon = canon_name(name);
+                    if !ALL_SCHEMES.contains(&canon.as_str()) {
+                        return Err(ServeError::MalformedQuery(format!(
+                            "unknown scheme {name:?} (valid: {})",
+                            ALL_SCHEMES.join(", ")
+                        )));
+                    }
+                    out.push(canon);
+                }
+                // Canonical order = position in ALL_SCHEMES; dedup after sort.
+                out.sort_by_key(|s| ALL_SCHEMES.iter().position(|a| a == s));
+                out.dedup();
+                // A filter naming every scheme is the same query as no filter.
+                if out.len() == ALL_SCHEMES.len() {
+                    Vec::new()
+                } else {
+                    out
+                }
+            }
+            Some(_) => {
+                return Err(ServeError::MalformedQuery(
+                    "schemes must be an array of scheme names".into(),
+                ))
+            }
+        };
+
+        let deadline_ms = get_u64(v, "deadline_ms")?;
+        let id = v.get("id").cloned().unwrap_or(Value::Null);
+
+        Ok(PlanQuery {
+            model,
+            devices,
+            b_hat,
+            topology,
+            congestion_pct,
+            mem_budget_bytes,
+            schemes,
+            deadline_ms,
+            id,
+        })
+    }
+
+    /// The scheme ids this query searches (the filter, or all of them).
+    pub fn scheme_list(&self) -> Vec<&str> {
+        if self.schemes.is_empty() {
+            ALL_SCHEMES.to_vec()
+        } else {
+            self.schemes.iter().map(String::as_str).collect()
+        }
+    }
+
+    /// Canonical cache key: every field that changes the answer, nothing
+    /// that doesn't (`id`, `deadline_ms`).
+    pub fn key(&self) -> String {
+        format!(
+            "model={}|p={}|bhat={}|topo={}|cong={}|mem={}|schemes={}",
+            self.model,
+            self.devices,
+            self.b_hat,
+            self.topology,
+            self.congestion_pct,
+            self.mem_budget_bytes
+                .map_or_else(|| "none".to_string(), |m| m.to_string()),
+            if self.schemes.is_empty() {
+                "all".to_string()
+            } else {
+                self.schemes.join(",")
+            }
+        )
+    }
+
+    /// The absolute deadline for a request submitted at `submitted`.
+    pub fn deadline_from(&self, submitted: Instant) -> Option<Instant> {
+        self.deadline_ms
+            .map(|ms| submitted + Duration::from_millis(ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> QueryLimits {
+        QueryLimits::default()
+    }
+
+    #[test]
+    fn equivalent_queries_share_one_key() {
+        // Spelling variants of the same question: case, separators, an
+        // explicit default, a permuted+duplicated scheme filter, and
+        // request-only fields (id, deadline) must all canonicalize away.
+        let a = PlanQuery::parse(
+            &serde_json::json!({
+                "model": "Bert48", "devices": 8, "b_hat": 64,
+                "topology": "FAT_TREE",
+                "schemes": ["dapple", "chimera", "dapple"],
+                "id": 7, "deadline_ms": 250,
+            }),
+            &limits(),
+        )
+        .unwrap();
+        let b = PlanQuery::parse(
+            &serde_json::json!({
+                "model": "bert48", "devices": 8, "b_hat": 64,
+                "topology": "fat.tree", "congestion_pct": 100,
+                "schemes": ["chimera", "dapple"],
+                "id": "other-client",
+            }),
+            &limits(),
+        )
+        .unwrap();
+        assert_eq!(a.key(), b.key());
+
+        // Naming every scheme equals naming none.
+        let all_named = PlanQuery::parse(
+            &serde_json::json!({
+                "model": "bert48", "devices": 8,
+                "schemes": ALL_SCHEMES.to_vec(),
+            }),
+            &limits(),
+        )
+        .unwrap();
+        let unfiltered = PlanQuery::parse(
+            &serde_json::json!({"model": "bert48", "devices": 8}),
+            &limits(),
+        )
+        .unwrap();
+        assert_eq!(all_named.key(), unfiltered.key());
+
+        // But a different congestion is a different question.
+        let busy = PlanQuery::parse(
+            &serde_json::json!({"model": "bert48", "devices": 8, "congestion_pct": 200}),
+            &limits(),
+        )
+        .unwrap();
+        assert_ne!(busy.key(), unfiltered.key());
+    }
+
+    #[test]
+    fn parse_rejects_each_bad_shape() {
+        let cases: Vec<(Value, &str)> = vec![
+            (serde_json::json!([1, 2]), "malformed_query"),
+            (serde_json::json!({"devices": 8}), "malformed_query"),
+            (
+                serde_json::json!({"model": "bert48"}),
+                "malformed_query", // devices required
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 1}),
+                "malformed_query",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": "eight"}),
+                "malformed_query",
+            ),
+            (
+                serde_json::json!({"model": "bert99", "devices": 8}),
+                "unknown_model",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 8, "topology": "torus"}),
+                "unknown_topology",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 8, "schemes": ["warp"]}),
+                "malformed_query",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 8, "congestion_pct": 50}),
+                "malformed_query",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 4096}),
+                "over_budget",
+            ),
+            (
+                serde_json::json!({"model": "bert48", "devices": 8, "b_hat": 1_000_000}),
+                "over_budget",
+            ),
+        ];
+        for (v, code) in cases {
+            let err = PlanQuery::parse(&v, &limits()).unwrap_err();
+            assert_eq!(err.code(), code, "query {v}");
+        }
+    }
+
+    #[test]
+    fn model_zoo_resolves() {
+        for name in [
+            "bert48",
+            "Bert48_seq512",
+            "gpt2",
+            "GPT2-32".to_lowercase().as_str(),
+        ] {
+            assert!(model_by_name(name).is_some(), "{name}");
+        }
+        assert!(model_by_name("resnet").is_none());
+    }
+
+    #[test]
+    fn deadline_is_relative_to_submission() {
+        let q = PlanQuery::parse(
+            &serde_json::json!({"model": "bert48", "devices": 8, "deadline_ms": 100}),
+            &limits(),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let d = q.deadline_from(t0).unwrap();
+        assert_eq!(d - t0, Duration::from_millis(100));
+        assert!(PlanQuery::parse(
+            &serde_json::json!({"model": "bert48", "devices": 8}),
+            &limits()
+        )
+        .unwrap()
+        .deadline_from(t0)
+        .is_none());
+    }
+}

@@ -27,6 +27,7 @@ pub mod engine;
 pub mod fault;
 pub mod memory;
 pub mod network;
+pub mod scenario;
 pub mod trace;
 
 pub use collective::{allreduce_time, AllReduceAlgo};
@@ -36,4 +37,5 @@ pub use fault::{
     simulate_faulty, CrashRecord, FaultPlan, PerturbedCost, RecoveryAccounting, RecoveryModel,
 };
 pub use network::{LinkParams, NetworkModel, Topology};
+pub use scenario::NetScenario;
 pub use trace::timeline_events;

@@ -1,0 +1,260 @@
+//! Named network/topology scenarios for planning queries.
+//!
+//! The paper evaluates on two concrete clusters (Piz Daint, a 32×V100
+//! machine); a planning *service* has to answer the same (W, D, B) question
+//! for whatever fabric the client actually runs on, and under congestion
+//! rather than an idealized quiet network. This module names a small set of
+//! heterogeneous interconnect presets — classic HPC fat-tree, dragonfly,
+//! and a rail-optimized GPU pod — each with its own per-link α-β parameters
+//! and GPUs-per-node packing, plus two hooks the serving layer uses for
+//! scenario diversity:
+//!
+//! * [`NetScenario::with_congestion`] scales the per-byte cost of both link
+//!   classes by a background-traffic factor (≥ 1.0 slows the fabric), and
+//!   adds a small α penalty for queueing;
+//! * [`NetScenario::with_measured_floor`] re-anchors the inter-node α to a
+//!   *measured* software stack overhead — e.g. the TCP transport's fitted
+//!   α from `results/comm_overhead.json` — so planned schedules are costed
+//!   against the fabric as this host actually drives it, not the marketing
+//!   latency. A measured α below the preset's own is ignored (the preset is
+//!   already optimistic).
+//!
+//! The presets are deliberately coarse (two link classes, like
+//! [`NetworkModel`] itself): the point is *relative* plan quality across
+//! named scenarios, not microsecond-exact modeling of any one switch ASIC.
+
+use crate::network::{LinkParams, NetworkModel};
+
+/// A named interconnect scenario: an α-β network plus node packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetScenario {
+    /// Canonical scenario name (the string clients put in queries).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// The α-β link parameters.
+    pub network: NetworkModel,
+    /// GPUs per node (drives the intra/inter link split and memory-model
+    /// packing in the planner's cluster spec).
+    pub gpus_per_node: u32,
+    /// Congestion factor applied (1.0 = quiet fabric).
+    pub congestion: f64,
+}
+
+impl NetScenario {
+    fn new(
+        name: &'static str,
+        description: &'static str,
+        network: NetworkModel,
+        gpus_per_node: u32,
+    ) -> Self {
+        NetScenario {
+            name,
+            description,
+            network,
+            gpus_per_node,
+            congestion: 1.0,
+        }
+    }
+
+    /// Piz Daint (Cray XC50 / Aries, 1 GPU per node) — the paper's main
+    /// cluster and the default scenario.
+    pub fn piz_daint() -> Self {
+        NetScenario::new(
+            "piz-daint",
+            "Cray XC50 Aries dragonfly, 1 P100 per node (paper's main cluster)",
+            NetworkModel::cray_aries(),
+            1,
+        )
+    }
+
+    /// The 32×V100 cluster of §4: NVLink inside a node, InfiniBand EDR
+    /// between nodes, 8 GPUs per node.
+    pub fn v100() -> Self {
+        NetScenario::new(
+            "v100",
+            "NVLink + InfiniBand EDR, 8 V100 per node (paper's second cluster)",
+            NetworkModel::nvlink_infiniband(),
+            8,
+        )
+    }
+
+    /// Three-level folded-Clos fat-tree: full bisection bandwidth, but
+    /// every inter-node message crosses 3–5 switch hops, so α is the
+    /// highest of the presets while β stays close to the NIC line rate.
+    pub fn fat_tree() -> Self {
+        NetScenario::new(
+            "fat-tree",
+            "3-level fat-tree: full bisection, 3-5 switch hops per message",
+            NetworkModel {
+                intra: LinkParams {
+                    alpha_s: 4e-6,
+                    beta_s_per_byte: 1.0 / 120e9,
+                },
+                inter: LinkParams {
+                    alpha_s: 18e-6,
+                    beta_s_per_byte: 1.0 / 12.5e9,
+                },
+            },
+            4,
+        )
+    }
+
+    /// Dragonfly: low diameter (α below the fat-tree's), but global links
+    /// are tapered and adaptive routing shares them with background
+    /// traffic, so the effective per-byte cost is worse.
+    pub fn dragonfly() -> Self {
+        NetScenario::new(
+            "dragonfly",
+            "dragonfly: low hop count, tapered adaptive-routed global links",
+            NetworkModel {
+                intra: LinkParams {
+                    alpha_s: 4e-6,
+                    beta_s_per_byte: 1.0 / 120e9,
+                },
+                inter: LinkParams {
+                    alpha_s: 13e-6,
+                    beta_s_per_byte: 1.0 / 9e9,
+                },
+            },
+            4,
+        )
+    }
+
+    /// Rail-optimized GPU pod: 8 GPUs per node, one NIC rail per GPU, so
+    /// inter-node bandwidth is the best of the presets and NVLink handles
+    /// everything inside the node.
+    pub fn rail_optimized() -> Self {
+        NetScenario::new(
+            "rail-optimized",
+            "rail-optimized pod: 8 GPUs/node, one 200G NIC rail per GPU",
+            NetworkModel {
+                intra: LinkParams {
+                    alpha_s: 3e-6,
+                    beta_s_per_byte: 1.0 / 150e9,
+                },
+                inter: LinkParams {
+                    alpha_s: 10e-6,
+                    beta_s_per_byte: 1.0 / 25e9,
+                },
+            },
+            8,
+        )
+    }
+
+    /// All built-in scenarios, in listing order.
+    pub fn all() -> Vec<NetScenario> {
+        vec![
+            NetScenario::piz_daint(),
+            NetScenario::v100(),
+            NetScenario::fat_tree(),
+            NetScenario::dragonfly(),
+            NetScenario::rail_optimized(),
+        ]
+    }
+
+    /// Look up a scenario by its canonical name (case-insensitive; `_` and
+    /// `.` are accepted for `-`).
+    pub fn by_name(name: &str) -> Option<NetScenario> {
+        let canon: String = name
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '_' | '.' => '-',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        NetScenario::all().into_iter().find(|s| s.name == canon)
+    }
+
+    /// Apply a congestion factor `f ≥ 1.0`: background traffic divides the
+    /// usable bandwidth of both link classes by `f` and adds a queueing
+    /// penalty of `(f - 1) · 10 µs` to the inter-node α (head-of-line
+    /// blocking at the injection port; intra-node links are point-to-point
+    /// and keep their latency).
+    pub fn with_congestion(mut self, f: f64) -> Self {
+        assert!(f.is_finite() && f >= 1.0, "congestion factor {f} < 1");
+        self.network.intra.beta_s_per_byte *= f;
+        self.network.inter.beta_s_per_byte *= f;
+        self.network.inter.alpha_s += (f - 1.0) * 10e-6;
+        self.congestion *= f;
+        self
+    }
+
+    /// Re-anchor the inter-node link to a *measured* software floor: the
+    /// α and β a real transport achieved on this host (e.g. the TCP
+    /// backend's fit from `results/comm_overhead.json`). Each parameter is
+    /// raised to the measured value when the measurement is worse than the
+    /// preset; a better-than-preset measurement is ignored.
+    pub fn with_measured_floor(mut self, alpha_s: f64, beta_s_per_byte: f64) -> Self {
+        if alpha_s.is_finite() && alpha_s > self.network.inter.alpha_s {
+            self.network.inter.alpha_s = alpha_s;
+        }
+        if beta_s_per_byte.is_finite() && beta_s_per_byte > self.network.inter.beta_s_per_byte {
+            self.network.inter.beta_s_per_byte = beta_s_per_byte;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_and_separator_insensitive() {
+        for name in ["fat-tree", "FAT-TREE", "fat_tree", "Fat.Tree", " fat-tree "] {
+            assert_eq!(
+                NetScenario::by_name(name).expect(name).name,
+                "fat-tree",
+                "{name}"
+            );
+        }
+        assert!(NetScenario::by_name("torus").is_none());
+        assert_eq!(NetScenario::all().len(), 5);
+    }
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for s in NetScenario::all() {
+            assert!(s.gpus_per_node >= 1, "{}", s.name);
+            // Intra-node links beat inter-node links on any preset.
+            let big = 1u64 << 24;
+            assert!(
+                s.network.p2p_time(big, true) < s.network.p2p_time(big, false),
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_slows_the_fabric_monotonically() {
+        let base = NetScenario::fat_tree();
+        let busy = NetScenario::fat_tree().with_congestion(2.0);
+        let bytes = 1u64 << 20;
+        assert!(busy.network.p2p_time(bytes, false) > base.network.p2p_time(bytes, false));
+        assert!(busy.network.p2p_time(bytes, true) > base.network.p2p_time(bytes, true));
+        assert!((busy.congestion - 2.0).abs() < 1e-12);
+        // f = 1.0 is the identity.
+        let quiet = NetScenario::fat_tree().with_congestion(1.0);
+        assert_eq!(quiet.network, base.network);
+    }
+
+    #[test]
+    fn measured_floor_only_raises() {
+        let s = NetScenario::piz_daint();
+        let a0 = s.network.inter.alpha_s;
+        let b0 = s.network.inter.beta_s_per_byte;
+        // A worse measurement raises both.
+        let worse = s.clone().with_measured_floor(a0 * 4.0, b0 * 2.0);
+        assert!((worse.network.inter.alpha_s - a0 * 4.0).abs() < 1e-15);
+        assert!((worse.network.inter.beta_s_per_byte - b0 * 2.0).abs() < 1e-18);
+        // A better measurement is ignored.
+        let better = s.clone().with_measured_floor(a0 / 10.0, b0 / 10.0);
+        assert_eq!(better.network, s.network);
+        // NaN is ignored.
+        let nan = s.clone().with_measured_floor(f64::NAN, f64::NAN);
+        assert_eq!(nan.network, s.network);
+    }
+}

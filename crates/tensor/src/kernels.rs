@@ -58,7 +58,15 @@ pub const NC: usize = 256;
 
 /// Minimum multiply-add count (`2·m·k·n`) before a kernel spawns threads;
 /// below this the scoped-spawn overhead exceeds the parallel win.
-pub const PAR_MIN_FLOPS: u64 = 1 << 21;
+///
+/// Retuned upward (2²¹ → 2²⁵) after `BENCH_kernels.json` recorded the
+/// multi-threaded path *losing* to single-threaded on small shapes
+/// (e.g. 128×256×256 ≈ 2²⁴ MAs): per-call scoped spawn + join costs tens of
+/// microseconds, which a sub-millisecond matmul cannot amortize. 2²⁵ keeps
+/// every shape below ~512×256×256 sequential while the large training GEMMs
+/// (≥ 2²⁷) still thread. `fig_kernels --check` gates `mt ≥ 0.9 × 1t` per
+/// shape so this regression cannot silently return.
+pub const PAR_MIN_FLOPS: u64 = 1 << 25;
 
 // --- intra-op thread-count configuration ------------------------------------
 
@@ -91,14 +99,24 @@ pub fn threads() -> usize {
     }
 }
 
+/// The machine's available parallelism, read once. Oversubscribing a
+/// smaller machine (e.g. `CHIMERA_THREADS=4` inside a 1-core container)
+/// only adds context-switch overhead — the determinism contract makes the
+/// clamp safe, since results are bit-identical at any thread count.
+fn hw_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
 /// Threads actually used for a kernel over `rows` output rows and `flops`
-/// multiply-adds: 1 below [`PAR_MIN_FLOPS`], otherwise capped so every
-/// thread gets at least one full [`MC`]-row stripe.
+/// multiply-adds: 1 below [`PAR_MIN_FLOPS`], otherwise capped by the
+/// machine's parallelism and so every thread gets at least one full
+/// [`MC`]-row stripe.
 fn effective_threads(rows: usize, flops: u64) -> usize {
     if flops < PAR_MIN_FLOPS {
         return 1;
     }
-    threads().min(rows.div_ceil(MC)).max(1)
+    threads().min(hw_threads()).min(rows.div_ceil(MC)).max(1)
 }
 
 // --- kernel-time counters ----------------------------------------------------

@@ -269,6 +269,15 @@ pub fn verify(sched: &Schedule) -> VerifyReport {
     verify_span(sched, 1)
 }
 
+/// The boolean gate serving layers put in front of a schedule before
+/// handing it to a client: `true` iff [`verify_span`] reports no
+/// error-severity diagnostics. Exactly [`VerifyReport::is_clean`] — named
+/// as a function so call sites read as the policy they implement ("only
+/// clean schedules are ever served") rather than as a report inspection.
+pub fn is_clean_schedule(sched: &Schedule, iterations: u32) -> bool {
+    verify_span(sched, iterations).is_clean()
+}
+
 /// Statically verify `sched` as a span of `iterations` training iterations
 /// (matching `simulate_span` / `concat_iterations` semantics): happens-before
 /// deadlock analysis, communication matching, buffer hazards, and activation

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! chimera-cli render  <scheme> [D] [N]            ASCII schedule + analytics
-//! chimera-cli plan    <bert48|gpt2> [P] [B̂]       best (W,D,B) per scheme
+//! chimera-cli plan    <bert48|gpt2> [P] [B̂] [--json]  best (W,D,B) per scheme
+//! chimera-cli serve   [--addr a] [--http-addr a]  planning-as-a-service daemon
+//! chimera-cli query   [--addr a] --model m --devices P  query a running server
 //! chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B̂>
 //! chimera-cli train   [D] [N] [iters] [--trace f] real pipelined training
 //! chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N]
@@ -75,13 +77,17 @@ use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
 use chimera::runtime::{
     train, train_hybrid, train_worker_process_recoverable, FaultSpec, RecoverySpec, TrainOptions,
 };
+use chimera::serve::{
+    load_measured_floor, HttpServer, PlanClient, PlanEngine, PlanQuery, PlanServer, QueryLimits,
+    RealSearcher, Searcher, ServeConfig,
+};
 use chimera::sim::simulate;
 use chimera::trace::{now_ns, read_jsonl, write_jsonl, BufferSink, MetricsRegistry};
 use chimera::verify::verify_span;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat] [--json]\n  chimera-cli serve   [--addr a] [--http-addr a] [--workers n] [--queue-cap n]\n                      [--cache-cap n] [--no-floor]\n  chimera-cli query   [--addr a] [--model m --devices P] [--b-hat n] [--topology t]\n                      [--congestion-pct c] [--mem-budget-bytes b] [--schemes s,s]\n                      [--deadline-ms ms] [--stats] [--ping]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -124,10 +130,42 @@ fn cmd_render(mut args: std::env::Args) {
     }
 }
 
-fn cmd_plan(mut args: std::env::Args) {
-    let model = model_spec(&args.next().unwrap_or_else(|| usage()));
-    let p = parse(args.next(), 32u32);
-    let b_hat = parse(args.next(), 512u64);
+fn cmd_plan(args: std::env::Args) {
+    let mut rest: Vec<String> = args.collect();
+    let json = if let Some(pos) = rest.iter().position(|a| a == "--json") {
+        rest.remove(pos);
+        true
+    } else {
+        false
+    };
+    let mut rest = rest.into_iter();
+    let model_name = rest.next().unwrap_or_else(|| usage());
+    let p = parse(rest.next(), 32u32);
+    let b_hat = parse(rest.next(), 512u64);
+    if json {
+        // Same serializer as the planning service: `plan --json` output is
+        // byte-compatible with a `chimera-serve` plan response.
+        let raw = serde_json::json!({"model": model_name, "devices": p, "b_hat": b_hat});
+        let q = match PlanQuery::parse(&raw, &QueryLimits::default()) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("chimera-cli plan: {e}");
+                std::process::exit(2);
+            }
+        };
+        match RealSearcher::default().search(&q, None) {
+            Ok(v) => println!(
+                "{}",
+                serde_json::to_string_pretty(&v).unwrap_or_else(|_| v.to_string())
+            ),
+            Err(e) => {
+                eprintln!("chimera-cli plan: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let model = model_spec(&model_name);
     let cluster = ClusterSpec::piz_daint();
     println!("{} on P={p} (Piz Daint profile), B̂={b_hat}:\n", model.name);
     println!(
@@ -168,6 +206,128 @@ fn cmd_plan(mut args: std::env::Args) {
             .map(|c| c.scheme.label())
             .unwrap_or_else(|| "Chimera".into());
         print_cand(label, c);
+    }
+}
+
+fn cmd_serve(args: std::env::Args) {
+    let mut addr: SocketAddr = "127.0.0.1:7070".parse().unwrap();
+    let mut http_addr: Option<SocketAddr> = None;
+    let mut cfg = ServeConfig::default();
+    let mut floor_path = Some("results/comm_overhead.json".to_string());
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr = parse(args.next(), addr),
+            "--http-addr" => {
+                http_addr = args.next().and_then(|s| s.parse().ok());
+                if http_addr.is_none() {
+                    usage();
+                }
+            }
+            "--workers" => cfg.workers = parse(args.next(), cfg.workers),
+            "--queue-cap" => cfg.queue_cap = parse(args.next(), cfg.queue_cap),
+            "--cache-cap" => cfg.cache_cap = parse(args.next(), cfg.cache_cap),
+            "--no-floor" => floor_path = None,
+            _ => usage(),
+        }
+    }
+    let measured_floor = floor_path.as_deref().and_then(load_measured_floor);
+    match measured_floor {
+        Some((a, b)) => println!(
+            "chimera-serve: measured inter-node floor α={:.1}µs β={b:.3e} s/B (from {})",
+            a * 1e6,
+            floor_path.unwrap()
+        ),
+        None => println!("chimera-serve: no measured floor; topology presets stand as-is"),
+    }
+    let engine = PlanEngine::start(cfg, Box::new(RealSearcher { measured_floor }));
+    let server = PlanServer::bind(addr, engine.clone()).unwrap_or_else(|e| {
+        eprintln!("chimera-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("chimera-serve: framed protocol on {}", server.addr);
+    let _http = http_addr.map(|a| {
+        let s = HttpServer::serve(a, engine.clone()).unwrap_or_else(|e| {
+            eprintln!("chimera-serve: cannot bind HTTP {a}: {e}");
+            std::process::exit(1);
+        });
+        println!("chimera-serve: http on {}", s.addr);
+        s
+    });
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_query(args: std::env::Args) {
+    let mut addr: SocketAddr = "127.0.0.1:7070".parse().unwrap();
+    let mut q = serde_json::json!({});
+    let obj = q.as_object_mut().unwrap();
+    let mut op: Option<&str> = None;
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut set = |key: &str, v: serde_json::Value| {
+            obj.insert(key.to_string(), v);
+        };
+        match flag.as_str() {
+            "--addr" => addr = parse(args.next(), addr),
+            "--stats" => op = Some("stats"),
+            "--ping" => op = Some("ping"),
+            "--model" => set("model", serde_json::json!(args.next().unwrap_or_default())),
+            "--devices" => set("devices", serde_json::json!(parse(args.next(), 0u32))),
+            "--b-hat" => set("b_hat", serde_json::json!(parse(args.next(), 0u64))),
+            "--topology" => set(
+                "topology",
+                serde_json::json!(args.next().unwrap_or_default()),
+            ),
+            "--congestion-pct" => {
+                set(
+                    "congestion_pct",
+                    serde_json::json!(parse(args.next(), 0u32)),
+                );
+            }
+            "--mem-budget-bytes" => {
+                set(
+                    "mem_budget_bytes",
+                    serde_json::json!(parse(args.next(), 0u64)),
+                );
+            }
+            "--schemes" => set(
+                "schemes",
+                serde_json::json!(args
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .collect::<Vec<_>>()),
+            ),
+            "--deadline-ms" => set("deadline_ms", serde_json::json!(parse(args.next(), 0u64))),
+            _ => usage(),
+        }
+    }
+    if let Some(op) = op {
+        q = serde_json::json!({"op": op});
+    }
+    let mut client = PlanClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("chimera-cli query: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    match client.query(q) {
+        Ok(v) => {
+            let ok = v["ok"].as_bool().unwrap_or(false);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&v).unwrap_or_else(|_| v.to_string())
+            );
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("chimera-cli query: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -1086,6 +1246,8 @@ fn main() {
     match args.next().as_deref() {
         Some("render") => cmd_render(args),
         Some("plan") => cmd_plan(args),
+        Some("serve") => cmd_serve(args),
+        Some("query") => cmd_query(args),
         Some("simulate") => cmd_simulate(args),
         Some("train") => cmd_train(args),
         Some("launch") => cmd_launch(args),

@@ -29,7 +29,11 @@
 //!   live cross-rank metrics aggregation, surfaced as `chimera-cli profile`;
 //! * [`verify`] — static schedule/communication verifier: happens-before
 //!   deadlock analysis, send/recv matching lints, buffer-hazard and memory
-//!   lints, surfaced as `chimera-cli verify`.
+//!   lints, surfaced as `chimera-cli verify`;
+//! * [`serve`] — planning as a service: a long-running multi-tenant query
+//!   server over the planner with a single-flight plan cache, admission
+//!   control, per-query deadlines, and a verify gate on every served
+//!   schedule, surfaced as `chimera-cli serve` / `chimera-cli query`.
 //!
 //! See `examples/quickstart.rs` for a guided tour.
 
@@ -40,6 +44,7 @@ pub use chimera_nn as nn;
 pub use chimera_obs as obs;
 pub use chimera_perf as perf;
 pub use chimera_runtime as runtime;
+pub use chimera_serve as serve;
 pub use chimera_sim as sim;
 pub use chimera_tensor as tensor;
 pub use chimera_trace as trace;
