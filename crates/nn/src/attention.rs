@@ -30,6 +30,26 @@ pub struct AttnStash {
     ctx: Tensor,
 }
 
+impl AttnStash {
+    /// Total `f32` elements held by this stash.
+    pub fn elements(&self) -> usize {
+        self.x.len()
+            + self.qkv.len()
+            + self.probs.iter().map(Tensor::len).sum::<usize>()
+            + self.ctx.len()
+    }
+
+    /// Visit each pool-backed buffer's length.
+    pub fn for_each_pooled(&self, f: &mut dyn FnMut(usize)) {
+        f(self.x.len());
+        f(self.qkv.len());
+        for p in &self.probs {
+            f(p.len());
+        }
+        f(self.ctx.len());
+    }
+}
+
 impl Attention {
     /// New attention layer for hidden size `h`.
     pub fn new(h: usize, heads: usize, seq: usize, causal: bool, rng: &mut Rng) -> Self {

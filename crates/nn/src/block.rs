@@ -89,6 +89,28 @@ pub struct BlockStash {
     gelu_out: Tensor,
 }
 
+impl BlockStash {
+    /// Total `f32` elements held by this stash.
+    pub fn elements(&self) -> usize {
+        self.ln1.elements()
+            + self.attn.elements()
+            + self.ln2.elements()
+            + self.ln2_out.len()
+            + self.fc1_out.len()
+            + self.gelu_out.len()
+    }
+
+    /// Visit each pool-backed buffer's length.
+    pub fn for_each_pooled(&self, f: &mut dyn FnMut(usize)) {
+        self.ln1.for_each_pooled(f);
+        self.attn.for_each_pooled(f);
+        self.ln2.for_each_pooled(f);
+        f(self.ln2_out.len());
+        f(self.fc1_out.len());
+        f(self.gelu_out.len());
+    }
+}
+
 impl TransformerBlock {
     /// New block of hidden size `h`.
     pub fn new(h: usize, heads: usize, seq: usize, causal: bool, rng: &mut Rng) -> Self {

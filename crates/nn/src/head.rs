@@ -25,6 +25,21 @@ pub struct HeadStash {
     targets: Vec<u32>,
 }
 
+impl HeadStash {
+    /// Total `f32` elements held by this stash (`targets` are `u32` and
+    /// excluded from the float accounting).
+    pub fn elements(&self) -> usize {
+        self.ln.elements() + self.ln_out.len() + self.probs.len()
+    }
+
+    /// Visit each pool-backed buffer's length.
+    pub fn for_each_pooled(&self, f: &mut dyn FnMut(usize)) {
+        self.ln.for_each_pooled(f);
+        f(self.ln_out.len());
+        f(self.probs.len());
+    }
+}
+
 impl OutputHead {
     /// New head for hidden size `h` and vocabulary `vocab`.
     pub fn new(h: usize, vocab: usize, rng: &mut Rng) -> Self {

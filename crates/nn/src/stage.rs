@@ -90,6 +90,33 @@ impl MicroStash {
     pub fn is_full(&self) -> bool {
         !self.block_stashes.is_empty() || self.head.is_some()
     }
+
+    /// Total `f32` elements held by this stash (`tokens` are `u32` and
+    /// excluded from the float accounting).
+    pub fn elements(&self) -> usize {
+        self.input.as_ref().map_or(0, Tensor::len)
+            + self
+                .block_stashes
+                .iter()
+                .map(BlockStash::elements)
+                .sum::<usize>()
+            + self.head.as_ref().map_or(0, HeadStash::elements)
+    }
+
+    /// Visit each pool-backed buffer's length — the per-stash census the
+    /// liveness-driven pool pre-sizing plan multiplies by the maximum number
+    /// of concurrently-live stashes.
+    pub fn for_each_pooled(&self, f: &mut dyn FnMut(usize)) {
+        if let Some(input) = &self.input {
+            f(input.len());
+        }
+        for b in &self.block_stashes {
+            b.for_each_pooled(f);
+        }
+        if let Some(h) = &self.head {
+            h.for_each_pooled(f);
+        }
+    }
 }
 
 /// Stage forward result.
@@ -366,6 +393,53 @@ mod tests {
         stages[1].recompute(&mut s1, Some(&targets));
         let (_, g_re) = stages[1].backward(&s1, None, 1.0);
         assert_eq!(g_full, g_re, "recomputation must be bit-identical");
+    }
+
+    /// Pins the stash composition the liveness oracle and the pool
+    /// pre-sizing census rely on: measured `elements()` must equal the
+    /// closed-form per-stage footprint, and the pooled census must account
+    /// for everything except the plain (non-pooled) `inv_std` vectors.
+    #[test]
+    fn stash_elements_match_closed_form() {
+        let cfg = ModelConfig::tiny();
+        let stages = Stage::build_all(cfg, 2);
+        let data = SyntheticData::new(cfg, 9);
+        let b = 2usize;
+        let (tokens, targets) = data.batch(0, b);
+        let (h, s, v) = (cfg.hidden, cfg.seq, cfg.vocab);
+        let rows = b * s;
+        // Per block, in units of rows×h: ln1.x̂ (1) + attn x/qkv/ctx (1+3+1)
+        // + ln2.x̂ (1) + ln2_out (1) + fc1_out (4) + gelu_out (4) = 16, plus
+        // two inv_std rows and the attention probability matrices.
+        let per_block = 16 * rows * h + 2 * rows + b * cfg.heads * s * s;
+        let head = 2 * rows * h + rows + rows * v;
+
+        let (o0, s0) = stages[0].forward(None, Some(&tokens), None);
+        let blocks0 = stages[0].blocks.len();
+        assert_eq!(s0.elements(), blocks0 * per_block, "stage 0 (no input)");
+
+        let (_, s1) = stages[1].forward(o0.activation, None, Some(&targets));
+        let blocks1 = stages[1].blocks.len();
+        assert_eq!(
+            s1.elements(),
+            rows * h + blocks1 * per_block + head,
+            "stage 1 (boundary input + head)"
+        );
+
+        for (stash, blocks, has_head) in [(&s0, blocks0, false), (&s1, blocks1, true)] {
+            let mut pooled = 0usize;
+            stash.for_each_pooled(&mut |len| pooled += len);
+            let inv_std = rows * (2 * blocks + usize::from(has_head));
+            assert_eq!(pooled, stash.elements() - inv_std);
+        }
+
+        // The boundary stash is exactly the input tensor.
+        let mut s1b = s1.clone();
+        s1b.drop_to_boundary();
+        assert_eq!(s1b.elements(), rows * h);
+        let mut s0b = s0.clone();
+        s0b.drop_to_boundary();
+        assert_eq!(s0b.elements(), 0, "stage 0 boundary is tokens only");
     }
 
     #[test]

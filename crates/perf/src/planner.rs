@@ -13,7 +13,7 @@ use chimera_core::schedule::{Schedule, Scheme, SyncStrategy};
 use chimera_core::sync::place_sync;
 use chimera_core::unit_time::UnitCosts;
 use chimera_sim::{simulate_span, SimCostModel, SimReport};
-use chimera_verify::verify_span;
+use chimera_verify::{memory_v2, verify_span};
 
 use crate::costs::{ClusterSpec, TrainConfig};
 use crate::eq1;
@@ -89,13 +89,16 @@ pub struct Candidate {
     pub n: u32,
     /// Whether activation recomputation was needed to fit memory.
     pub recompute: bool,
-    /// Whether the configuration fits device memory even with recomputation.
+    /// Whether the configuration fits device memory even with recomputation,
+    /// judged by the exact liveness peak (`memory/v2`), not the coarse
+    /// Table-2 bound — asynchronous schemes gain real headroom from this.
     pub fits: bool,
     /// Simulated per-iteration time (for `b_hat` samples), seconds.
     pub iter_time_s: f64,
     /// Throughput in samples/s.
     pub throughput: f64,
-    /// Largest per-worker peak memory, bytes.
+    /// Largest per-worker peak memory, bytes — the exact static peak from
+    /// the liveness dataflow engine.
     pub peak_mem: u64,
     /// Bubble ratio of the simulated span.
     pub bubble_ratio: f64,
@@ -198,16 +201,22 @@ pub fn evaluate(
     let mut recompute = false;
     let mut sched = synced.clone();
     let mut report: SimReport = run(&sched)?;
+    // Fit is judged by the exact liveness peak, which is never above the
+    // coarse Table-2 bound — so the planner admits every configuration the
+    // old bound admitted, plus the ones the bound's slack was rejecting
+    // (PipeDream-2BW carries ~25-30% slack from refcounted weight versions).
+    let mut mem = memory_v2(&sched, &cost);
     // Retry with activation recomputation (the paper's "R" label; Fig. 1
     // shows even PipeDream running with R in the authors' harness).
     // PipeDream's mini-batch size stays capped regardless: its weight
     // stashing (up to D parameter versions on stage 0) dominates memory.
-    if !report.fits(cluster.usable_mem()) && !already_recomputes(&sched) {
+    if !mem.fits(cluster.usable_mem()) && !already_recomputes(&sched) {
         sched = synced.with_recompute();
         recompute = true;
         report = run(&sched)?;
+        mem = memory_v2(&sched, &cost);
     }
-    let fits = report.fits(cluster.usable_mem());
+    let fits = mem.fits(cluster.usable_mem());
     assert_verified(&sched, iters);
 
     // Per-iteration time normalized to b_hat samples.
@@ -229,7 +238,7 @@ pub fn evaluate(
         fits,
         iter_time_s,
         throughput,
-        peak_mem: report.max_peak_mem(),
+        peak_mem: mem.max_exact_peak(),
         bubble_ratio: report.bubble_ratio,
         predicted_s,
         b_hat: eff_b_hat,
@@ -573,7 +582,11 @@ mod tests {
                 rep.bubble_ratio,
                 cand.bubble_ratio
             );
-            assert_eq!(rep.max_peak_mem(), cand.peak_mem);
+            let mem = memory_v2(&sched, &cost);
+            assert_eq!(mem.max_exact_peak(), cand.peak_mem);
+            // The simulator's coarse bound must stay an upper bound on the
+            // exact peak the planner now prunes with.
+            assert!(rep.max_peak_mem() >= cand.peak_mem);
         }
     }
 

@@ -246,6 +246,7 @@ pub fn train_worker_process_recoverable(
             SyntheticData::new(cfg, opts.data_seed),
             opts.clone(),
             seg,
+            Vec::new(),
             sched.flushes,
         );
         let result = worker.run().map_err(escalate)?;

@@ -17,6 +17,7 @@
 pub mod dist;
 pub mod error;
 pub mod fault;
+pub mod mem;
 pub mod runtime;
 pub mod worker;
 
@@ -26,5 +27,6 @@ pub use dist::{
 };
 pub use error::{TrainError, WorkerError};
 pub use fault::{FaultSpec, KillFault, MsgFault, RecoveryPolicy};
+pub use mem::{MemReport, ModelFootprint, WorkerMemPlan};
 pub use runtime::{train, train_hybrid, TrainResult};
 pub use worker::{SegmentSpec, TrainOptions, Worker, WorkerResult};

@@ -39,6 +39,7 @@ use chimera_trace::{now_ns, CounterEvent, Event, MetricsRegistry, SpanEvent, Spa
 
 use crate::error::{TrainError, WorkerError};
 use crate::fault::RecoveryPolicy;
+use crate::mem::{MemReport, ModelFootprint};
 use crate::worker::{SegmentSpec, TrainOptions, Worker};
 
 /// Outcome of a pipelined training run.
@@ -53,6 +54,11 @@ pub struct TrainResult {
     /// Set when the run finished with fewer data-parallel groups than it
     /// started with ([`RecoveryPolicy::Degrade`]); holds the final `W`.
     pub degraded_to: Option<u32>,
+    /// Per-worker tracked-memory reports for pipeline group 0 (ordered by
+    /// local worker id), captured from the first — cold — segment. The
+    /// high-water mark is comparable element-for-element with the static
+    /// liveness analysis ([`crate::mem::plan`]).
+    pub mem: Vec<MemReport>,
 }
 
 impl TrainResult {
@@ -208,6 +214,7 @@ pub fn train_hybrid(
     let mut w_active = w;
     let mut recoveries = 0u32;
     let mut replaying = false;
+    let mut mem: Vec<MemReport> = Vec::new();
 
     while done < opts.iterations {
         let seg_iters = seg_len.min(opts.iterations - done);
@@ -246,6 +253,9 @@ pub fn train_hybrid(
                     let slice = &out.losses[i * per..(i + 1) * per];
                     let mean = slice.iter().map(|&(_, l)| l as f64).sum::<f64>() / per as f64;
                     iteration_losses.push(mean as f32);
+                }
+                if mem.is_empty() {
+                    mem = out.mem;
                 }
                 canon_stages = out.stages;
                 canon_opts = out.optimizers;
@@ -379,6 +389,7 @@ pub fn train_hybrid(
         stages: canon_stages,
         recoveries,
         degraded_to: (w_active < w).then_some(w_active),
+        mem,
     })
 }
 
@@ -402,6 +413,8 @@ struct SegmentOutcome {
     stages: Vec<Stage>,
     /// Canonical per-stage optimizer state.
     optimizers: Vec<Optimizer>,
+    /// Group-0 per-worker memory reports, ordered by local worker id.
+    mem: Vec<MemReport>,
 }
 
 enum SegmentFailure {
@@ -502,6 +515,20 @@ fn run_segment(
         }
     }
 
+    // Pool pre-sizing plans from the exact liveness analysis: one measured
+    // footprint probe, one dataflow pass, shared by every replica group
+    // (groups are schedule-identical). Skipped when prewarming is off — the
+    // workers would ignore the plan anyway.
+    let plans: Vec<Vec<(usize, usize)>> = if opts.pool && opts.prewarm && pool::enabled() {
+        let fp = ModelFootprint::probe(canon_stages, opts.micro_batch);
+        crate::mem::plan(sched, &fp)
+            .into_iter()
+            .map(|p| p.classes)
+            .collect()
+    } else {
+        vec![Vec::new(); per_group]
+    };
+
     // Spawn workers on clones of the canonical stage + optimizer state.
     let wopts = TrainOptions {
         fault,
@@ -511,7 +538,7 @@ fn run_segment(
     let mut sync_iter = sync_per_worker.into_iter();
     let mut ep_iter = endpoints.into_iter();
     for g in 0..w {
-        for lw in 0..per_group {
+        for (lw, plan) in plans.iter().enumerate() {
             let wid = WorkerId(lw as u32);
             let ep: Arc<dyn Transport> = Arc::new(ep_iter.next().expect("endpoint per worker"));
             let sync = sync_iter.next().expect("sync map per worker");
@@ -542,6 +569,7 @@ fn run_segment(
                 data,
                 wopts.clone(),
                 seg,
+                plan.clone(),
                 sched.flushes,
             );
             handles.push((
@@ -601,7 +629,7 @@ fn run_segment(
                     timeout = Some((rank, (group, worker, iteration, op, waited)));
                 }
             }
-            Ok(Ok(res)) => results.push(res),
+            Ok(Ok(res)) => results.push((g, lw, res)),
         }
     }
     if let Some((group, worker, iteration, at_ns)) = death {
@@ -626,12 +654,18 @@ fn run_segment(
     // deduplicate into the canonical per-stage state.
     let mut losses: Vec<(u64, f32)> = Vec::new();
     let mut replica_stages: HashMap<u32, Vec<(Stage, Optimizer)>> = HashMap::new();
-    for res in results {
+    let mut mem_by_lw: Vec<(u32, MemReport)> = Vec::new();
+    for (g, lw, res) in results {
         losses.extend(res.losses);
+        if g == 0 {
+            mem_by_lw.push((lw, res.mem));
+        }
         for (_, s, stage, opt) in res.stages {
             replica_stages.entry(s).or_default().push((stage, opt));
         }
     }
+    mem_by_lw.sort_unstable_by_key(|&(lw, _)| lw);
+    let mem: Vec<MemReport> = mem_by_lw.into_iter().map(|(_, m)| m).collect();
     let mut stages = Vec::with_capacity(d as usize);
     let mut optimizers = Vec::with_capacity(d as usize);
     for s in 0..d {
@@ -653,5 +687,6 @@ fn run_segment(
         losses,
         stages,
         optimizers,
+        mem,
     })
 }

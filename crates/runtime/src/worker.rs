@@ -26,6 +26,7 @@ use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind
 
 use crate::error::WorkerError;
 use crate::fault::{FaultSpec, RecoveryPolicy};
+use crate::mem::{MemReport, MemTracker};
 
 type StageKey = (u32, u32); // (replica, stage)
 
@@ -73,6 +74,12 @@ pub struct TrainOptions {
     /// Recycle tensor backing stores through `chimera_tensor::pool`
     /// (default on; purely an allocation optimization, no numeric effect).
     pub pool: bool,
+    /// Pre-warm each worker thread's pool before the first iteration: one
+    /// dry forward/backward cycle per held stage warms every transient size
+    /// class, then the liveness plan (see [`crate::mem::plan`]) tops each
+    /// class up by the number of concurrently-held buffers, so the cold
+    /// first micro-batch allocates nothing (default on; requires `pool`).
+    pub prewarm: bool,
 }
 
 impl Default for TrainOptions {
@@ -93,6 +100,7 @@ impl Default for TrainOptions {
             on_worker_loss: RecoveryPolicy::Restart,
             threads: None,
             pool: true,
+            prewarm: true,
         }
     }
 }
@@ -160,6 +168,8 @@ pub struct WorkerResult {
     /// Final stage replicas with their optimizer state,
     /// `(replica, stage, Stage, Optimizer)`.
     pub stages: Vec<(u32, u32, Stage, Optimizer)>,
+    /// Tracked-memory high-water mark and first-iteration pool behavior.
+    pub mem: MemReport,
 }
 
 /// The slice of the global training run one spawned worker executes. The
@@ -208,11 +218,39 @@ pub struct Worker {
     losses: Vec<(u64, f32)>,
     /// Asynchronous schedules (PipeDream) update weights mid-stream; to keep
     /// forward/backward weight versions consistent, each in-flight
-    /// micro-batch stashes the parameter version its forward used
-    /// (PipeDream's *weight stashing*, up to `D - s` versions at stage `s`).
+    /// micro-batch must run its backward against the parameter version its
+    /// forward read (PipeDream's *weight stashing*).
     stash_weights: bool,
-    weight_versions: HashMap<(u32, u32, u64), Vec<f32>>,
+    /// Copy-on-update version store per held `(replica, stage)` — mirrors
+    /// the static walk in `chimera_verify::liveness`.
+    versions: HashMap<StageKey, VersionStore>,
+    /// Liveness-derived pool pre-sizing plan: `(size class, extra spares)`.
+    plan: Vec<(usize, usize)>,
+    /// Element-exact accounting of held-across-op buffers.
+    mem: MemTracker,
+    /// Index of the op currently executing within one iteration's schedule.
+    cur_op: usize,
     tracer: Option<Tracer>,
+}
+
+/// Copy-on-update weight versions of one `(replica, stage)`.
+///
+/// A forward merely records which version id it read; nothing is copied. The
+/// update that would overwrite a still-referenced version materializes **one**
+/// refcounted copy (not one per in-flight micro — PipeDream's Table-2 bound
+/// of `D - s` resident versions at stage `s` is exactly what this attains in
+/// steady state). The copy is freed when the last referencing micro's
+/// backward completes.
+#[derive(Default)]
+struct VersionStore {
+    /// Id of the live (in-`Stage`) parameter version.
+    current: u64,
+    /// In-flight micros whose forward read `current`.
+    current_refs: u32,
+    /// Global micro id → version id its forward read.
+    by_micro: HashMap<u64, u64>,
+    /// Materialized superseded versions: id → (params copy, refs).
+    stashed: HashMap<u64, (Vec<f32>, u32)>,
 }
 
 impl Worker {
@@ -235,6 +273,7 @@ impl Worker {
         data: SyntheticData,
         opts: TrainOptions,
         seg: SegmentSpec,
+        plan: Vec<(usize, usize)>,
         flushes: bool,
     ) -> Self {
         let has_sync_ops = ops.iter().any(|o| o.kind == OpKind::AllReduceWait);
@@ -293,7 +332,10 @@ impl Worker {
             recomputing,
             losses: Vec::new(),
             stash_weights,
-            weight_versions: HashMap::new(),
+            versions: HashMap::new(),
+            plan,
+            mem: MemTracker::default(),
+            cur_op: 0,
             tracer,
         }
     }
@@ -307,26 +349,42 @@ impl Worker {
     /// `W`.
     pub fn run(mut self) -> Result<WorkerResult, WorkerError> {
         let ops = std::mem::take(&mut self.ops);
+        let prewarmed = self.opts.pool && self.opts.prewarm && pool::enabled();
+        if prewarmed {
+            self.prewarm();
+        }
+        // Pool counters are thread-local, so this worker's first-iteration
+        // hit/miss behavior is measurable without races against siblings.
+        let miss_base = pool::local_stats().misses;
+        let mut first_micro_misses = None;
+        let mut first_iter_misses = None;
         for iter in 0..self.seg.iterations {
             self.cur_iter = self.seg.start_iter + iter;
             self.maybe_kill()?;
             let offset = self.seg.micro_base
                 + iter as u64 * self.n_per_iter as u64 * self.w_total as u64
                 + self.group as u64 * self.n_per_iter as u64;
-            for op in &ops {
+            for (i, op) in ops.iter().enumerate() {
+                self.cur_op = i;
                 self.exec(op, offset)?;
+                if iter == 0 && first_micro_misses.is_none() && op.is_compute() {
+                    first_micro_misses = Some(pool::local_stats().misses - miss_base);
+                }
             }
             if !self.has_sync_ops {
                 // Implicit post-hoc synchronization: launch everything, then
                 // wait — partner workers may hold the same stages in a
                 // different order, so blocking per-stage reduces could
                 // deadlock.
+                self.cur_op = ops.len();
                 let t0 = self.tracer.as_ref().map(|_| now_ns());
                 let mut held: Vec<StageKey> = self.stages.keys().copied().collect();
                 held.sort_unstable();
                 for &(r, s) in &held {
                     let contribution = self.grads.remove(&(r, s)).unwrap_or_default();
+                    let drained: usize = contribution.iter().map(|(_, g)| g.len()).sum();
                     self.sync[&s].deposit(contribution);
+                    self.mem.sub(drained);
                 }
                 for &(r, s) in &held {
                     let summed = self.fetch_reduced(s)?;
@@ -347,6 +405,9 @@ impl Worker {
                     );
                 }
             }
+            if iter == 0 {
+                first_iter_misses = Some(pool::local_stats().misses - miss_base);
+            }
         }
         let mut stages: Vec<(u32, u32, Stage, Optimizer)> = Vec::new();
         for ((r, s), stage) in self.stages {
@@ -357,7 +418,51 @@ impl Worker {
         Ok(WorkerResult {
             losses: self.losses,
             stages,
+            mem: MemReport {
+                high_water_elems: self.mem.high_water(),
+                high_at_op: self.mem.high_at(),
+                first_micro_misses: first_micro_misses.unwrap_or(0),
+                first_iter_misses: first_iter_misses.unwrap_or(0),
+                prewarmed,
+            },
         })
+    }
+
+    /// Pre-warm this thread's pool: one dry forward/backward cycle per held
+    /// stage covers every transient size class a compute op touches (plus
+    /// two parameter-class spares for the optimizer and allreduce
+    /// round-trips); the liveness plan then tops each class up by the
+    /// maximum number of concurrently-held buffers (stashes, weight
+    /// versions, pending gradients). Shapes — not values — determine
+    /// allocation, so zeroed probe inputs warm exactly the classes training
+    /// will request.
+    fn prewarm(&mut self) {
+        let mut held: Vec<StageKey> = self.stages.keys().copied().collect();
+        held.sort_unstable();
+        for &(r, s) in &held {
+            let stage = &self.stages[&(r, s)];
+            let last = s + 1 == self.d;
+            let cfg = stage.config();
+            let rows = self.opts.micro_batch * cfg.seq;
+            let tokens = vec![0u32; rows];
+            let targets = vec![0u32; rows];
+            let x = (s > 0).then(|| Tensor::zeros(rows, cfg.hidden));
+            let (out, stash) = stage.forward(
+                x,
+                (s == 0).then_some(tokens.as_slice()),
+                last.then_some(targets.as_slice()),
+            );
+            // The boundary activation doubles as a shape-correct dy.
+            let (dx, grad) = stage.backward(&stash, out.activation, 1.0);
+            pool::put(grad);
+            drop(dx);
+            drop(stash);
+            pool::put(stage.params());
+            pool::put(stage.params());
+        }
+        for &(class, extra) in &self.plan {
+            pool::prewarm(class, pool::spare_count(class) + extra);
+        }
     }
 
     /// Fire the injected kill fault if it targets this worker at the
@@ -453,10 +558,13 @@ impl Worker {
                     .grads
                     .remove(&(op.replica.0, op.stage.0))
                     .unwrap_or_default();
+                let drained: usize = contribution.iter().map(|(_, g)| g.len()).sum();
                 self.sync[&op.stage.0].deposit(contribution);
+                self.mem.sub(drained);
                 Ok(())
             }
             OpKind::AllReduceWait => {
+                self.note_update(op.replica.0, op.stage.0);
                 let summed = self.fetch_reduced(op.stage.0)?;
                 self.apply_update(op.replica.0, op.stage.0, &summed);
                 pool::put(summed);
@@ -488,10 +596,16 @@ impl Worker {
         if self.recomputing.contains(&(r, s)) {
             stash.drop_to_boundary();
         }
+        let stashed_elems = stash.elements();
         self.stashes.insert((r, s, g), stash);
+        self.mem.add(stashed_elems, self.cur_op);
         if self.stash_weights {
-            self.weight_versions
-                .insert((r, s, g), self.stages[&(r, s)].params());
+            // Copy-on-update: record which version this forward read —
+            // nothing is copied unless an update supersedes it while the
+            // micro is still in flight (see `note_update`).
+            let st = self.versions.entry((r, s)).or_default();
+            st.by_micro.insert(g, st.current);
+            st.current_refs += 1;
         }
         if let Some(act) = out.activation {
             let to = self.placement.worker(op.replica, StageId(s + 1));
@@ -516,30 +630,55 @@ impl Worker {
             .stashes
             .remove(&(r, s, g))
             .expect("backward without stashed forward");
-        // PipeDream weight stashing: the backward must use the same weight
-        // version as this micro-batch's forward did.
-        let restore = self.weight_versions.remove(&(r, s, g)).map(|version| {
-            let stage = self.stages.get_mut(&(r, s)).expect("stage held");
-            let current = stage.params();
-            stage.set_params(&version);
-            pool::put(version);
-            current
-        });
+        // PipeDream weight stashing (copy-on-update): the backward must use
+        // the parameter version this micro's forward read. Micros on the
+        // still-current version run in place — the values are identical, no
+        // swap needed; micros on a superseded version swap in the shared
+        // materialized copy and swap back after.
+        let mut restore: Option<(u64, Vec<f32>)> = None;
+        if self.stash_weights {
+            let st = self.versions.entry((r, s)).or_default();
+            if let Some(v) = st.by_micro.remove(&g) {
+                if v == st.current {
+                    st.current_refs = st.current_refs.saturating_sub(1);
+                } else {
+                    let stage = self.stages.get_mut(&(r, s)).expect("stage held");
+                    let saved = stage.params();
+                    let (version, _) = st.stashed.get(&v).expect("superseded version materialized");
+                    stage.set_params(version);
+                    restore = Some((v, saved));
+                }
+            }
+        }
         let stage = &self.stages[&(r, s)];
         if !stash.is_full() {
+            let boundary = stash.elements();
             let (_, targets) = self.data.batch(g, self.opts.micro_batch);
             stage.recompute(&mut stash, last.then_some(targets.as_slice()));
+            self.mem.add(stash.elements() - boundary, self.cur_op);
         }
         let scale = 1.0 / (self.n_per_iter * self.w_total) as f32;
         let (dx, grad) = stage.backward(&stash, dy, scale);
-        if let Some(current) = restore {
+        self.mem.add(grad.len(), self.cur_op);
+        if let Some((v, saved)) = restore {
             self.stages
                 .get_mut(&(r, s))
                 .expect("stage held")
-                .set_params(&current);
-            pool::put(current);
+                .set_params(&saved);
+            pool::put(saved);
+            let st = self.versions.get_mut(&(r, s)).expect("version store");
+            let (_, refs) = st.stashed.get_mut(&v).expect("version present");
+            *refs -= 1;
+            if *refs == 0 {
+                let (buf, _) = st.stashed.remove(&v).expect("version present");
+                let freed = buf.len();
+                pool::put(buf);
+                self.mem.sub(freed);
+            }
         }
+        let freed_stash = stash.elements();
         self.grads.entry((r, s)).or_default().push((g, grad));
+        self.mem.sub(freed_stash);
         if let Some(dx) = dx {
             let to = self.placement.worker(op.replica, StageId(s - 1));
             self.send(to, r, s, g, true, dx)?;
@@ -558,6 +697,27 @@ impl Worker {
         opt.step(&mut params, summed, lr);
         stage.set_params(&params);
         pool::put(params);
+    }
+
+    /// Record that `(r, s)`'s weights are about to change: if any in-flight
+    /// micro-batch still references the current version, materialize one
+    /// refcounted copy of it (copy-on-update), then open a fresh version.
+    ///
+    /// Mirrors the static liveness walk's `AllReduceWait` handling exactly,
+    /// so tracked memory matches the analyzer's byte for byte.
+    fn note_update(&mut self, r: u32, s: u32) {
+        if !self.stash_weights {
+            return;
+        }
+        let st = self.versions.entry((r, s)).or_default();
+        if st.current_refs > 0 {
+            let params = self.stages.get(&(r, s)).expect("stage held").params();
+            let n = params.len();
+            st.stashed.insert(st.current, (params, st.current_refs));
+            self.mem.add(n, self.cur_op);
+        }
+        st.current += 1;
+        st.current_refs = 0;
     }
 
     /// Ship one pipeline boundary tensor to worker `to` in this group.

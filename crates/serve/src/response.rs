@@ -42,17 +42,18 @@ pub struct PlanContext<'a> {
 }
 
 /// Full plan response: per-scheme best candidates (each already re-verified
-/// by the static schedule verifier), the schemes with no feasible
-/// configuration, and the overall throughput winner.
+/// by the static schedule verifier, carrying its exact `memory/v2` summary
+/// from the liveness engine), the schemes with no feasible configuration,
+/// and the overall throughput winner.
 pub fn plan_results_json(
     ctx: &PlanContext<'_>,
-    results: &[(String, Candidate)],
+    results: &[(String, Candidate, Value)],
     infeasible: &[String],
 ) -> Value {
     let best = results
         .iter()
-        .max_by(|(_, a), (_, b)| a.throughput.partial_cmp(&b.throughput).unwrap())
-        .map(|(id, _)| Value::String(id.clone()))
+        .max_by(|(_, a, _), (_, b, _)| a.throughput.partial_cmp(&b.throughput).unwrap())
+        .map(|(id, ..)| Value::String(id.clone()))
         .unwrap_or(Value::Null);
     serde_json::json!({
         "ok": true,
@@ -62,11 +63,12 @@ pub fn plan_results_json(
         "b_hat": ctx.b_hat,
         "topology": ctx.topology,
         "congestion_pct": ctx.congestion_pct,
-        "results": results.iter().map(|(id, c)| {
+        "results": results.iter().map(|(id, c, mem)| {
             let mut v = candidate_json(c);
             let obj = v.as_object_mut().expect("candidate_json is an object");
             obj.insert("scheme_id".into(), Value::String(id.clone()));
             obj.insert("verified".into(), Value::Bool(true));
+            obj.insert("memory".into(), mem.clone());
             v
         }).collect::<Vec<_>>(),
         "infeasible": infeasible,
@@ -100,7 +102,12 @@ mod tests {
             topology: "piz-daint",
             congestion_pct: 100,
         };
-        let v = plan_results_json(&ctx, &[("dapple".into(), c)], &["gems".into()]);
+        let mem = serde_json::json!({
+            "schema": "memory/v2",
+            "exact_peak_bytes": c.peak_mem,
+            "min_slack_ratio": 1.25,
+        });
+        let v = plan_results_json(&ctx, &[("dapple".into(), c, mem)], &["gems".into()]);
         assert_eq!(v["ok"], serde_json::json!(true));
         assert_eq!(v["schema"].as_str().unwrap(), "chimera-serve/plan/v1");
         assert_eq!(v["best"].as_str().unwrap(), "dapple");
@@ -108,6 +115,8 @@ mod tests {
         assert_eq!(r["scheme_id"].as_str().unwrap(), "dapple");
         assert_eq!(r["verified"], serde_json::json!(true));
         assert!(r["throughput"].as_f64().unwrap() > 0.0);
+        assert_eq!(r["memory"]["schema"].as_str().unwrap(), "memory/v2");
+        assert!(r["memory"]["exact_peak_bytes"].as_u64().unwrap() > 0);
         assert_eq!(v["infeasible"].as_array().unwrap().len(), 1);
 
         let empty = plan_results_json(&ctx, &[], &[]);

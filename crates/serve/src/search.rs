@@ -9,7 +9,7 @@ use chimera_core::chimera::ScaleMethod;
 use chimera_perf::planner::rebuild;
 use chimera_perf::{best_until, plan_chimera_until, Candidate, ClusterSpec, PlanScheme};
 use chimera_sim::NetScenario;
-use chimera_verify::is_clean_schedule;
+use chimera_verify::{verify_with_memory, MEMORY_SCHEMA_V2};
 use serde_json::Value;
 
 use crate::error::ServeError;
@@ -117,7 +117,7 @@ impl Searcher for RealSearcher {
             model_by_name(&q.model).ok_or_else(|| ServeError::UnknownModel(q.model.clone()))?;
         let cluster = resolve_cluster(q, self.measured_floor)?;
 
-        let mut results: Vec<(String, Candidate)> = Vec::new();
+        let mut results: Vec<(String, Candidate, Value)> = Vec::new();
         let mut infeasible: Vec<String> = Vec::new();
         for id in q.scheme_list() {
             let cand = run_scheme(id, model, cluster, q.devices, q.b_hat, deadline)
@@ -126,20 +126,28 @@ impl Searcher for RealSearcher {
                 Some(c) => {
                     // Re-verify before serving: rebuild the exact schedule
                     // the candidate was evaluated with and run the static
-                    // verifier over it. A schedule that fails here is a
-                    // planner bug — refuse to serve it rather than hand a
-                    // deadlocked plan to a tenant.
-                    let Some((sched, _cost, iters)) = rebuild(&c, model, cluster) else {
+                    // verifier — including the exact liveness memory check
+                    // against this tenant's budget — over it. A schedule
+                    // that fails here is a planner bug — refuse to serve it
+                    // rather than hand a deadlocked or OOM plan to a tenant.
+                    let Some((sched, cost, iters)) = rebuild(&c, model, cluster) else {
                         return Err(ServeError::Internal(format!(
                             "candidate for {id} does not rebuild"
                         )));
                     };
-                    if !is_clean_schedule(&sched, iters) {
+                    let report = verify_with_memory(&sched, iters, &cost, cluster.usable_mem());
+                    if !report.is_clean() {
                         return Err(ServeError::Internal(format!(
                             "candidate for {id} failed re-verification"
                         )));
                     }
-                    results.push((id.to_string(), c));
+                    let mem = report.memory_v2.as_ref().expect("verified with memory");
+                    let mem_json = serde_json::json!({
+                        "schema": MEMORY_SCHEMA_V2,
+                        "exact_peak_bytes": mem.max_exact_peak(),
+                        "min_slack_ratio": mem.min_slack_ratio(),
+                    });
+                    results.push((id.to_string(), c, mem_json));
                 }
                 None => infeasible.push(id.to_string()),
             }

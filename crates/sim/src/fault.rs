@@ -838,7 +838,7 @@ mod tests {
         assert_eq!(v["recovery"]["crashes"][0]["worker"].as_u64().unwrap(), 1);
         assert!(v["recovery"]["effective_iter_time_s"].as_f64().unwrap() > 0.0);
         // Healthy reports keep the field null.
-        let healthy = serde_json::to_value(&simulate(&sched, &c).unwrap()).unwrap();
+        let healthy = serde_json::to_value(simulate(&sched, &c).unwrap()).unwrap();
         assert!(healthy["recovery"].is_null());
     }
 }

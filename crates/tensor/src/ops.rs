@@ -66,6 +66,19 @@ pub struct LayerNormStash {
     pub inv_std: Vec<f32>,
 }
 
+impl LayerNormStash {
+    /// Total `f32` elements held by this stash.
+    pub fn elements(&self) -> usize {
+        self.xhat.len() + self.inv_std.len()
+    }
+
+    /// Visit each pool-backed buffer's length (the `inv_std` vector is a
+    /// plain allocation and is not pooled).
+    pub fn for_each_pooled(&self, f: &mut dyn FnMut(usize)) {
+        f(self.xhat.len());
+    }
+}
+
 const LN_EPS: f32 = 1e-5;
 
 /// Layer normalization over each row: `y = γ ⊙ x̂ + β`.

@@ -17,8 +17,10 @@
 //! * **Power-of-two size classes.** A buffer of capacity `c` is filed under
 //!   class `floor(log2 c)`; a request for `len` takes from class
 //!   `ceil(log2 len)`, which guarantees the recycled capacity covers the
-//!   request. At most [`PER_CLASS`] buffers are retained per class; overflow
-//!   and oversized buffers are dropped (counted as `discards`).
+//!   request. At most [`PER_CLASS`] buffers are retained per class (a
+//!   [`prewarm`] driven by a liveness plan may raise a class's cap, bounded
+//!   by [`MAX_PREWARM`]); overflow and oversized buffers are dropped
+//!   (counted as `discards`).
 //! * **Tiny buffers bypass the pool.** Requests under [`MIN_POOLED`] floats
 //!   go straight to the allocator and are excluded from the hit/miss
 //!   statistics — they are cheap and would otherwise drown the hit-rate
@@ -54,6 +56,11 @@ pub const MAX_CLASS: usize = 26;
 /// `PER_CLASS` buffers per class.
 pub const PER_CLASS: usize = 64;
 
+/// Hard ceiling on plan-driven retention per class: [`prewarm`] may raise a
+/// class's cap above [`PER_CLASS`] when a liveness plan proves more buffers
+/// are concurrently held, but never beyond this.
+pub const MAX_PREWARM: usize = 1024;
+
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -63,6 +70,21 @@ static DISCARDS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<Vec<f32>>>> = const { RefCell::new(Vec::new()) };
+    static LOCAL: RefCell<PoolStats> = const { RefCell::new(PoolStats::new()) };
+    /// Per-class retention caps raised above [`PER_CLASS`] by [`prewarm`].
+    static CAPS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Effective retention cap of `class` on this thread.
+fn cap_of(class: usize) -> usize {
+    CAPS.try_with(|c| c.borrow().get(class).copied().unwrap_or(0))
+        .unwrap_or(0)
+        .max(PER_CLASS)
+}
+
+fn count(f: impl Fn(&mut PoolStats)) {
+    // try_with: counters are best-effort during thread teardown.
+    let _ = LOCAL.try_with(|s| f(&mut s.borrow_mut()));
 }
 
 /// Globally enable or disable pooling (default: enabled). Disabled, `take*`
@@ -108,12 +130,14 @@ pub fn take_zeroed(len: usize) -> Vec<f32> {
     match pop(class) {
         Some(mut v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
+            count(|s| s.hits += 1);
             v.clear();
             v.resize(len, 0.0);
             v
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            count(|s| s.misses += 1);
             // Allocate the full class size so the buffer is maximally
             // reusable when it comes back.
             let mut v = Vec::with_capacity(1 << class);
@@ -136,11 +160,13 @@ pub fn take_spare(len: usize) -> Vec<f32> {
     match pop(class) {
         Some(mut v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
+            count(|s| s.hits += 1);
             v.clear();
             v
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            count(|s| s.misses += 1);
             Vec::with_capacity(1 << class)
         }
     }
@@ -157,10 +183,12 @@ pub fn put(v: Vec<f32>) {
     let class = class_for_capacity(cap);
     if class > MAX_CLASS {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
+        count(|s| s.discards += 1);
         return;
     }
     // try_with: during thread teardown the TLS slot may already be gone;
     // dropping the buffer then is fine.
+    let cap = cap_of(class);
     let stored = POOL
         .try_with(|p| {
             let mut p = p.borrow_mut();
@@ -168,7 +196,7 @@ pub fn put(v: Vec<f32>) {
                 p.resize_with(class + 1, Vec::new);
             }
             let bucket = &mut p[class];
-            if bucket.len() < PER_CLASS {
+            if bucket.len() < cap {
                 bucket.push(v);
                 true
             } else {
@@ -178,8 +206,10 @@ pub fn put(v: Vec<f32>) {
         .unwrap_or(false);
     if stored {
         RETURNS.fetch_add(1, Ordering::Relaxed);
+        count(|s| s.returns += 1);
     } else {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
+        count(|s| s.discards += 1);
     }
 }
 
@@ -203,6 +233,17 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
+    /// All-zero counters (`const` so the thread-local can be
+    /// const-initialized).
+    pub const fn new() -> Self {
+        PoolStats {
+            hits: 0,
+            misses: 0,
+            returns: 0,
+            discards: 0,
+        }
+    }
+
     /// Fraction of pool-eligible requests served without allocating
     /// (`NaN`-free: 0.0 when there were no eligible requests).
     pub fn hit_rate(&self) -> f64 {
@@ -231,6 +272,69 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
     RETURNS.store(0, Ordering::Relaxed);
     DISCARDS.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot the **current thread's** counters. Unlike [`stats`] these are
+/// not shared across threads, so a worker can measure its own hit/miss
+/// behavior (e.g. "zero misses in the first micro-batch") without races
+/// against sibling workers.
+pub fn local_stats() -> PoolStats {
+    LOCAL.with(|s| *s.borrow())
+}
+
+/// Zero the current thread's counters (free lists are untouched).
+pub fn reset_local_stats() {
+    LOCAL.with(|s| *s.borrow_mut() = PoolStats::new());
+}
+
+/// The size class a pooled request of `len` floats is served from, or `None`
+/// when the request bypasses the pool (too small or too large). This is the
+/// class a pre-sizing plan must provision for that request.
+pub fn class_of_request(len: usize) -> Option<usize> {
+    if len < MIN_POOLED {
+        return None;
+    }
+    let class = class_for_request(len);
+    (class <= MAX_CLASS).then_some(class)
+}
+
+/// Number of spare buffers the current thread holds in `class`.
+pub fn spare_count(class: usize) -> usize {
+    POOL.with(|p| p.borrow().get(class).map_or(0, Vec::len))
+}
+
+/// Pre-warm the current thread's pool so `class` holds at least `count`
+/// spare buffers (clamped to [`MAX_PREWARM`]), allocating the shortfall up
+/// front. Pre-warming is provisioning, not traffic: it touches neither the
+/// global nor the thread-local hit/miss counters, so a fully pre-warmed
+/// first micro-batch reports zero misses. A target above [`PER_CLASS`] also
+/// raises this thread's retention cap for the class — a liveness plan that
+/// proves `count` buffers are concurrently held must be able to keep them
+/// all through the return path, or steady state would discard and re-miss.
+pub fn prewarm(class: usize, count: usize) {
+    if class > MAX_CLASS || !enabled() {
+        return;
+    }
+    let target = count.min(MAX_PREWARM);
+    if target > PER_CLASS {
+        let _ = CAPS.try_with(|c| {
+            let mut c = c.borrow_mut();
+            if c.len() <= class {
+                c.resize(class + 1, 0);
+            }
+            c[class] = c[class].max(target);
+        });
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() <= class {
+            p.resize_with(class + 1, Vec::new);
+        }
+        let bucket = &mut p[class];
+        while bucket.len() < target {
+            bucket.push(Vec::with_capacity(1 << class));
+        }
+    });
 }
 
 #[cfg(test)]
@@ -299,6 +403,67 @@ mod tests {
         let v = take_zeroed(1 << 12);
         assert_eq!(v.capacity(), 1 << 12);
         set_enabled(true);
+    }
+
+    #[test]
+    fn prewarm_fills_class_without_counting_traffic() {
+        // Run on a fresh thread: the pool and local counters are
+        // thread-local, so this is isolated from concurrent tests.
+        std::thread::spawn(|| {
+            set_enabled(true);
+            let class = class_for_request(1000);
+            assert_eq!(spare_count(class), 0);
+            prewarm(class, 3);
+            assert_eq!(spare_count(class), 3);
+            assert_eq!(local_stats(), PoolStats::new(), "prewarm is not traffic");
+            // Three takes hit; the fourth misses.
+            let a = take_zeroed(1000);
+            let b = take_zeroed(1000);
+            let c = take_zeroed(1000);
+            let d = take_zeroed(1000);
+            let s = local_stats();
+            assert_eq!((s.hits, s.misses), (3, 1));
+            for v in [a, b, c, d] {
+                put(v);
+            }
+            assert_eq!(local_stats().returns, 4);
+            // Prewarm tops up to the target, never shrinks.
+            prewarm(class, 2);
+            assert_eq!(spare_count(class), 4);
+            reset_local_stats();
+            assert_eq!(local_stats(), PoolStats::new());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn prewarm_above_per_class_raises_retention_cap() {
+        std::thread::spawn(|| {
+            set_enabled(true);
+            let class = class_for_request(2000);
+            prewarm(class, PER_CLASS + 8);
+            assert_eq!(spare_count(class), PER_CLASS + 8);
+            // Every planned buffer survives a take/return round-trip — the
+            // raised cap keeps what the plan proved is concurrently held.
+            let vs: Vec<_> = (0..PER_CLASS + 8).map(|_| take_zeroed(2000)).collect();
+            assert_eq!(local_stats().misses, 0);
+            for v in vs {
+                put(v);
+            }
+            assert_eq!(local_stats().discards, 0);
+            assert_eq!(spare_count(class), PER_CLASS + 8);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn class_of_request_bounds() {
+        assert_eq!(class_of_request(MIN_POOLED - 1), None);
+        assert_eq!(class_of_request(MIN_POOLED), Some(6));
+        assert_eq!(class_of_request(1000), Some(10));
+        assert_eq!(class_of_request(1 << (MAX_CLASS + 1)), None);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! 4. **Memory** ([`memory`]): static peak activation/weight accounting per
 //!    worker checked against a device capacity, flagging OOM before any
 //!    simulation runs.
+//! 5. **Liveness** ([`liveness`]): a register-allocator-style def/use/kill
+//!    dataflow analysis assigning every buffer (stash halves, rematerialized
+//!    activations, stashed weight versions, gradient contributions) an exact
+//!    live range. Yields the *exact* peak-memory number ([`memory_v2`])
+//!    that replaces the coarse Table-2 bound, the memory-cliff op, the
+//!    interference-based pool pre-sizing plan, and lifetime lints
+//!    (`stash_overlap_range`, `stash_use_after_free`) with exact op ranges.
 //!
 //! The deadlock verdict is designed to agree *exactly* with
 //! `chimera_core::unit_time::execute`: the abstract interpreter mirrors the
@@ -31,6 +38,7 @@
 pub mod comm_lint;
 pub mod graph;
 pub mod hazard;
+pub mod liveness;
 pub mod memory;
 
 use chimera_core::schedule::Schedule;
@@ -122,6 +130,71 @@ pub struct ChannelStats {
     pub max_parked: usize,
 }
 
+/// Schema tag of the exact-memory section in JSON reports.
+pub const MEMORY_SCHEMA_V2: &str = "memory/v2";
+
+/// Exact static memory for one worker, from the liveness dataflow engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMemory {
+    /// Exact peak bytes: resident weight state + the liveness engine's peak
+    /// over stashes, rematerializations, weight versions, and gradients.
+    pub exact_peak_bytes: u64,
+    /// Always-resident bytes: one parameter copy + gradient/optimizer
+    /// buffers per held stage replica.
+    pub resident_bytes: u64,
+    /// Peak of the dynamic (liveness-tracked) buffers alone.
+    pub dynamic_peak_bytes: u64,
+    /// The coarse Table-2 bound this analysis replaces (weight-version
+    /// multipliers + activation peak), kept as a cross-check.
+    pub coarse_bound_bytes: u64,
+    /// `coarse / exact` — how much planner headroom the exact analysis
+    /// recovers (≥ 1.0 unless the coarse bound is unsound).
+    pub slack_ratio: f64,
+    /// The memory cliff: the op whose execution first reaches the peak.
+    pub cliff: Option<OpLoc>,
+    /// Stashed-activation bytes live at the cliff.
+    pub stash_at_peak_bytes: u64,
+    /// Stashed weight-version bytes live at the cliff.
+    pub versions_at_peak_bytes: u64,
+    /// Pool pre-sizing: `(size_class, slots)` pairs, where `size_class` is
+    /// `ceil(log2(elements))` of each buffer and `slots` the exact
+    /// max-overlap slot demand from the deterministic linear scan.
+    pub pool_classes: Vec<(u32, u32)>,
+}
+
+/// Exact-memory section of a [`VerifyReport`] (schema [`MEMORY_SCHEMA_V2`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryV2 {
+    /// Per-worker exact accounting.
+    pub workers: Vec<WorkerMemory>,
+}
+
+impl MemoryV2 {
+    /// Largest exact peak across workers.
+    pub fn max_exact_peak(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.exact_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Smallest per-worker slack ratio (coarse / exact).
+    pub fn min_slack_ratio(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.slack_ratio)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every worker's exact peak fits in `capacity_bytes`.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.workers
+            .iter()
+            .all(|w| w.exact_peak_bytes <= capacity_bytes)
+    }
+}
+
 /// The result of statically verifying a schedule.
 #[derive(Debug, Clone)]
 pub struct VerifyReport {
@@ -147,6 +220,10 @@ pub struct VerifyReport {
     /// one micro-batch's activations (matches
     /// `Timeline::peak_activations` under `UnitCosts`).
     pub peak_activation_units: Vec<f64>,
+    /// Exact memory accounting (schema `memory/v2`); present when the
+    /// verifier was given a byte-level cost model
+    /// ([`verify_with_memory`] / [`memory_v2`]).
+    pub memory_v2: Option<MemoryV2>,
 }
 
 impl VerifyReport {
@@ -245,10 +322,52 @@ impl serde::Serialize for ChannelStats {
     }
 }
 
+impl serde::Serialize for WorkerMemory {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("WorkerMemory", 9)?;
+        st.serialize_field("exact_peak_bytes", &self.exact_peak_bytes)?;
+        st.serialize_field("resident_bytes", &self.resident_bytes)?;
+        st.serialize_field("dynamic_peak_bytes", &self.dynamic_peak_bytes)?;
+        st.serialize_field("coarse_bound_bytes", &self.coarse_bound_bytes)?;
+        st.serialize_field("slack_ratio", &self.slack_ratio)?;
+        st.serialize_field("cliff", &self.cliff)?;
+        st.serialize_field("stash_at_peak_bytes", &self.stash_at_peak_bytes)?;
+        st.serialize_field("versions_at_peak_bytes", &self.versions_at_peak_bytes)?;
+        let classes: Vec<serde_json::Value> = self
+            .pool_classes
+            .iter()
+            .map(|&(class, slots)| serde_json::json!({ "class": class, "slots": slots }))
+            .collect();
+        st.serialize_field("pool_classes", &classes)?;
+        st.end()
+    }
+}
+
+impl serde::Serialize for MemoryV2 {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("MemoryV2", 5)?;
+        st.serialize_field("schema", MEMORY_SCHEMA_V2)?;
+        st.serialize_field("max_exact_peak_bytes", &self.max_exact_peak())?;
+        st.serialize_field("min_slack_ratio", &self.min_slack_ratio())?;
+        st.serialize_field(
+            "cliff_op",
+            &self
+                .workers
+                .iter()
+                .max_by_key(|w| w.exact_peak_bytes)
+                .and_then(|w| w.cliff.clone()),
+        )?;
+        st.serialize_field("workers", &self.workers)?;
+        st.end()
+    }
+}
+
 impl serde::Serialize for VerifyReport {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("VerifyReport", 10)?;
+        let mut st = serializer.serialize_struct("VerifyReport", 11)?;
         st.serialize_field("scheme", &self.scheme)?;
         st.serialize_field("d", &self.d)?;
         st.serialize_field("n", &self.n)?;
@@ -259,6 +378,7 @@ impl serde::Serialize for VerifyReport {
         st.serialize_field("diagnostics", &self.diagnostics)?;
         st.serialize_field("channels", &self.channels)?;
         st.serialize_field("peak_activation_units", &self.peak_activation_units)?;
+        st.serialize_field("memory_v2", &self.memory_v2)?;
         st.end()
     }
 }
@@ -307,6 +427,11 @@ pub fn verify_span(sched: &Schedule, iterations: u32) -> VerifyReport {
 
     let peaks = memory::static_peak_activations(sched, &UnitCosts::equal());
 
+    // Lifetime lints from the dataflow engine (activation-only sizing): exact
+    // overlap / use-after-free ranges the slot-mask hazard lint cannot name.
+    let lifetimes = liveness::analyze(sched, &liveness::ActivationSizes(&UnitCosts::equal()));
+    diagnostics.extend(lifetimes.diagnostics);
+
     let mut report = VerifyReport {
         scheme: sched.scheme.name().to_string(),
         d: sched.d,
@@ -317,15 +442,86 @@ pub fn verify_span(sched: &Schedule, iterations: u32) -> VerifyReport {
         diagnostics,
         channels: comm.channels,
         peak_activation_units: peaks.units,
+        memory_v2: None,
     };
     report.sort_diagnostics();
     report
 }
 
-/// [`verify_span`] plus a memory lint: static per-worker peak memory
-/// (weight versions per Table 2 + activation stash under `cost`'s byte
-/// accounting) checked against `capacity_bytes`, flagging OOM with the op at
-/// which the peak is reached.
+/// Exact per-worker memory accounting under `cost`'s byte model: resident
+/// weight state plus the liveness engine's dynamic peak, cross-checked
+/// against the coarse Table-2 bound and paired with a pool pre-sizing plan.
+pub fn memory_v2(sched: &Schedule, cost: &SimCostModel) -> MemoryV2 {
+    let coarse_weights = chimera_sim::memory::weights_bytes(sched, cost);
+    let coarse_acts = memory::static_peak_activations(sched, cost);
+    let lifetimes = liveness::analyze(sched, &liveness::SimSizes(cost));
+
+    let workers = (0..sched.num_workers())
+        .map(|w| {
+            let resident: u64 = sched
+                .placement
+                .held_by(chimera_core::WorkerId(w as u32))
+                .into_iter()
+                .map(|(_, stage)| {
+                    let st = &cost.stages[stage.idx()];
+                    st.param_bytes + st.grad_opt_bytes
+                })
+                .sum();
+            let dynamic = lifetimes.peak[w].round() as u64;
+            let exact = resident + dynamic;
+            let coarse = coarse_weights[w] + coarse_acts.units[w].round() as u64;
+            // Slot demand per size class (class over f32 element counts, the
+            // same granularity the runtime pool uses).
+            let mut by_class: std::collections::BTreeMap<u32, Vec<(usize, usize)>> =
+                std::collections::BTreeMap::new();
+            for b in &lifetimes.lives[w] {
+                let elems = (b.size / 4.0).round() as u64;
+                if elems == 0 {
+                    continue;
+                }
+                let class = 64 - u64::leading_zeros(elems.next_power_of_two().max(1));
+                by_class
+                    .entry(class.saturating_sub(1))
+                    .or_default()
+                    .push((b.def, b.kill));
+            }
+            let pool_classes = by_class
+                .into_iter()
+                .map(|(class, intervals)| {
+                    let slots = liveness::assign_slots(&intervals)
+                        .into_iter()
+                        .max()
+                        .map_or(0, |s| s + 1);
+                    (class, slots)
+                })
+                .collect();
+            WorkerMemory {
+                exact_peak_bytes: exact,
+                resident_bytes: resident,
+                dynamic_peak_bytes: dynamic,
+                coarse_bound_bytes: coarse,
+                slack_ratio: if exact == 0 {
+                    1.0
+                } else {
+                    coarse as f64 / exact as f64
+                },
+                cliff: lifetimes.cliff[w].map(|i| OpLoc::of(sched, w, i)),
+                stash_at_peak_bytes: (lifetimes.breakdown[w].stash + lifetimes.breakdown[w].remat)
+                    .round() as u64,
+                versions_at_peak_bytes: lifetimes.breakdown[w].weight_versions.round() as u64,
+                pool_classes,
+            }
+        })
+        .collect();
+    MemoryV2 { workers }
+}
+
+/// [`verify_span`] plus the exact memory lint: per-worker peak memory from
+/// the liveness dataflow engine ([`memory_v2`]) checked against
+/// `capacity_bytes`, flagging OOM with the memory-cliff op. The superseded
+/// coarse Table-2 bound rides along as a cross-check: `coarse_bound_exceeded`
+/// fires if the exact peak ever exceeds it (which would mean the old lint
+/// under-approximated).
 pub fn verify_with_memory(
     sched: &Schedule,
     iterations: u32,
@@ -333,30 +529,40 @@ pub fn verify_with_memory(
     capacity_bytes: u64,
 ) -> VerifyReport {
     let mut report = verify_span(sched, iterations);
-    let weights = chimera_sim::memory::weights_bytes(sched, cost);
-    let acts = memory::static_peak_activations(sched, cost);
-    for (w, (&wb, &ab)) in weights.iter().zip(&acts.units).enumerate() {
-        let total = wb + ab.round() as u64;
-        if total > capacity_bytes {
-            let locations = acts.peak_op[w]
-                .map(|i| vec![OpLoc::of(sched, w, i)])
-                .unwrap_or_default();
+    let mem = memory_v2(sched, cost);
+    for (w, wm) in mem.workers.iter().enumerate() {
+        if wm.exact_peak_bytes > capacity_bytes {
             report.diagnostics.push(Diagnostic {
                 code: "capacity_overflow",
                 severity: Severity::Error,
                 message: format!(
-                    "{} peak memory {:.2} GiB (weights {:.2} + activations {:.2}) \
+                    "{} exact peak memory {:.2} GiB (resident {:.2} + dynamic {:.2}) \
                      exceeds device capacity {:.2} GiB",
                     WorkerId(w as u32),
-                    total as f64 / (1u64 << 30) as f64,
-                    wb as f64 / (1u64 << 30) as f64,
-                    ab / (1u64 << 30) as f64,
+                    wm.exact_peak_bytes as f64 / (1u64 << 30) as f64,
+                    wm.resident_bytes as f64 / (1u64 << 30) as f64,
+                    wm.dynamic_peak_bytes as f64 / (1u64 << 30) as f64,
                     capacity_bytes as f64 / (1u64 << 30) as f64
                 ),
-                locations,
+                locations: wm.cliff.clone().into_iter().collect(),
+            });
+        }
+        if wm.exact_peak_bytes > wm.coarse_bound_bytes {
+            report.diagnostics.push(Diagnostic {
+                code: "coarse_bound_exceeded",
+                severity: Severity::Error,
+                message: format!(
+                    "{} exact peak {} B exceeds the coarse Table-2 bound {} B — \
+                     the superseded lint under-approximated this schedule",
+                    WorkerId(w as u32),
+                    wm.exact_peak_bytes,
+                    wm.coarse_bound_bytes
+                ),
+                locations: wm.cliff.clone().into_iter().collect(),
             });
         }
     }
+    report.memory_v2 = Some(mem);
     report.sort_diagnostics();
     report
 }

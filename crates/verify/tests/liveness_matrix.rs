@@ -1,0 +1,231 @@
+//! The liveness dataflow engine across the full scheme matrix.
+//!
+//! 1. Exact-vs-executor: the engine's activation peak equals both the
+//!    incremental replay in `verify::memory` and the unit-time executor's
+//!    measured `peak_activations`, for all 9 schemes × D ∈ {2, 4, 8}.
+//! 2. Exact ≤ coarse: the exact byte peak never exceeds the coarse Table-2
+//!    bound it replaces, and the recovered slack ratio is reported.
+//! 3. Determinism: linear-scan slot assignment and the whole `memory_v2`
+//!    report are identical across repeated runs and across threads.
+//! 4. Off-by-one boundary: live ranges that abut at exactly one op (a
+//!    rematerialization whose def == kill is the op that also kills the
+//!    boundary stash) interfere and are both counted at the peak.
+
+use chimera_core::named::build_named;
+use chimera_core::unit_time::{execute, UnitCosts};
+use chimera_sim::{AllReduceAlgo, NetworkModel, SimCostModel, StageCosts, Topology};
+use chimera_verify::liveness::{analyze, assign_slots, ActivationSizes, BufferKind, SimSizes};
+use chimera_verify::{memory_v2, verify_with_memory};
+
+const SCHEMES: [&str; 9] = [
+    "gpipe",
+    "dapple",
+    "gems",
+    "pipedream",
+    "pipedream-2bw",
+    "chimera",
+    "chimera-f2",
+    "doubling",
+    "halving",
+];
+
+fn matrix() -> Vec<(&'static str, u32, chimera_core::schedule::Schedule)> {
+    let mut out = Vec::new();
+    for scheme in SCHEMES {
+        for d in [2u32, 4, 8] {
+            if scheme == "chimera-f2" && (d / 2) % 2 != 0 {
+                continue; // f=2 requires f | D/2
+            }
+            let s = build_named(scheme, d, 2 * d).expect("known scheme");
+            out.push((scheme, d, s));
+        }
+    }
+    out
+}
+
+fn cost(d: u32) -> SimCostModel {
+    SimCostModel {
+        stages: vec![
+            StageCosts {
+                fwd_s: 1e-3,
+                bwd_s: 2e-3,
+                recompute_s: 1e-3,
+                boundary_bytes: 1 << 20,
+                act_bytes: 8 << 20,
+                param_bytes: 100 << 20,
+                grad_opt_bytes: 200 << 20,
+            };
+            d as usize
+        ],
+        network: NetworkModel::cray_aries(),
+        topology: Topology::one_per_node(d),
+        allreduce_participants: 2,
+        allreduce_algo: AllReduceAlgo::Rabenseifner,
+        allreduce_beta_factor: 1.0,
+        launch_overhead_s: 0.0,
+        half_chunk_penalty: 1.0,
+        comm_compute_interference: 0.0,
+        p2p_host_overhead_s: 0.0,
+        p2p_host_s_per_byte: 0.0,
+        grad_compression: 1.0,
+    }
+}
+
+#[test]
+fn exact_activation_peak_matches_replay_and_executor_across_matrix() {
+    let costs = UnitCosts::equal();
+    for (scheme, d, s) in matrix() {
+        let replay = chimera_verify::memory::static_peak_activations(&s, &costs);
+        let engine = analyze(&s, &ActivationSizes(&costs));
+        assert!(
+            engine.diagnostics.is_empty(),
+            "{scheme} D={d}: {:?}",
+            engine.diagnostics
+        );
+        let tl = execute(&s, costs).expect("matrix schedules execute");
+        for w in 0..s.num_workers() {
+            assert!(
+                (engine.peak[w] - replay.units[w]).abs() < 1e-9,
+                "{scheme} D={d} P{w}: engine {} vs replay {}",
+                engine.peak[w],
+                replay.units[w]
+            );
+            assert!(
+                (engine.peak[w] - tl.peak_activations[w]).abs() < 1e-9,
+                "{scheme} D={d} P{w}: engine {} vs executor {}",
+                engine.peak[w],
+                tl.peak_activations[w]
+            );
+            assert_eq!(engine.cliff[w], replay.peak_op[w], "{scheme} D={d} P{w}");
+        }
+    }
+}
+
+#[test]
+fn exact_peak_never_exceeds_coarse_bound_and_reports_slack() {
+    for (scheme, d, s) in matrix() {
+        let c = cost(d);
+        let mem = memory_v2(&s, &c);
+        for (w, wm) in mem.workers.iter().enumerate() {
+            assert!(
+                wm.exact_peak_bytes <= wm.coarse_bound_bytes,
+                "{scheme} D={d} P{w}: exact {} > coarse {}",
+                wm.exact_peak_bytes,
+                wm.coarse_bound_bytes
+            );
+            assert!(
+                wm.slack_ratio >= 1.0,
+                "{scheme} D={d} P{w}: slack {}",
+                wm.slack_ratio
+            );
+            assert_eq!(
+                wm.exact_peak_bytes,
+                wm.resident_bytes + wm.dynamic_peak_bytes
+            );
+        }
+        // The cross-check lint stays silent on every sound schedule, and the
+        // report carries the memory/v2 section.
+        let report = verify_with_memory(&s, 1, &c, u64::MAX);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|di| di.code != "coarse_bound_exceeded"),
+            "{scheme} D={d}"
+        );
+        assert!(report.memory_v2.is_some());
+    }
+}
+
+#[test]
+fn two_bw_recovers_real_slack_while_table2_is_tight_for_pipedream() {
+    // PipeDream's Table-2 bound (D−s versions at stage s) is *exactly*
+    // attained in the copy-on-update steady state — the exact analysis
+    // validates the paper's accounting to the byte. PipeDream-2BW's
+    // double-buffer bound, in contrast, over-charges: the second buffer is
+    // live only between an update and the draining of the micros that
+    // reference the superseded version, so the exact analysis recovers
+    // planner headroom.
+    let pd = memory_v2(&build_named("pipedream", 4, 8).unwrap(), &cost(4));
+    for wm in &pd.workers {
+        assert_eq!(
+            wm.exact_peak_bytes, wm.coarse_bound_bytes,
+            "Table 2 should be tight for pipedream: {wm:?}"
+        );
+    }
+    let bw = memory_v2(&build_named("pipedream-2bw", 4, 8).unwrap(), &cost(4));
+    for wm in &bw.workers {
+        assert!(
+            wm.slack_ratio > 1.25,
+            "expected ≥25% recovered headroom, got {wm:?}"
+        );
+    }
+}
+
+#[test]
+fn slot_assignment_is_deterministic_across_runs_and_threads() {
+    let s = build_named("chimera", 4, 8).unwrap();
+    let c = cost(4);
+    let lives = analyze(&s, &SimSizes(&c)).lives;
+    let intervals: Vec<(usize, usize)> = lives
+        .iter()
+        .flat_map(|wl| wl.iter().map(|b| (b.def, b.kill)))
+        .collect();
+    let golden_slots = assign_slots(&intervals);
+    let golden_mem = memory_v2(&s, &c);
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let intervals = intervals.clone();
+            std::thread::spawn(move || {
+                let s = build_named("chimera", 4, 8).unwrap();
+                let c = cost(4);
+                (assign_slots(&intervals), memory_v2(&s, &c))
+            })
+        })
+        .collect();
+    for t in threads {
+        let (slots, mem) = t.join().unwrap();
+        assert_eq!(slots, golden_slots);
+        assert_eq!(mem, golden_mem);
+    }
+    for _ in 0..10 {
+        assert_eq!(assign_slots(&intervals), golden_slots);
+    }
+}
+
+#[test]
+fn remat_and_boundary_stash_abut_at_the_backward_op() {
+    // Forward doubling with recomputation: at each recomputing backward the
+    // rematerialization buffer (def == kill == that op) and the boundary
+    // stash it consumes (killed by that op) are live *simultaneously* — the
+    // classic off-by-one boundary. The engine must count both at that op.
+    let s = build_named("doubling", 4, 8).unwrap();
+    let mut costs = UnitCosts::practical();
+    costs.recompute_stash_fraction = 0.25;
+    let engine = analyze(&s, &ActivationSizes(&costs));
+    let mut checked = 0;
+    for (w, wl) in engine.lives.iter().enumerate() {
+        for remat in wl.iter().filter(|b| b.kind == BufferKind::Remat) {
+            let stash = wl
+                .iter()
+                .find(|b| {
+                    b.kind == BufferKind::Stash
+                        && b.replica == remat.replica
+                        && b.stage == remat.stage
+                        && b.kill == remat.def
+                })
+                .unwrap_or_else(|| panic!("P{w}: remat at op {} has no dying stash", remat.def));
+            assert!(stash.interferes(remat), "abutting ranges must interfere");
+            assert_ne!(
+                stash.def, stash.kill,
+                "boundary stash lives from forward to backward"
+            );
+            // Both occupy distinct slots even though they share only one op.
+            let slots = assign_slots(&[(stash.def, stash.kill), (remat.def, remat.kill)]);
+            assert_ne!(slots[0], slots[1]);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "doubling must produce recomputing backwards");
+}

@@ -10,7 +10,7 @@
 //! chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N]
 //!                     [--iters I] [--trace dir]   multi-process training
 //!                     [--metrics-every ms] [--metrics-out f] [--metrics-port p]
-//! chimera-cli verify  [scheme [D] [N]] [--json]   static schedule verifier
+//! chimera-cli verify  [scheme [D] [N]] [--liveness] [--json]  static schedule verifier
 //! chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]
 //! chimera-cli overhead-check [D] [N] [iters] [--repeats R]
 //! ```
@@ -31,8 +31,11 @@
 //! `verify` runs the static analyses of `chimera-verify` (happens-before
 //! deadlock detection, send/recv matching, buffer-hazard and memory lints)
 //! on one schedule, or — with no scheme — on every built-in scheme for
-//! D ∈ {2, 4, 8}. Exit status 1 when any diagnostic of error severity is
-//! found.
+//! D ∈ {2, 4, 8}. `--liveness` adds the exact buffer-liveness dataflow
+//! analysis under the Bert-48/Piz-Daint byte model: per-worker exact peak
+//! memory, the coarse-bound cross-check, the memory-cliff op, and the pool
+//! pre-sizing plan land in the report (schema `memory/v2` under `--json`).
+//! Exit status 1 when any diagnostic of error severity is found.
 //!
 //! `launch` spawns `P` worker **processes** (one pipeline worker each, `W =
 //! P/D` data-parallel groups) connected over the TCP transport, then re-runs
@@ -83,11 +86,11 @@ use chimera::serve::{
 };
 use chimera::sim::simulate;
 use chimera::trace::{now_ns, read_jsonl, write_jsonl, BufferSink, MetricsRegistry};
-use chimera::verify::verify_span;
+use chimera::verify::{verify_span, verify_with_memory, VerifyReport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat] [--json]\n  chimera-cli serve   [--addr a] [--http-addr a] [--workers n] [--queue-cap n]\n                      [--cache-cap n] [--no-floor]\n  chimera-cli query   [--addr a] [--model m --devices P] [--b-hat n] [--topology t]\n                      [--congestion-pct c] [--mem-budget-bytes b] [--schemes s,s]\n                      [--deadline-ms ms] [--stats] [--ping]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat] [--json]\n  chimera-cli serve   [--addr a] [--http-addr a] [--workers n] [--queue-cap n]\n                      [--cache-cap n] [--no-floor]\n  chimera-cli query   [--addr a] [--model m --devices P] [--b-hat n] [--topology t]\n                      [--congestion-pct c] [--mem-budget-bytes b] [--schemes s,s]\n                      [--deadline-ms ms] [--stats] [--ping]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--liveness] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -460,9 +463,11 @@ fn verify_iterations(scheme: &str) -> u32 {
 fn cmd_verify(args: std::env::Args) {
     let mut positional = Vec::new();
     let mut json = false;
+    let mut liveness = false;
     for a in args {
         match a.as_str() {
             "--json" => json = true,
+            "--liveness" => liveness = true,
             other if other.starts_with("--") => {
                 eprintln!("unexpected flag: {other}");
                 usage();
@@ -471,13 +476,33 @@ fn cmd_verify(args: std::env::Args) {
         }
     }
 
+    // `--liveness` prices the schedule with the Bert-48 byte model on the
+    // Piz-Daint cluster spec — the same reference configuration the planner
+    // and paper figures use — and checks the exact peak against its memory.
+    let run_one = |sched: &Schedule, scheme: &str| -> VerifyReport {
+        let iters = verify_iterations(scheme);
+        if !liveness {
+            return verify_span(sched, iters);
+        }
+        let cluster = ClusterSpec::piz_daint();
+        let cfg = TrainConfig {
+            model: ModelSpec::bert48(),
+            cluster,
+            d: sched.d,
+            w: 1,
+            b: 1,
+            stage_replicas: sched.placement.replicas(),
+        };
+        verify_with_memory(sched, iters, &cfg.cost_model(), cluster.usable_mem())
+    };
+
     let mut reports = Vec::new();
     match positional.first() {
         Some(scheme) => {
             let d = parse(positional.get(1).cloned(), 4u32);
             let n = parse(positional.get(2).cloned(), 2 * d);
             let sched = build_schedule(scheme, d, n);
-            reports.push(verify_span(&sched, verify_iterations(scheme)));
+            reports.push(run_one(&sched, scheme));
         }
         None => {
             for d in [2u32, 4, 8] {
@@ -486,7 +511,7 @@ fn cmd_verify(args: std::env::Args) {
                         continue;
                     }
                     let sched = build_schedule(scheme, d, 2 * d);
-                    reports.push(verify_span(&sched, verify_iterations(scheme)));
+                    reports.push(run_one(&sched, scheme));
                 }
             }
         }
