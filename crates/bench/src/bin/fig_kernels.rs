@@ -1,20 +1,27 @@
-//! Kernel-layer throughput harness: naive vs tiled vs tiled+threaded
-//! GFLOP/s, the zero-skip sparse entry point on 95%-zero input, and
-//! end-to-end training step time with the buffer pool on/off.
+//! Kernel-layer throughput harness: naive vs packed-panel vs
+//! packed+threaded GFLOP/s, backward-kernel rates for sim calibration, the
+//! zero-skip sparse entry point on 95%-zero input, and end-to-end training
+//! step time with the buffer pool on/off.
 //!
 //! Writes `results/kernels.json` plus `BENCH_kernels.json` at the workspace
-//! root (the artifact CI uploads). Flags:
+//! root (the artifact CI uploads). The JSON carries a `calibration` section
+//! (measured `bwd_over_fwd` from the three kernel variants at the headline
+//! shape) that `chimera profile --calibration` feeds into the simulator's
+//! unit costs. Flags:
 //!
-//! * `--smoke`      small shape + short run, for the CI bench-smoke job
-//! * `--check`      compare tiled+threaded GFLOP/s against the committed
-//!   baseline (`crates/bench/baselines/kernels.json`) and exit non-zero on
-//!   a >20% regression
+//! * `--smoke`      short run for the CI bench-smoke job; still includes
+//!   the 512×1024×1024 headline shape the ROADMAP targets
+//! * `--check`      enforce the committed baseline
+//!   (`crates/bench/baselines/kernels.json`, >20% regression fails), the
+//!   `speedup_vs_naive ≥ 4.0` floor on the headline shape, threading
+//!   (mt ≥ 1.5× 1t when ≥2 cores are actually available, mt ≥ 0.9× 1t
+//!   otherwise), and `end_to_end` pool ratio ≥ 1.0
 //! * `--threads N`  intra-op thread count (default: `max(4, cores)`)
 //!
 //! The committed baseline is deliberately conservative — set well below
 //! typical dev-machine throughput — so the gate catches structural
-//! regressions (a lost vectorized loop, an accidental bounds check in the
-//! inner kernel) rather than CI-runner noise.
+//! regressions (a lost packed panel, an accidental bounds check in the
+//! microkernel) rather than CI-runner noise.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -44,6 +51,10 @@ fn randvec(len: usize, seed: u64) -> Vec<f32> {
     let mut rng = Rng::new(seed);
     (0..len).map(|_| rng.normal()).collect()
 }
+
+/// The ROADMAP's headline kernel shape: large enough that every GEMM
+/// dimension spills all cache levels, so packing either pays or doesn't.
+const HEADLINE: (usize, usize, usize) = (512, 1024, 1024);
 
 struct MatmulRow {
     shape: String,
@@ -82,6 +93,26 @@ fn bench_shape(m: usize, k: usize, n: usize, threads: usize) -> MatmulRow {
     }
 }
 
+/// Single-threaded GFLOP/s of the two backward-pass kernels (`aᵀ@b` for
+/// `dW`, `a@bᵀ` for `dX`) at one shape, for unit-cost calibration.
+fn bench_backward(m: usize, k: usize, n: usize) -> (f64, f64) {
+    let a = randvec(m * k, 5);
+    let at = randvec(k * m, 6);
+    let b = randvec(k * n, 7);
+    let bt = randvec(n * k, 8);
+    let mut out = vec![0.0f32; m * n];
+    kernels::set_threads(1);
+    let t_mm = time_per_call(3, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        kernels::t_matmul_into(&at, &b, &mut out, k, m, n);
+    });
+    let mm_t = time_per_call(3, || {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        kernels::matmul_t_into(&a, &bt, &mut out, m, k, n);
+    });
+    (gflops(m, k, n, t_mm), gflops(m, k, n, mm_t))
+}
+
 /// Dense kernel vs the documented sparse-aware entry point on an input
 /// that is 95% exact zeros (effective GFLOP/s: dense-equivalent flops over
 /// wall clock, so the zero-skip win shows up as a higher number).
@@ -111,11 +142,19 @@ struct EndToEnd {
 
 /// Per-iteration step time of the sequential reference trainer with the
 /// buffer pool on vs off, plus the steady-state pool hit rate.
+///
+/// The two modes **alternate** round-by-round and the **minimum** per mode
+/// is kept: the `--check` gate asserts pool-on is never slower than
+/// pool-off, best-of-N strips container-scheduler noise from a
+/// sub-millisecond loop (the mean once reported pool-on "losing" at ratio
+/// 0.94 purely from a descheduling blip), and interleaving makes slow
+/// machine drift — thermals, a background compile — hit both modes equally
+/// instead of whichever happened to run second.
 fn bench_end_to_end(iters: u32) -> EndToEnd {
     let cfg = ModelConfig::tiny();
     let n = 4u32;
-    let run = |pooled: bool| -> (f64, f64) {
-        pool::set_enabled(pooled);
+    const ROUNDS: u32 = 5;
+    let mk = || {
         let mut r = ReferenceTrainer::new(
             Stage::build_all(cfg, 2),
             SyntheticData::new(cfg, 7),
@@ -124,21 +163,31 @@ fn bench_end_to_end(iters: u32) -> EndToEnd {
             0.9,
         );
         r.train_iteration(0, n); // warm-up populates the pool classes
-        pool::reset_stats();
-        let start = Instant::now();
-        for it in 1..=iters {
-            r.train_iteration(u64::from(it) * u64::from(n), n);
-        }
-        let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
-        (ms, pool::stats().hit_rate())
+        r
     };
-    let (pool_on_ms, hit_rate) = run(true);
-    let (pool_off_ms, _) = run(false);
+    pool::set_enabled(true);
+    let mut on = mk();
+    pool::reset_stats(); // hit rate below covers only pooled timed iterations
+    pool::set_enabled(false);
+    let mut off = mk();
+    let mut best = [f64::INFINITY; 2];
+    for round in 0..ROUNDS {
+        for (slot, pooled) in [(0usize, true), (1usize, false)] {
+            pool::set_enabled(pooled);
+            let r = if pooled { &mut on } else { &mut off };
+            let start = Instant::now();
+            for it in 1..=iters {
+                let sample = u64::from(round) * u64::from(iters) + u64::from(it);
+                r.train_iteration(sample * u64::from(n), n);
+            }
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64() * 1e3 / f64::from(iters));
+        }
+    }
     pool::set_enabled(true);
     EndToEnd {
-        pool_on_ms,
-        pool_off_ms,
-        hit_rate,
+        pool_on_ms: best[0],
+        pool_off_ms: best[1],
+        hit_rate: pool::stats().hit_rate(),
     }
 }
 
@@ -153,7 +202,7 @@ fn load_baseline() -> Option<serde_json::Value> {
     serde_json::from_str(&text).ok()
 }
 
-fn check_regressions(rows: &[MatmulRow]) -> bool {
+fn check_regressions(rows: &[MatmulRow], e2e: &EndToEnd, parallelism: usize) -> bool {
     let Some(baseline) = load_baseline() else {
         eprintln!("--check: no readable baseline; failing");
         return false;
@@ -189,7 +238,11 @@ fn check_regressions(rows: &[MatmulRow]) -> bool {
     // mis-tune once (mt 0.89× 1t on small shapes, PR-5 era) — shapes below
     // the gate now run the identical sequential path, larger shapes must
     // show threading paying for itself. The 0.9 factor absorbs
-    // container-scheduler noise, not structural losses.
+    // container-scheduler noise, not structural losses. On the headline
+    // shape, when the machine actually has ≥2 cores, threading must *win*:
+    // mt ≥ 1.5× 1t (the 2D grid makes every shape parallel-friendly, so a
+    // miss here means the partitioning broke, not that the shape is hard).
+    let headline = format!("{}x{}x{}", HEADLINE.0, HEADLINE.1, HEADLINE.2);
     for r in rows {
         if r.tiled_mt < 0.9 * r.tiled_1t {
             eprintln!(
@@ -199,6 +252,45 @@ fn check_regressions(rows: &[MatmulRow]) -> bool {
             );
             ok = false;
         }
+        if r.shape == headline {
+            // The packed engine must hold the ROADMAP's ≥4× floor over the
+            // naive loops single-threaded — thread count can't rescue it.
+            if r.tiled_1t < 4.0 * r.naive {
+                eprintln!(
+                    "check {}: PACKED-ENGINE REGRESSION tiled_1t {:.2} GFLOP/s \
+                     < 4.0 x naive {:.2}",
+                    r.shape, r.tiled_1t, r.naive
+                );
+                ok = false;
+            } else {
+                println!(
+                    "check {}: speedup_vs_naive {:.2} >= 4.0 ok",
+                    r.shape,
+                    r.tiled_1t / r.naive
+                );
+            }
+            if parallelism >= 2 && r.tiled_mt < 1.5 * r.tiled_1t {
+                eprintln!(
+                    "check {}: THREADING REGRESSION mt {:.2} GFLOP/s < 1.5 x 1t \
+                     {:.2} on {parallelism} cores",
+                    r.shape, r.tiled_mt, r.tiled_1t
+                );
+                ok = false;
+            }
+        }
+    }
+    // Pool-payoff gate: recycling buffers must never cost step time. Both
+    // sides are best-of-3, so a ratio below 1.0 is structural (a slow pool
+    // hot path), not scheduler noise.
+    let ratio = e2e.pool_off_ms / e2e.pool_on_ms;
+    if ratio < 1.0 {
+        eprintln!(
+            "check end_to_end: POOL REGRESSION step_time_ratio_off_over_on \
+             {ratio:.3} < 1.0 (pool on is slower than pool off)"
+        );
+        ok = false;
+    } else {
+        println!("check end_to_end: pool ratio {ratio:.3} >= 1.0 ok");
     }
     ok
 }
@@ -214,10 +306,13 @@ fn main() -> ExitCode {
                 .max(4)
         });
 
+    // Smoke keeps the small shape for quick signal but must also carry the
+    // headline shape: that's the number the ROADMAP targets and the
+    // speedup_vs_naive gate asserts on, so CI has to track it.
     let shapes: &[(usize, usize, usize)] = if smoke {
-        &[(128, 256, 256)]
+        &[(128, 256, 256), HEADLINE]
     } else {
-        &[(128, 256, 256), (256, 512, 512), (512, 1024, 1024)]
+        &[(128, 256, 256), (256, 512, 512), HEADLINE]
     };
 
     let rows: Vec<MatmulRow> = shapes
@@ -240,6 +335,39 @@ fn main() -> ExitCode {
                 ]
             })
             .collect::<Vec<_>>(),
+    );
+
+    // Backward-kernel rates at the headline shape → measured bwd/fwd ratio
+    // for the simulator's unit costs (`chimera profile --calibration`).
+    let (fwd_gf, t_mm_gf, mm_t_gf) = {
+        let (m, k, n) = HEADLINE;
+        let fwd = rows
+            .iter()
+            .find(|r| r.shape == format!("{m}x{k}x{n}"))
+            .map_or(0.0, |r| r.tiled_1t);
+        let (t_mm, mm_t) = bench_backward(m, k, n);
+        (fwd, t_mm, mm_t)
+    };
+    // Backward = dW (aᵀ@b) + dX (a@bᵀ), each the same flop count as the
+    // forward product, so time ratio = fwd_rate/t_mm_rate + fwd_rate/mm_t_rate.
+    let bwd_over_fwd = fwd_gf / t_mm_gf + fwd_gf / mm_t_gf;
+    print_table(
+        "Backward-kernel calibration (1t, headline shape)",
+        &["kernel", "GFLOP/s", "rel. to fwd"],
+        &[
+            vec!["fwd a@b".into(), format!("{fwd_gf:.2}"), "1.00".into()],
+            vec![
+                "dW aT@b".into(),
+                format!("{t_mm_gf:.2}"),
+                format!("{:.2}", fwd_gf / t_mm_gf),
+            ],
+            vec![
+                "dX a@bT".into(),
+                format!("{mm_t_gf:.2}"),
+                format!("{:.2}", fwd_gf / mm_t_gf),
+            ],
+            vec!["bwd total".into(), "-".into(), format!("{bwd_over_fwd:.2}")],
+        ],
     );
 
     let (zs_m, zs_k, zs_n) = if smoke {
@@ -273,16 +401,34 @@ fn main() -> ExitCode {
         ],
     );
 
+    let parallelism = threads.min(kernels::hw_parallelism());
+    let pack = kernels::pack_stats();
     let payload = serde_json::json!({
         "threads": threads,
+        "parallelism": parallelism,
+        "simd": kernels::simd_available(),
         "smoke": smoke,
         "matmul": rows.iter().map(|r| serde_json::json!({
             "shape": r.shape,
             "naive_gflops": r.naive,
             "tiled_1t_gflops": r.tiled_1t,
             "tiled_mt_gflops": r.tiled_mt,
-            "speedup_vs_naive": r.tiled_mt / r.naive,
+            // Single-threaded ratio: the packed engine's win over the naive
+            // loops, independent of how many cores the runner has.
+            "speedup_vs_naive": r.tiled_1t / r.naive,
+            "speedup_mt_vs_1t": r.tiled_mt / r.tiled_1t,
         })).collect::<Vec<_>>(),
+        "calibration": serde_json::json!({
+            "shape": format!("{}x{}x{}", HEADLINE.0, HEADLINE.1, HEADLINE.2),
+            "fwd_gflops": fwd_gf,
+            "t_matmul_gflops": t_mm_gf,
+            "matmul_t_gflops": mm_t_gf,
+            "bwd_over_fwd": bwd_over_fwd,
+        }),
+        "pack": serde_json::json!({
+            "calls": pack.calls,
+            "elems": pack.elems,
+        }),
         "zero_skip": serde_json::json!({
             "shape": format!("{zs_m}x{zs_k}x{zs_n}"),
             "zero_fraction": 0.95,
@@ -311,7 +457,7 @@ fn main() -> ExitCode {
     .expect("write BENCH_kernels.json");
     println!("[saved {bench_path}]");
 
-    if check && !check_regressions(&rows) {
+    if check && !check_regressions(&rows, &e2e, parallelism) {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -86,6 +86,33 @@ impl UnitCosts {
         }
     }
 
+    /// Costs with a **measured** backward/forward ratio, e.g. the
+    /// `calibration.bwd_over_fwd` value `fig_kernels` derives from the real
+    /// packed kernels (dW `aᵀ@b` + dX `a@bᵀ` time over forward `a@b` time).
+    ///
+    /// Uses `fwd = 100` ticks so the rounded ratio keeps ~1% resolution and
+    /// all derived costs (half-micro chunks = `fwd/2`) stay integral.
+    /// Non-finite or absurd ratios are clamped to `[0.1, 10]` — a
+    /// calibration artifact can be stale or truncated, and the simulator
+    /// must stay well-defined.
+    pub fn calibrated(bwd_over_fwd: f64) -> Self {
+        let ratio = if bwd_over_fwd.is_finite() {
+            bwd_over_fwd.clamp(0.1, 10.0)
+        } else {
+            2.0
+        };
+        let fwd = 100u64;
+        UnitCosts {
+            fwd,
+            bwd: (fwd as f64 * ratio).round() as u64,
+            recompute_extra: fwd,
+            p2p: 0,
+            allreduce: 0,
+            launch_overhead: 0,
+            recompute_stash_fraction: 0.0,
+        }
+    }
+
     /// Ticks for one op.
     pub fn cost(&self, op: &Op) -> u64 {
         match op.kind {
@@ -472,6 +499,19 @@ mod tests {
             flushes: true,
             sync: SyncStrategy::None,
         }
+    }
+
+    #[test]
+    fn calibrated_costs_scale_and_clamp() {
+        let c = UnitCosts::calibrated(2.25);
+        assert_eq!((c.fwd, c.bwd), (100, 225));
+        // Degenerate measurements fall back to sane costs.
+        assert_eq!(UnitCosts::calibrated(f64::NAN).bwd, 200);
+        assert_eq!(UnitCosts::calibrated(1000.0).bwd, 1000);
+        assert_eq!(UnitCosts::calibrated(0.0).bwd, 10);
+        // A calibrated schedule executes like any other cost model.
+        let t = execute(&gpipe2(2), UnitCosts::calibrated(2.0)).unwrap();
+        assert!(t.makespan > 0);
     }
 
     #[test]

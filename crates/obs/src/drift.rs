@@ -220,15 +220,32 @@ fn means<K: Ord>(samples: BTreeMap<K, (u64, u64)>) -> BTreeMap<K, (f64, u64)> {
         .collect()
 }
 
-/// Compare `events` against the unit-cost simulation of `(scheme, d, n)`.
+/// Compare `events` against the unit-cost simulation of `(scheme, d, n)`
+/// under the default [`UnitCosts::practical`] model (backward = 2×
+/// forward).
 ///
 /// Errors on unknown scheme names, configurations the simulator cannot
 /// execute, or traces with no forward spans (nothing to normalize by).
 pub fn drift(events: &[Event], scheme: &str, d: u32, n: u32) -> Result<DriftReport, String> {
+    drift_with_costs(events, scheme, d, n, UnitCosts::practical())
+}
+
+/// [`drift`] under an explicit cost model — typically
+/// [`UnitCosts::calibrated`] built from the `calibration.bwd_over_fwd`
+/// ratio `fig_kernels` measures on the real packed kernels, so the drift
+/// baseline reflects *this machine's* backward/forward ratio instead of
+/// the textbook 2×.
+pub fn drift_with_costs(
+    events: &[Event],
+    scheme: &str,
+    d: u32,
+    n: u32,
+    costs: UnitCosts,
+) -> Result<DriftReport, String> {
     let sched = build_named(scheme, d, n)
         .ok_or_else(|| format!("unknown scheme {scheme:?} (see chimera-core named schemes)"))?;
-    let sim = execute(&sched, UnitCosts::practical())
-        .map_err(|e| format!("simulating {scheme} D={d} N={n}: {e:?}"))?;
+    let sim =
+        execute(&sched, costs).map_err(|e| format!("simulating {scheme} D={d} N={n}: {e:?}"))?;
 
     // Measured per-class (sum, count) over all lanes.
     let mut measured: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
@@ -348,6 +365,20 @@ mod tests {
         ];
         let r = drift(&events, "dapple", 2, 2).unwrap();
         assert!((r.classes["backward"].drift - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_costs_shift_the_baseline() {
+        // Backward measured at 3x forward. Under the default 2x model that
+        // drifts 1.5; under a calibration that measured 3x it drifts 1.0.
+        let events = vec![
+            span(SpanKind::Forward, 0, 0, 100, None),
+            span(SpanKind::Backward, 0, 100, 300, None),
+        ];
+        let default = drift(&events, "dapple", 2, 2).unwrap();
+        assert!((default.classes["backward"].drift - 1.5).abs() < 1e-9);
+        let cal = drift_with_costs(&events, "dapple", 2, 2, UnitCosts::calibrated(3.0)).unwrap();
+        assert!((cal.classes["backward"].drift - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod timeline;
 
 pub use critical::{critical_path, CriticalOp, CriticalPath};
 pub use drift::{
-    comm_residuals, drift, load_comm_fits, parse_comm_fits, ClassDrift, CommFit, CommResiduals,
-    DriftReport,
+    comm_residuals, drift, drift_with_costs, load_comm_fits, parse_comm_fits, ClassDrift, CommFit,
+    CommResiduals, DriftReport,
 };
 pub use live::{prometheus_text, MetricsAggregator, MetricsPublisher, MetricsServer, METRICS_TAG};
 pub use report::{profile, ProfileReport};

@@ -172,6 +172,7 @@ pub fn train_hybrid(
     pool::set_enabled(opts.pool);
     let pool_before = pool::stats();
     let kernels_before = kernels::stats();
+    let pack_before = kernels::pack_stats();
     // Tracing pays for kernel wall-clock timing; untraced runs skip the two
     // clock reads per matmul.
     let time_kernels = opts.trace.is_some();
@@ -364,11 +365,19 @@ pub fn train_hybrid(
             nanos: now.nanos - kernels_before.nanos,
         }
     };
+    let pack_now = kernels::pack_stats();
+    let pack_calls = pack_now.calls - pack_before.calls;
+    let pack_elems = pack_now.elems - pack_before.elems;
     reg.counter("runtime.pool.hits").add(pd.hits);
     reg.counter("runtime.pool.misses").add(pd.misses);
     reg.counter("runtime.kernel.calls").add(kd.calls);
     reg.counter("runtime.kernel.flops").add(kd.flops);
     reg.counter("runtime.kernel.ns").add(kd.nanos);
+    // Panel-copy traffic of the packed GEMM engine: elems/flops bounds the
+    // pack overhead (a healthy large-GEMM run packs a tiny fraction of the
+    // flops it executes; small-path-only runs report zero).
+    reg.counter("runtime.kernel.pack.calls").add(pack_calls);
+    reg.counter("runtime.kernel.pack.elems").add(pack_elems);
     if let Some(sup) = &sup {
         if pd.hits + pd.misses > 0 {
             sup.counter(

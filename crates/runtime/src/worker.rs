@@ -21,7 +21,7 @@ use chimera_core::op::{Chunk, Op, OpKind};
 use chimera_core::placement::Placement;
 use chimera_core::{StageId, WorkerId};
 use chimera_nn::{LrSchedule, MicroStash, Optimizer, OptimizerKind, Stage, SyntheticData};
-use chimera_tensor::{pool, Tensor};
+use chimera_tensor::{kernels, pool, Tensor};
 use chimera_trace::{now_ns, Counter, Event, MetricsRegistry, SpanEvent, SpanKind, TraceSink};
 
 use crate::error::WorkerError;
@@ -462,6 +462,15 @@ impl Worker {
         }
         for &(class, extra) in &self.plan {
             pool::prewarm(class, pool::spare_count(class) + extra);
+        }
+        // The packed GEMM engine draws per-grid-cell panel scratch from
+        // this thread's pool. The dry cycle warms those classes only when a
+        // held stage is big enough to take the packed path, so provision
+        // them explicitly — one a-panel and one b-panel buffer per grid
+        // cell this thread could run — keeping the first *large* product
+        // allocation-free too.
+        for class in kernels::pack_pool_classes() {
+            pool::prewarm(class, kernels::hw_parallelism());
         }
     }
 

@@ -11,7 +11,7 @@
 use chimera_core::chimera::{chimera, ChimeraConfig};
 use chimera_nn::ModelConfig;
 use chimera_runtime::{train, TrainOptions};
-use chimera_tensor::pool;
+use chimera_tensor::{kernels, pool, Rng, Tensor};
 
 fn opts(threads: usize) -> TrainOptions {
     TrainOptions {
@@ -51,6 +51,47 @@ fn thread_count_does_not_change_checkpoints() {
             as_bits(&l1),
             "losses diverged at {threads} threads"
         );
+    }
+}
+
+/// The 2D (row×column) grid partitioning kicks in only above the
+/// parallelism flop gate, which the tiny training model never crosses — so
+/// drive a training-shaped chain of products *above* the gate through the
+/// forced-grid entry points and require bit-identical results at every
+/// grid shape, with the pool on and off. This is the partitioning the
+/// multi-threaded training path uses on real model sizes.
+#[test]
+fn grid_partitioning_does_not_change_results() {
+    let (m, k, n) = (256usize, 256usize, 512usize); // 2·m·k·n > PAR_MIN_FLOPS
+    let mut rng = Rng::new(99);
+    let x = Tensor::normal(m, k, 1.0, &mut rng);
+    let w = Tensor::normal(k, n, 0.5, &mut rng);
+    let dy = Tensor::normal(m, n, 0.5, &mut rng);
+    let run = |threads: usize, pooled: bool| -> Vec<u32> {
+        pool::set_enabled(pooled);
+        // Forward, dW, dX — the per-layer product triple of training.
+        let mut y = vec![0.0f32; m * n];
+        kernels::matmul_into_with_threads(x.data(), w.data(), &mut y, m, k, n, threads);
+        let mut dw = vec![0.0f32; k * n];
+        kernels::t_matmul_into_with_threads(x.data(), &y, &mut dw, m, k, n, threads);
+        let mut dx = vec![0.0f32; m * k];
+        kernels::matmul_t_into_with_threads(dy.data(), w.data(), &mut dx, m, n, k, threads);
+        pool::set_enabled(true);
+        let mut out: Vec<u32> = Vec::new();
+        out.extend(y.iter().map(|v| v.to_bits()));
+        out.extend(dw.iter().map(|v| v.to_bits()));
+        out.extend(dx.iter().map(|v| v.to_bits()));
+        out
+    };
+    let base = run(1, true);
+    for threads in [2usize, 4, 8] {
+        for pooled in [true, false] {
+            assert_eq!(
+                run(threads, pooled),
+                base,
+                "grid t={threads} pooled={pooled} changed results"
+            );
+        }
     }
 }
 

@@ -1,60 +1,103 @@
-//! Cache-blocked, multi-threaded matmul kernels with a **fixed reduction
-//! order**.
+//! Packed-panel, register-blocked, multi-threaded matmul kernels with a
+//! **fixed reduction order**.
 //!
 //! # Determinism contract
 //!
 //! Every kernel here produces results that are **bit-identical at any thread
-//! count and any tile size**. The runtime's replica verification and
-//! checkpoint-replay tests compare parameters with `==`, so "close enough"
-//! floating point is not acceptable. The contract is enforced structurally:
+//! count, any tile size, and on any CPU** (with or without FMA hardware).
+//! The runtime's replica verification and checkpoint-replay tests compare
+//! parameters with `==`, so "close enough" floating point is not
+//! acceptable. The contract is enforced structurally:
 //!
-//! * Work is partitioned across threads by **output row**: each output row is
-//!   computed entirely by one thread, so its accumulation order never depends
-//!   on the thread count.
-//! * Tiling only reorders *independent* scalar updates. For the accumulating
-//!   kernels ([`matmul_into`], [`t_matmul_into`]) every output element is
-//!   accumulated directly (no per-tile partial sums), walking the shared `k`
-//!   dimension in ascending order — exactly the order of the naive untiled
-//!   loop. For the dot-product kernel ([`matmul_t_into`]) each element is one
-//!   [`dot`](crate::tensor::dot) call, whose 8-lane reduction order is fixed
-//!   by that function alone.
+//! * Work is partitioned across threads by **output element**: the 2D
+//!   (row-tile × column-tile) grid gives every output element to exactly one
+//!   thread, so its accumulation order never depends on the thread count or
+//!   the grid shape.
+//! * Packing copies operand panels but never reassociates arithmetic. For
+//!   the accumulating kernels ([`matmul_into`], [`t_matmul_into`]) every
+//!   output element is accumulated in place with one exactly-rounded
+//!   [`f32::mul_add`] per `k` step, walking `k` in ascending order — exactly
+//!   the op chain of the naive untiled loop. Panel padding is zero-filled
+//!   and only ever feeds accumulator lanes whose results are discarded.
+//! * For the dot-product kernel ([`matmul_t_into`]) each element is one
+//!   [`dot`](crate::tensor::dot)-ordered reduction (8 independent fma lanes,
+//!   fixed combine order), whether computed one at a time or as a
+//!   [`micro::DT`]×[`micro::DT`] register tile.
+//! * The SIMD and scalar microkernels execute the same op chain with the
+//!   same exactly-rounded fused multiply-add (see [`crate::micro`]), so
+//!   runtime CPU-feature dispatch never changes results.
 //!
 //! The [`naive`] module keeps the untiled single-threaded reference loops;
-//! the property tests assert bit-equality between the two at thread counts
-//! {1, 2, 4, 8} and adversarial shapes.
+//! property tests assert bit-equality against them at thread counts
+//! {1, 2, 4, 8} on adversarial shapes (see `tests/kernel_equivalence.rs`
+//! and `tests/packed_panel.rs`).
 //!
-//! # Blocking scheme
+//! # The packed-panel engine (GotoBLAS structure)
 //!
-//! The classic MC×KC×NC loop nest: the output is processed in `MC`-row
-//! stripes; for each stripe, `KC`-deep slabs of the shared dimension are
-//! streamed against `NC`-wide column panels of `b`, so the hot working set
-//! (an `MC×KC` panel of `a`, a `KC×NC` panel of `b`, an `MC×NC` panel of the
-//! output) stays cache-resident while the innermost loop is a branch-free
-//! AXPY over `NC` contiguous floats that LLVM autovectorizes. There is no
-//! per-element zero test: a data-dependent branch in the inner loop defeats
-//! vectorization on dense inputs (see [`crate::tensor::Tensor::matmul_zero_skip`]
-//! for the sparse-aware entry point that keeps it).
+//! Large products run the classic five-loop nest:
+//!
+//! ```text
+//! for jc in steps of NC:            // column panel of the output
+//!   for k0 in steps of KC:          // slab of the shared dimension
+//!     pack B[k0.., jc..] → bpack    // KC×NC, NR-interleaved, zero-padded
+//!     for ic in steps of MC:        // row stripe
+//!       pack A[ic.., k0..] → apack  // MC×KC, MR-interleaved, zero-padded
+//!       for jr in steps of NR:      // register tile columns
+//!         for ir in steps of MR:    // register tile rows
+//!           gemm_micro: MR×NR accumulator tile in vector registers
+//! ```
+//!
+//! `bpack` stores, for each `NR`-wide panel, `kcb` rows of `NR` consecutive
+//! output-column values (`bpack[kk·NR + c]`); `apack` stores `kcb` rows of
+//! `MR` consecutive output-row values (`apack[kk·MR + r]`). The microkernel
+//! therefore streams both panels with stride-1 loads and keeps the full
+//! `MR×NR` accumulator tile in registers across the `kcb` loop — this is
+//! what closes the gap to hardware: no strided `b` reads at large `n`, no
+//! per-step accumulator store/reload. Panels live in scratch buffers drawn
+//! from the thread-local buffer [`pool`](crate::pool) (classes
+//! [`pack_pool_classes`]), so steady-state packing allocates nothing.
+//!
+//! Ragged edges (`m % MR`, `n % NR`) run the same microkernel against
+//! zero-padded panels, staging the affected output cells through a stack
+//! tile; padded lanes compute values that are never written back.
+//!
+//! Products below [`PACKED_MIN_FLOPS`] use the simple cache-blocked loops
+//! ([`matmul_small`] and friends): packing is pure overhead there, and both
+//! paths are bit-identical anyway, so size dispatch is invisible.
 //!
 //! # Threading
 //!
-//! Kernels run on a scoped pool ([`std::thread::scope`]) with one contiguous
-//! row range per thread. Threads are only spawned when the problem clears
-//! [`PAR_MIN_FLOPS`]; below that the sequential kernel wins. The thread
-//! count comes from [`set_threads`], falling back to the `CHIMERA_THREADS`
-//! environment variable, defaulting to 1.
+//! Kernels above [`PAR_MIN_FLOPS`] split the output over a 2D
+//! `tr × tc` grid of scoped threads ([`grid_for`] picks the squarest grid
+//! that still gives every cell whole register tiles). Each cell packs its
+//! own panels into its own pool scratch, so threads share nothing mutable.
+//! The thread count comes from [`set_threads`], falling back to the
+//! `CHIMERA_THREADS` environment variable, defaulting to 1, and is clamped
+//! to the machine's parallelism; the `*_with_threads` entry points bypass
+//! the gates for tests and benches that must exercise the grid on any host.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use crate::micro;
+pub use crate::micro::{set_force_scalar, simd_available, DT, LANES, MR, NR};
+use crate::pool;
 use crate::tensor::dot;
 
-/// Row-stripe height (output rows per tile).
+/// Row-stripe height of one packed `a` panel (a multiple of [`MR`]).
 pub const MC: usize = 64;
-/// Depth of one slab of the shared `k` dimension.
-pub const KC: usize = 128;
-/// Width of one column panel of `b` / the output.
-pub const NC: usize = 256;
+/// Depth of one packed slab of the shared `k` dimension.
+pub const KC: usize = 256;
+/// Width of one packed column panel of `b` (a multiple of [`NR`]).
+pub const NC: usize = 512;
+
+const _: () = assert!(MC.is_multiple_of(MR) && NC.is_multiple_of(NR));
+
+/// Minimum multiply-add count (`2·m·k·n`) before a product takes the
+/// packed-panel engine; below this the pack copies cost more than the
+/// strided reads they remove, so the simple cache-blocked loops win.
+pub const PACKED_MIN_FLOPS: u64 = 1 << 19;
 
 /// Minimum multiply-add count (`2·m·k·n`) before a kernel spawns threads;
 /// below this the scoped-spawn overhead exceeds the parallel win.
@@ -64,7 +107,7 @@ pub const NC: usize = 256;
 /// (e.g. 128×256×256 ≈ 2²⁴ MAs): per-call scoped spawn + join costs tens of
 /// microseconds, which a sub-millisecond matmul cannot amortize. 2²⁵ keeps
 /// every shape below ~512×256×256 sequential while the large training GEMMs
-/// (≥ 2²⁷) still thread. `fig_kernels --check` gates `mt ≥ 0.9 × 1t` per
+/// (≥ 2²⁷) still thread. `fig_kernels --check` gates `mt` vs `1t` per
 /// shape so this regression cannot silently return.
 pub const PAR_MIN_FLOPS: u64 = 1 << 25;
 
@@ -103,20 +146,23 @@ pub fn threads() -> usize {
 /// smaller machine (e.g. `CHIMERA_THREADS=4` inside a 1-core container)
 /// only adds context-switch overhead — the determinism contract makes the
 /// clamp safe, since results are bit-identical at any thread count.
-fn hw_threads() -> usize {
+pub fn hw_parallelism() -> usize {
     static HW: OnceLock<usize> = OnceLock::new();
     *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
 
-/// Threads actually used for a kernel over `rows` output rows and `flops`
-/// multiply-adds: 1 below [`PAR_MIN_FLOPS`], otherwise capped by the
-/// machine's parallelism and so every thread gets at least one full
-/// [`MC`]-row stripe.
-fn effective_threads(rows: usize, flops: u64) -> usize {
+/// Threads actually used for an `m×n` output with `flops` multiply-adds:
+/// 1 below [`PAR_MIN_FLOPS`], otherwise capped by the machine's parallelism
+/// and by the number of whole register tiles in the output (each grid cell
+/// must own at least one).
+fn effective_threads(m: usize, n: usize, flops: u64) -> usize {
     if flops < PAR_MIN_FLOPS {
         return 1;
     }
-    threads().min(hw_threads()).min(rows.div_ceil(MC)).max(1)
+    threads()
+        .min(hw_parallelism())
+        .min(m.div_ceil(MR).saturating_mul(n.div_ceil(NR)))
+        .max(1)
 }
 
 // --- kernel-time counters ----------------------------------------------------
@@ -125,6 +171,8 @@ static CALLS: AtomicU64 = AtomicU64::new(0);
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 static NANOS: AtomicU64 = AtomicU64::new(0);
 static TIMING: AtomicBool = AtomicBool::new(false);
+static PACK_CALLS: AtomicU64 = AtomicU64::new(0);
+static PACK_ELEMS: AtomicU64 = AtomicU64::new(0);
 
 /// Enable wall-clock timing of kernel calls ([`stats`] `nanos`). Off by
 /// default: two `Instant` reads per call are measurable on tiny matmuls.
@@ -151,6 +199,18 @@ impl KernelStats {
     }
 }
 
+/// Cumulative packed-panel counters since the last [`reset_stats`]:
+/// the panel-copy traffic the GotoBLAS engine pays to make the microkernel
+/// stream contiguously. Exported through chimera-trace as
+/// `runtime.kernel.pack.*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackStats {
+    /// Panel-pack invocations (one per packed `a` stripe or `b` slab).
+    pub calls: u64,
+    /// `f32` elements written into panels, padding included.
+    pub elems: u64,
+}
+
 /// Snapshot the kernel counters.
 pub fn stats() -> KernelStats {
     KernelStats {
@@ -160,11 +220,21 @@ pub fn stats() -> KernelStats {
     }
 }
 
-/// Zero the kernel counters.
+/// Snapshot the packed-panel counters.
+pub fn pack_stats() -> PackStats {
+    PackStats {
+        calls: PACK_CALLS.load(Ordering::Relaxed),
+        elems: PACK_ELEMS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the kernel and packing counters.
 pub fn reset_stats() {
     CALLS.store(0, Ordering::Relaxed);
     FLOPS.store(0, Ordering::Relaxed);
     NANOS.store(0, Ordering::Relaxed);
+    PACK_CALLS.store(0, Ordering::Relaxed);
+    PACK_ELEMS.store(0, Ordering::Relaxed);
 }
 
 /// Count one kernel call; returns a start instant while timing is enabled.
@@ -180,34 +250,343 @@ fn leave(start: Option<Instant>) {
     }
 }
 
+// --- pool-backed pack scratch ------------------------------------------------
+
+/// Pool size classes the packed engine draws its panel scratch from —
+/// `MC·KC` for `a` panels, `KC·NC` for `b` panels (both exact powers of
+/// two). A liveness plan that pre-warms these classes (one pair per kernel
+/// thread) keeps even the first packed product allocation-free.
+pub fn pack_pool_classes() -> [usize; 2] {
+    [
+        pool::class_of_request(MC * KC).expect("MC*KC is pool-sized"),
+        pool::class_of_request(KC * NC).expect("KC*NC is pool-sized"),
+    ]
+}
+
+/// One thread's pack scratch: a zero-length pool buffer resized to panel
+/// capacity. Contents are fully overwritten before every use.
+fn take_scratch() -> (Vec<f32>, Vec<f32>) {
+    let mut apack = pool::take_spare(MC * KC);
+    apack.resize(MC * KC, 0.0);
+    let mut bpack = pool::take_spare(KC * NC);
+    bpack.resize(KC * NC, 0.0);
+    (apack, bpack)
+}
+
+fn put_scratch(scratch: Vec<(Vec<f32>, Vec<f32>)>) {
+    for (apack, bpack) in scratch {
+        pool::put(apack);
+        pool::put(bpack);
+    }
+}
+
+// --- packing -----------------------------------------------------------------
+
+/// How a cell reads its `MC×KC` stripes of `a`.
+#[derive(Clone, Copy)]
+enum ASource<'a> {
+    /// `a` is `rows×k` row-major, already sliced to the cell's rows.
+    RowMajor { a: &'a [f32], k: usize },
+    /// `a` is the full `k×m` matrix of `aᵀ @ b`; the cell's output rows are
+    /// `a`'s columns starting at `c0`.
+    Transposed { a: &'a [f32], m: usize, c0: usize },
+}
+
+impl ASource<'_> {
+    /// Pack rows `i0..i0+mcb` (cell-local) over `k0..k0+kcb` into MR-wide
+    /// interleaved panels: `apack[q·kcb·MR + kk·MR + r]` holds the element
+    /// for output row `i0 + q·MR + r` at depth `k0 + kk`. Rows past `mcb`
+    /// are zero-filled; the zeros feed only discarded accumulator lanes.
+    fn pack(&self, apack: &mut [f32], i0: usize, mcb: usize, k0: usize, kcb: usize) {
+        for (q, ip) in (0..mcb).step_by(MR).enumerate() {
+            let h = MR.min(mcb - ip);
+            let dst = &mut apack[q * kcb * MR..(q + 1) * kcb * MR];
+            match *self {
+                ASource::RowMajor { a, k } => {
+                    for r in 0..h {
+                        let src = &a[(i0 + ip + r) * k + k0..][..kcb];
+                        for (kk, &v) in src.iter().enumerate() {
+                            dst[kk * MR + r] = v;
+                        }
+                    }
+                    for r in h..MR {
+                        for kk in 0..kcb {
+                            dst[kk * MR + r] = 0.0;
+                        }
+                    }
+                }
+                ASource::Transposed { a, m, c0 } => {
+                    let col = c0 + i0 + ip;
+                    for kk in 0..kcb {
+                        let src = &a[(k0 + kk) * m + col..][..h];
+                        let d = &mut dst[kk * MR..kk * MR + MR];
+                        d[..h].copy_from_slice(src);
+                        d[h..].fill(0.0);
+                    }
+                }
+            }
+        }
+        PACK_CALLS.fetch_add(1, Ordering::Relaxed);
+        PACK_ELEMS.fetch_add((mcb.div_ceil(MR) * MR * kcb) as u64, Ordering::Relaxed);
+    }
+}
+
+/// Pack `b[k0..k0+kcb, j0..j0+ncb]` (from the full `k×n` matrix) into
+/// NR-wide interleaved panels: `bpack[p·kcb·NR + kk·NR + c]` holds the
+/// element for output column `j0 + p·NR + c` at depth `k0 + kk`. Columns
+/// past `ncb` are zero-filled.
+fn pack_b(b: &[f32], bpack: &mut [f32], k0: usize, kcb: usize, j0: usize, ncb: usize, n: usize) {
+    for (p, jp) in (0..ncb).step_by(NR).enumerate() {
+        let w = NR.min(ncb - jp);
+        let dst = &mut bpack[p * kcb * NR..(p + 1) * kcb * NR];
+        for kk in 0..kcb {
+            let src = &b[(k0 + kk) * n + j0 + jp..][..w];
+            let d = &mut dst[kk * NR..kk * NR + NR];
+            d[..w].copy_from_slice(src);
+            d[w..].fill(0.0);
+        }
+    }
+    PACK_CALLS.fetch_add(1, Ordering::Relaxed);
+    PACK_ELEMS.fetch_add((ncb.div_ceil(NR) * NR * kcb) as u64, Ordering::Relaxed);
+}
+
+// --- the packed-panel GEMM driver --------------------------------------------
+
+/// One grid cell of `out += a@b` / `out += aᵀ@b`: the full five-loop packed
+/// nest over this cell's rows and columns.
+///
+/// * `rows` — the cell's output-row views, each exactly the cell's width.
+/// * `j0` — the cell's first output column (for reading `b`).
+/// * `src` — how to pack this cell's `a` stripes.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cell(
+    src: ASource<'_>,
+    b: &[f32],
+    n: usize,
+    k: usize,
+    j0: usize,
+    rows: &mut [&mut [f32]],
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    let mrows = rows.len();
+    let ncw = rows.first().map_or(0, |r| r.len());
+    if mrows == 0 || ncw == 0 {
+        return;
+    }
+    // Stack staging tile for ragged edges: real cells are copied in, the
+    // microkernel runs full-size against zero-padded panels, and only the
+    // real cells are copied back out.
+    let mut edge = [[0.0f32; NR]; MR];
+    for jc in (0..ncw).step_by(NC) {
+        let ncb = NC.min(ncw - jc);
+        for k0 in (0..k).step_by(KC) {
+            let kcb = KC.min(k - k0);
+            pack_b(b, bpack, k0, kcb, j0 + jc, ncb, n);
+            for ic in (0..mrows).step_by(MC) {
+                let mcb = MC.min(mrows - ic);
+                src.pack(apack, ic, mcb, k0, kcb);
+                for (p, jp) in (0..ncb).step_by(NR).enumerate() {
+                    let bslab = &bpack[p * kcb * NR..(p + 1) * kcb * NR];
+                    let w = NR.min(ncb - jp);
+                    for (q, ip) in (0..mcb).step_by(MR).enumerate() {
+                        let aslab = &apack[q * kcb * MR..(q + 1) * kcb * MR];
+                        let h = MR.min(mcb - ip);
+                        if h == MR && w == NR {
+                            micro::gemm_micro(
+                                aslab,
+                                bslab,
+                                kcb,
+                                &mut rows[ic + ip..ic + ip + MR],
+                                jc + jp,
+                            );
+                        } else {
+                            for r in 0..h {
+                                let srcrow = &rows[ic + ip + r][jc + jp..jc + jp + w];
+                                edge[r][..w].copy_from_slice(srcrow);
+                                edge[r][w..].fill(0.0);
+                            }
+                            for row in edge.iter_mut().skip(h) {
+                                row.fill(0.0);
+                            }
+                            {
+                                let mut views: Vec<&mut [f32]> =
+                                    edge.iter_mut().map(|r| &mut r[..]).collect();
+                                micro::gemm_micro(aslab, bslab, kcb, &mut views, 0);
+                            }
+                            for r in 0..h {
+                                rows[ic + ip + r][jc + jp..jc + jp + w]
+                                    .copy_from_slice(&edge[r][..w]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- 2D output partitioning --------------------------------------------------
+
+/// Pick a `tr × tc` grid for `t` threads over an `m×n` output: the factor
+/// pair using the most cells (≤ `t`, each cell at least one register tile)
+/// with the smallest per-cell perimeter (`m/tr + n/tc`, which minimizes
+/// duplicated packing and cache footprint).
+fn grid_for(t: usize, m: usize, n: usize) -> (usize, usize) {
+    let max_r = m.div_ceil(MR).max(1);
+    let max_c = n.div_ceil(NR).max(1);
+    let mut best = (1usize, 1usize);
+    let mut best_cells = 0usize;
+    let mut best_cost = usize::MAX;
+    for tr in 1..=t.min(max_r) {
+        let tc = (t / tr).min(max_c).max(1);
+        let cells = tr * tc;
+        let cost = m.div_ceil(tr) + n.div_ceil(tc);
+        if cells > best_cells || (cells == best_cells && cost < best_cost) {
+            best = (tr, tc);
+            best_cells = cells;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+/// Grid boundary `i` of `count` items split `ways` ways (balanced,
+/// deterministic).
+fn cut(i: usize, count: usize, ways: usize) -> usize {
+    i * count / ways
+}
+
+/// Split `out` (`m×n` row-major) into a `tr×tc` grid of per-cell row views:
+/// cell `(ri, ci)` (row-major in the returned vec) holds one `&mut [f32]`
+/// per output row in its stripe, each covering exactly its column range.
+fn split_grid(out: &mut [f32], m: usize, n: usize, tr: usize, tc: usize) -> Vec<Vec<&mut [f32]>> {
+    let mut cells: Vec<Vec<&mut [f32]>> = Vec::new();
+    for ri in 0..tr {
+        let rows = cut(ri + 1, m, tr) - cut(ri, m, tr);
+        for _ in 0..tc {
+            cells.push(Vec::with_capacity(rows));
+        }
+    }
+    let mut ri = 0usize;
+    for (i, row) in out.chunks_mut(n).enumerate() {
+        while i >= cut(ri + 1, m, tr) {
+            ri += 1;
+        }
+        let mut rest = row;
+        for ci in 0..tc {
+            let w = cut(ci + 1, n, tc) - cut(ci, n, tc);
+            let (seg, tail) = rest.split_at_mut(w);
+            cells[ri * tc + ci].push(seg);
+            rest = tail;
+        }
+    }
+    cells
+}
+
+/// Run the packed engine over a `tr×tc` grid on scoped threads. `src_of`
+/// maps a cell's global row range to its [`ASource`]; each cell gets its
+/// own pool-backed pack scratch, taken and returned on the calling thread
+/// (worker threads are scoped and short-lived, so routing scratch through
+/// *their* thread-local pools would leak a miss/discard pair per call).
+fn run_grid<'a>(
+    src_of: impl Fn(usize, usize) -> ASource<'a>,
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    t: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (tr, tc) = grid_for(t.max(1), m, n);
+    if tr * tc <= 1 {
+        let mut rows: Vec<&mut [f32]> = out.chunks_mut(n).collect();
+        let (mut apack, mut bpack) = take_scratch();
+        gemm_cell(src_of(0, m), b, n, k, 0, &mut rows, &mut apack, &mut bpack);
+        put_scratch(vec![(apack, bpack)]);
+        return;
+    }
+    let cells = split_grid(out, m, n, tr, tc);
+    let mut scratch: Vec<(Vec<f32>, Vec<f32>)> = (0..tr * tc).map(|_| take_scratch()).collect();
+    std::thread::scope(|s| {
+        for ((idx, mut rows), (apack, bpack)) in
+            cells.into_iter().enumerate().zip(scratch.iter_mut())
+        {
+            let (ri, ci) = (idx / tc, idx % tc);
+            let (i0, i1) = (cut(ri, m, tr), cut(ri + 1, m, tr));
+            let j0 = cut(ci, n, tc);
+            let src = src_of(i0, i1 - i0);
+            s.spawn(move || gemm_cell(src, b, n, k, j0, &mut rows, apack, bpack));
+        }
+    });
+    put_scratch(scratch);
+}
+
 // --- `a @ b` -----------------------------------------------------------------
 
 /// `out += a @ b` where `a: [m,k]`, `b: [k,n]`, `out: [m,n]`, all row-major.
 ///
 /// Accumulates into `out` (zero it first for a plain product). Per output
 /// element the `k` dimension is walked in ascending order regardless of
-/// tiling or thread count.
+/// packing, tiling, or thread count.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     let flops = 2 * (m as u64) * (k as u64) * (n as u64);
     let t0 = enter(flops);
-    let t = effective_threads(m, flops);
-    if t <= 1 {
-        matmul_block(a, b, out, m, k, n);
+    if flops < PACKED_MIN_FLOPS {
+        matmul_small(a, b, out, m, k, n);
     } else {
-        par_rows(a, out, m, k, n, t, |a_chunk, out_chunk, rows| {
-            matmul_block(a_chunk, b, out_chunk, rows, k, n);
-        });
+        matmul_packed(a, b, out, m, k, n, effective_threads(m, n, flops));
     }
     leave(t0);
 }
 
-/// Sequential MC×KC×NC-tiled stripe of [`matmul_into`].
-fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
-    for i0 in (0..rows).step_by(MC) {
-        let i1 = (i0 + MC).min(rows);
+/// [`matmul_into`] forced onto the packed engine with exactly `t` grid
+/// threads: bypasses the size gates and the hardware-parallelism clamp.
+/// Bit-identical to every other path; for tests and benches that must
+/// exercise packing and the 2D grid regardless of shape or host.
+pub fn matmul_into_with_threads(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    t: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let t0 = enter(2 * (m as u64) * (k as u64) * (n as u64));
+    matmul_packed(a, b, out, m, k, n, t);
+    leave(t0);
+}
+
+fn matmul_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, t: usize) {
+    run_grid(
+        |i0, rows| ASource::RowMajor {
+            a: &a[i0 * k..(i0 + rows) * k],
+            k,
+        },
+        b,
+        out,
+        m,
+        k,
+        n,
+        t,
+    );
+}
+
+/// Simple cache-blocked loops for small products (below
+/// [`PACKED_MIN_FLOPS`]): MC×KC×NC tiles, contiguous AXPY inner loop, one
+/// `mul_add` per step — the same per-element op chain as the packed engine.
+fn matmul_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i0 in (0..m).step_by(MC) {
+        let i1 = (i0 + MC).min(m);
         for k0 in (0..k).step_by(KC) {
             let k1 = (k0 + KC).min(k);
             for j0 in (0..n).step_by(NC) {
@@ -218,7 +597,7 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n:
                     for (kk, &aik) in a_row[k0..k1].iter().enumerate() {
                         let b_row = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j1];
                         for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                            *o += aik * bv;
+                            *o = aik.mul_add(bv, *o);
                         }
                     }
                 }
@@ -240,42 +619,48 @@ pub fn t_matmul_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, 
     debug_assert_eq!(out.len(), m * n);
     let flops = 2 * (m as u64) * (k as u64) * (n as u64);
     let t0 = enter(flops);
-    let t = effective_threads(m, flops);
-    if t <= 1 {
-        t_matmul_block(a, b, out, 0..m, k, m, n);
+    if flops < PACKED_MIN_FLOPS {
+        t_matmul_small(a, b, out, k, m, n);
     } else {
-        // Partition by output row = column of `a`; `a` cannot be sliced per
-        // chunk (columns interleave), so workers index it with their offset.
-        let chunk = m.div_ceil(t);
-        std::thread::scope(|s| {
-            let mut rest = out;
-            let mut c0 = 0usize;
-            while c0 < m {
-                let rows = chunk.min(m - c0);
-                let (mine, tail) = rest.split_at_mut(rows * n);
-                s.spawn(move || t_matmul_block(a, b, mine, c0..c0 + rows, k, m, n));
-                rest = tail;
-                c0 += rows;
-            }
-        });
+        t_matmul_packed(a, b, out, k, m, n, effective_threads(m, n, flops));
     }
     leave(t0);
 }
 
-/// Sequential stripe of [`t_matmul_into`]: output rows `cols` (columns of
-/// `a`), written to `out` starting at local row 0.
-fn t_matmul_block(
+/// [`t_matmul_into`] forced onto the packed engine with exactly `t` grid
+/// threads (see [`matmul_into_with_threads`]).
+pub fn t_matmul_into_with_threads(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
-    cols: std::ops::Range<usize>,
     k: usize,
     m: usize,
     n: usize,
+    t: usize,
 ) {
-    let (c0, rows) = (cols.start, cols.len());
-    for i0 in (0..rows).step_by(MC) {
-        let i1 = (i0 + MC).min(rows);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    let t0 = enter(2 * (m as u64) * (k as u64) * (n as u64));
+    t_matmul_packed(a, b, out, k, m, n, t);
+    leave(t0);
+}
+
+fn t_matmul_packed(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize, t: usize) {
+    run_grid(
+        |i0, _| ASource::Transposed { a, m, c0: i0 },
+        b,
+        out,
+        m,
+        k,
+        n,
+        t,
+    );
+}
+
+/// Simple blocked loops for small `aᵀ @ b` (ascending `k` per element).
+fn t_matmul_small(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    for i0 in (0..m).step_by(MC) {
+        let i1 = (i0 + MC).min(m);
         for k0 in (0..k).step_by(KC) {
             let k1 = (k0 + KC).min(k);
             for j0 in (0..n).step_by(NC) {
@@ -284,10 +669,10 @@ fn t_matmul_block(
                     let a_row = &a[kk * m..(kk + 1) * m];
                     let b_row = &b[kk * n + j0..kk * n + j1];
                     for i in i0..i1 {
-                        let aik = a_row[c0 + i];
+                        let aik = a_row[i];
                         let out_row = &mut out[i * n + j0..i * n + j1];
                         for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                            *o += aik * bv;
+                            *o = aik.mul_add(bv, *o);
                         }
                     }
                 }
@@ -299,80 +684,128 @@ fn t_matmul_block(
 // --- `a @ bᵀ` ----------------------------------------------------------------
 
 /// `out += a @ bᵀ` where `a: [m,k]`, `b: [n,k]`, `out: [m,n]` — the
-/// `dX = dY Wᵀ` pattern. Each element is a single [`dot`] over two
-/// contiguous rows, so its reduction order is fixed by `dot` alone.
+/// `dX = dY Wᵀ` pattern. Each element is one [`dot`]-ordered reduction over
+/// two contiguous rows, computed [`DT`]×[`DT`] at a time in registers; its
+/// reduction order is fixed by `dot` alone.
 pub fn matmul_t_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
     let flops = 2 * (m as u64) * (k as u64) * (n as u64);
     let t0 = enter(flops);
-    let t = effective_threads(m, flops);
-    if t <= 1 {
-        matmul_t_block(a, b, out, m, k, n);
-    } else {
-        par_rows(a, out, m, k, n, t, |a_chunk, out_chunk, rows| {
-            matmul_t_block(a_chunk, b, out_chunk, rows, k, n);
-        });
-    }
+    matmul_t_threaded(a, b, out, m, k, n, effective_threads(m, n, flops));
     leave(t0);
 }
 
-/// Sequential stripe of [`matmul_t_into`]: `MC` rows of `a` are held hot
-/// while rows of `b` stream through once per stripe.
-fn matmul_t_block(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
-    for i0 in (0..rows).step_by(MC) {
-        let i1 = (i0 + MC).min(rows);
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            for i in i0..i1 {
-                out[i * n + j] += dot(&a[i * k..(i + 1) * k], b_row);
-            }
-        }
-    }
-}
-
-// --- shared row-partitioned driver -------------------------------------------
-
-/// Split `a` (`m×k`, chunkable by row) and `out` (`m×n`) into `t` contiguous
-/// row ranges and run `body(a_chunk, out_chunk, rows)` on scoped threads.
-fn par_rows(
+/// [`matmul_t_into`] with exactly `t` grid threads, bypassing the gates
+/// (see [`matmul_into_with_threads`]).
+pub fn matmul_t_into_with_threads(
     a: &[f32],
+    b: &[f32],
     out: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
     t: usize,
-    body: impl Fn(&[f32], &mut [f32], usize) + Sync,
 ) {
-    let chunk = m.div_ceil(t);
-    let body = &body;
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let t0 = enter(2 * (m as u64) * (k as u64) * (n as u64));
+    matmul_t_threaded(a, b, out, m, k, n, t);
+    leave(t0);
+}
+
+fn matmul_t_threaded(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    t: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (tr, tc) = grid_for(t.max(1), m, n);
+    if tr * tc <= 1 {
+        let mut rows: Vec<&mut [f32]> = out.chunks_mut(n).collect();
+        matmul_t_cell(a, b, k, 0, &mut rows);
+        return;
+    }
+    let cells = split_grid(out, m, n, tr, tc);
     std::thread::scope(|s| {
-        let mut a_rest = a;
-        let mut out_rest = out;
-        let mut done = 0usize;
-        while done < m {
-            let rows = chunk.min(m - done);
-            let (a_mine, a_tail) = a_rest.split_at(rows * k);
-            let (o_mine, o_tail) = out_rest.split_at_mut(rows * n);
-            s.spawn(move || body(a_mine, o_mine, rows));
-            a_rest = a_tail;
-            out_rest = o_tail;
-            done += rows;
+        for (idx, mut rows) in cells.into_iter().enumerate() {
+            let (ri, ci) = (idx / tc, idx % tc);
+            let i0 = cut(ri, m, tr);
+            let i1 = cut(ri + 1, m, tr);
+            let j0 = cut(ci, n, tc);
+            let a_cell = &a[i0 * k..i1 * k];
+            s.spawn(move || matmul_t_cell(a_cell, b, k, j0, &mut rows));
         }
     });
 }
 
+/// One grid cell of `out += a @ bᵀ`: [`MC`]-row stripes against `b`-row
+/// stripes, full [`DT`]×[`DT`] register tiles inside, per-element [`dot`]
+/// on the ragged edges (bit-identical either way).
+#[allow(clippy::needless_range_loop)] // edge loops index `rows[i + q]` beside the tile body
+fn matmul_t_cell(a: &[f32], b: &[f32], k: usize, j0: usize, rows: &mut [&mut [f32]]) {
+    /// `b`-row stripe width held hot per pass.
+    const JB: usize = 64;
+    let mrows = rows.len();
+    let ncw = rows.first().map_or(0, |r| r.len());
+    let arow = |i: usize| &a[i * k..(i + 1) * k];
+    let brow = |j: usize| &b[(j0 + j) * k..(j0 + j + 1) * k];
+    for i0 in (0..mrows).step_by(MC) {
+        let i1 = (i0 + MC).min(mrows);
+        for jb in (0..ncw).step_by(JB) {
+            let j1 = (jb + JB).min(ncw);
+            let mut i = i0;
+            while i + DT <= i1 {
+                let ar: [&[f32]; DT] = std::array::from_fn(|q| arow(i + q));
+                let mut j = jb;
+                while j + DT <= j1 {
+                    let br: [&[f32]; DT] = std::array::from_fn(|q| brow(j + q));
+                    let mut tile = [[0.0f32; DT]; DT];
+                    micro::dot_tile(&ar, &br, &mut tile);
+                    for (q, trow) in tile.iter().enumerate() {
+                        for (c, &v) in trow.iter().enumerate() {
+                            rows[i + q][j + c] += v;
+                        }
+                    }
+                    j += DT;
+                }
+                for jj in j..j1 {
+                    let bj = brow(jj);
+                    for (q, aq) in ar.iter().enumerate() {
+                        rows[i + q][jj] += dot(aq, bj);
+                    }
+                }
+                i += DT;
+            }
+            for ii in i..i1 {
+                let ai = arow(ii);
+                for jj in jb..j1 {
+                    rows[ii][jj] += dot(ai, brow(jj));
+                }
+            }
+        }
+    }
+}
+
 // --- naive reference loops ---------------------------------------------------
 
-/// The untiled, single-threaded reference loops the tiled kernels must match
-/// **bit-for-bit**. Kept for the equivalence property tests and as the
-/// "before" side of the kernel benchmarks; never used on the training hot
-/// path.
+/// The untiled, single-threaded reference loops the packed kernels must
+/// match **bit-for-bit**. Kept for the equivalence property tests and as
+/// the "before" side of the kernel benchmarks; never used on the training
+/// hot path. Like the tiled kernels these accumulate with one
+/// exactly-rounded [`f32::mul_add`] per `k` step, so the fused-FMA SIMD
+/// paths are bit-identical to them.
 pub mod naive {
     use crate::tensor::dot;
 
-    /// Naive `out += a @ b` in i-k-j order (the order the tiled kernel
+    /// Naive `out += a @ b` in i-k-j order (the order the packed kernel
     /// reproduces per element).
     pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
         for i in 0..m {
@@ -381,7 +814,7 @@ pub mod naive {
             for (kk, &aik) in a_row.iter().enumerate() {
                 let b_row = &b[kk * n..(kk + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
+                    *o = aik.mul_add(bv, *o);
                 }
             }
         }
@@ -395,7 +828,7 @@ pub mod naive {
             for (i, &aik) in a_row.iter().enumerate() {
                 let out_row = &mut out[i * n..(i + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
+                    *o = aik.mul_add(bv, *o);
                 }
             }
         }
@@ -430,8 +863,8 @@ mod tests {
         }
     }
 
-    /// Tiled kernels match the naive loops bit-for-bit on shapes straddling
-    /// every tile boundary, at several thread counts.
+    /// Dispatched kernels match the naive loops bit-for-bit on shapes
+    /// straddling every tile boundary, at several thread counts.
     #[test]
     fn tiled_matches_naive_bitexact() {
         let shapes = [
@@ -474,6 +907,34 @@ mod tests {
         set_threads(saved);
     }
 
+    /// The forced-packed, forced-grid entry points match naive bit-for-bit
+    /// even on shapes far below the dispatch gates.
+    #[test]
+    fn with_threads_entries_match_naive() {
+        let (m, k, n) = (MC + 3, KC + 9, NR + 5);
+        let a = randvec(m * k, 11);
+        let b = randvec(k * n, 12);
+        let at = randvec(k * m, 13);
+        let bt = randvec(n * k, 14);
+        let mut want = vec![0.0f32; m * n];
+        naive::matmul_into(&a, &b, &mut want, m, k, n);
+        let mut want_t = vec![0.0f32; m * n];
+        naive::t_matmul_into(&at, &b, &mut want_t, k, m, n);
+        let mut want_mt = vec![0.0f32; m * n];
+        naive::matmul_t_into(&a, &bt, &mut want_mt, m, k, n);
+        for t in [1usize, 2, 4, 8] {
+            let mut got = vec![0.0f32; m * n];
+            matmul_into_with_threads(&a, &b, &mut got, m, k, n, t);
+            assert_bits_eq(&got, &want, &format!("packed matmul t{t}"));
+            let mut got = vec![0.0f32; m * n];
+            t_matmul_into_with_threads(&at, &b, &mut got, k, m, n, t);
+            assert_bits_eq(&got, &want_t, &format!("packed t_matmul t{t}"));
+            let mut got = vec![0.0f32; m * n];
+            matmul_t_into_with_threads(&a, &bt, &mut got, m, k, n, t);
+            assert_bits_eq(&got, &want_mt, &format!("tiled matmul_t t{t}"));
+        }
+    }
+
     /// k = 0 contracts to an all-zero product without panicking.
     #[test]
     fn zero_k_is_identity_on_zeroed_out() {
@@ -486,6 +947,10 @@ mod tests {
         let mut out = vec![0.0f32; 6];
         matmul_t_into(&[], &[], &mut out, 2, 0, 3);
         assert_eq!(out, vec![0.0; 6]);
+        // Forced-packed path, same contract.
+        let mut out = vec![1.0f32; 6];
+        matmul_into_with_threads(&[], &[], &mut out, 2, 0, 3, 4);
+        assert_eq!(out, vec![1.0; 6]);
     }
 
     #[test]
@@ -499,6 +964,26 @@ mod tests {
         let mut want = base;
         naive::matmul_into(&a, &b, &mut want, m, k, n);
         assert_bits_eq(&got, &want, "accumulating matmul");
+    }
+
+    #[test]
+    fn grid_covers_and_respects_bounds() {
+        for (t, m, n) in [
+            (1, 5, 5),
+            (4, 100, 100),
+            (8, 8, 2000),
+            (8, 3, 3),
+            (6, 64, 64),
+        ] {
+            let (tr, tc) = grid_for(t, m, n);
+            assert!(tr * tc <= t.max(1), "grid {tr}x{tc} over t={t}");
+            assert!(tr <= m.div_ceil(MR).max(1));
+            assert!(tc <= n.div_ceil(NR).max(1));
+        }
+        // A wide-and-short output must split by column, not by row.
+        let (tr, tc) = grid_for(8, 8, 2000);
+        assert_eq!(tr, 1);
+        assert!(tc > 1);
     }
 
     #[test]
@@ -528,5 +1013,29 @@ mod tests {
         matmul_into(&a, &b, &mut out, 4, 6, 3);
         set_timing(false);
         assert!(stats().gflops().is_some());
+    }
+
+    /// The packed engine reports its panel-copy traffic.
+    #[test]
+    fn pack_counters_track_packed_calls() {
+        let (m, k, n) = (MR + 1, 40, NR + 1);
+        let a = randvec(m * k, 30);
+        let b = randvec(k * n, 31);
+        let mut out = vec![0.0f32; m * n];
+        let before = pack_stats();
+        matmul_into_with_threads(&a, &b, &mut out, m, k, n, 1);
+        let after = pack_stats();
+        assert!(after.calls - before.calls >= 2, "one a-pack and one b-pack");
+        // Padded panel sizes: b packs ceil(n/NR)*NR columns, a packs
+        // ceil(m/MR)*MR rows, both over all k.
+        let min_elems = (n.div_ceil(NR) * NR * k + m.div_ceil(MR) * MR * k) as u64;
+        assert!(after.elems - before.elems >= min_elems);
+    }
+
+    #[test]
+    fn pack_pool_classes_are_pool_sized() {
+        let [ca, cb] = pack_pool_classes();
+        assert_eq!(1usize << ca, MC * KC);
+        assert_eq!(1usize << cb, KC * NC);
     }
 }

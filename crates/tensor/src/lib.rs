@@ -17,6 +17,7 @@
 //! [`pool`], so steady-state training allocates nothing per micro-batch.
 
 pub mod kernels;
+mod micro;
 pub mod ops;
 pub mod pool;
 pub mod rng;

@@ -68,23 +68,62 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 static RETURNS: AtomicU64 = AtomicU64::new(0);
 static DISCARDS: AtomicU64 = AtomicU64::new(0);
 
-thread_local! {
-    static POOL: RefCell<Vec<Vec<Vec<f32>>>> = const { RefCell::new(Vec::new()) };
-    static LOCAL: RefCell<PoolStats> = const { RefCell::new(PoolStats::new()) };
+/// One thread's entire pool state. Free lists, raised retention caps, and
+/// the per-thread counters live in a **single** thread-local so the hot
+/// `take`/`put` path costs one TLS address computation and one `RefCell`
+/// borrow, not three of each (the previous three-slot layout — pool,
+/// stats, caps — put two extra TLS round-trips on every buffer return and
+/// showed up in the end-to-end bench as pool-on losing to pool-off).
+struct LocalPool {
+    /// Free lists indexed by size class.
+    buckets: Vec<Vec<Vec<f32>>>,
     /// Per-class retention caps raised above [`PER_CLASS`] by [`prewarm`].
-    static CAPS: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    caps: Vec<usize>,
+    /// This thread's counters (see [`local_stats`]).
+    stats: PoolStats,
 }
 
-/// Effective retention cap of `class` on this thread.
-fn cap_of(class: usize) -> usize {
-    CAPS.try_with(|c| c.borrow().get(class).copied().unwrap_or(0))
-        .unwrap_or(0)
-        .max(PER_CLASS)
+impl LocalPool {
+    const fn new() -> Self {
+        LocalPool {
+            buckets: Vec::new(),
+            caps: Vec::new(),
+            stats: PoolStats::new(),
+        }
+    }
+
+    /// Effective retention cap of `class` on this thread.
+    fn cap_of(&self, class: usize) -> usize {
+        self.caps.get(class).copied().unwrap_or(0).max(PER_CLASS)
+    }
+
+    fn bucket_mut(&mut self, class: usize) -> &mut Vec<Vec<f32>> {
+        if self.buckets.len() <= class {
+            self.buckets.resize_with(class + 1, Vec::new);
+        }
+        &mut self.buckets[class]
+    }
 }
 
-fn count(f: impl Fn(&mut PoolStats)) {
-    // try_with: counters are best-effort during thread teardown.
-    let _ = LOCAL.try_with(|s| f(&mut s.borrow_mut()));
+thread_local! {
+    static LOCAL: RefCell<LocalPool> = const { RefCell::new(LocalPool::new()) };
+}
+
+/// Pop a recycled buffer for `class`, updating this thread's hit/miss
+/// counters in the same borrow. `None` also when TLS is being torn down.
+fn pop_counted(class: usize) -> Option<Vec<f32>> {
+    LOCAL
+        .try_with(|l| {
+            let mut l = l.borrow_mut();
+            let got = l.buckets.get_mut(class).and_then(Vec::pop);
+            if got.is_some() {
+                l.stats.hits += 1;
+            } else {
+                l.stats.misses += 1;
+            }
+            got
+        })
+        .unwrap_or(None)
 }
 
 /// Globally enable or disable pooling (default: enabled). Disabled, `take*`
@@ -111,13 +150,6 @@ fn class_for_capacity(cap: usize) -> usize {
     (usize::BITS - 1 - cap.leading_zeros()) as usize
 }
 
-fn pop(class: usize) -> Option<Vec<f32>> {
-    POOL.with(|p| {
-        let mut p = p.borrow_mut();
-        p.get_mut(class).and_then(Vec::pop)
-    })
-}
-
 /// A zero-filled buffer of exactly `len` floats, recycled when possible.
 pub fn take_zeroed(len: usize) -> Vec<f32> {
     if len < MIN_POOLED || !enabled() {
@@ -127,17 +159,15 @@ pub fn take_zeroed(len: usize) -> Vec<f32> {
     if class > MAX_CLASS {
         return vec![0.0; len];
     }
-    match pop(class) {
+    match pop_counted(class) {
         Some(mut v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
-            count(|s| s.hits += 1);
             v.clear();
             v.resize(len, 0.0);
             v
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            count(|s| s.misses += 1);
             // Allocate the full class size so the buffer is maximally
             // reusable when it comes back.
             let mut v = Vec::with_capacity(1 << class);
@@ -157,16 +187,14 @@ pub fn take_spare(len: usize) -> Vec<f32> {
     if class > MAX_CLASS {
         return Vec::with_capacity(len);
     }
-    match pop(class) {
+    match pop_counted(class) {
         Some(mut v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
-            count(|s| s.hits += 1);
             v.clear();
             v
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            count(|s| s.misses += 1);
             Vec::with_capacity(1 << class)
         }
     }
@@ -183,40 +211,38 @@ pub fn put(v: Vec<f32>) {
     let class = class_for_capacity(cap);
     if class > MAX_CLASS {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
-        count(|s| s.discards += 1);
+        let _ = LOCAL.try_with(|l| l.borrow_mut().stats.discards += 1);
         return;
     }
-    // try_with: during thread teardown the TLS slot may already be gone;
-    // dropping the buffer then is fine.
-    let cap = cap_of(class);
-    let stored = POOL
-        .try_with(|p| {
-            let mut p = p.borrow_mut();
-            if p.len() <= class {
-                p.resize_with(class + 1, Vec::new);
-            }
-            let bucket = &mut p[class];
-            if bucket.len() < cap {
+    // One TLS access covers the cap lookup, the push, and the counter
+    // update. try_with: during thread teardown the slot may already be
+    // gone; dropping the buffer then is fine.
+    let stored = LOCAL
+        .try_with(|l| {
+            let mut l = l.borrow_mut();
+            let cap = l.cap_of(class);
+            let bucket = l.bucket_mut(class);
+            let stored = bucket.len() < cap;
+            if stored {
                 bucket.push(v);
-                true
+                l.stats.returns += 1;
             } else {
-                false
+                l.stats.discards += 1;
             }
+            stored
         })
         .unwrap_or(false);
     if stored {
         RETURNS.fetch_add(1, Ordering::Relaxed);
-        count(|s| s.returns += 1);
     } else {
         DISCARDS.fetch_add(1, Ordering::Relaxed);
-        count(|s| s.discards += 1);
     }
 }
 
 /// Drop every buffer held by the **current thread's** pool (other threads'
 /// pools are untouched). Mainly for tests that need a cold pool.
 pub fn clear_local() {
-    POOL.with(|p| p.borrow_mut().clear());
+    LOCAL.with(|l| l.borrow_mut().buckets.clear());
 }
 
 /// Cumulative pool counters (process-wide, all threads).
@@ -279,12 +305,12 @@ pub fn reset_stats() {
 /// behavior (e.g. "zero misses in the first micro-batch") without races
 /// against sibling workers.
 pub fn local_stats() -> PoolStats {
-    LOCAL.with(|s| *s.borrow())
+    LOCAL.with(|l| l.borrow().stats)
 }
 
 /// Zero the current thread's counters (free lists are untouched).
 pub fn reset_local_stats() {
-    LOCAL.with(|s| *s.borrow_mut() = PoolStats::new());
+    LOCAL.with(|l| l.borrow_mut().stats = PoolStats::new());
 }
 
 /// The size class a pooled request of `len` floats is served from, or `None`
@@ -300,7 +326,7 @@ pub fn class_of_request(len: usize) -> Option<usize> {
 
 /// Number of spare buffers the current thread holds in `class`.
 pub fn spare_count(class: usize) -> usize {
-    POOL.with(|p| p.borrow().get(class).map_or(0, Vec::len))
+    LOCAL.with(|l| l.borrow().buckets.get(class).map_or(0, Vec::len))
 }
 
 /// Pre-warm the current thread's pool so `class` holds at least `count`
@@ -316,21 +342,15 @@ pub fn prewarm(class: usize, count: usize) {
         return;
     }
     let target = count.min(MAX_PREWARM);
-    if target > PER_CLASS {
-        let _ = CAPS.try_with(|c| {
-            let mut c = c.borrow_mut();
-            if c.len() <= class {
-                c.resize(class + 1, 0);
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        if target > PER_CLASS {
+            if l.caps.len() <= class {
+                l.caps.resize(class + 1, 0);
             }
-            c[class] = c[class].max(target);
-        });
-    }
-    POOL.with(|p| {
-        let mut p = p.borrow_mut();
-        if p.len() <= class {
-            p.resize_with(class + 1, Vec::new);
+            l.caps[class] = l.caps[class].max(target);
         }
-        let bucket = &mut p[class];
+        let bucket = l.bucket_mut(class);
         while bucket.len() < target {
             bucket.push(Vec::with_capacity(1 << class));
         }

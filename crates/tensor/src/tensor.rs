@@ -327,10 +327,13 @@ impl Tensor {
 
 /// Dot product of two equal-length slices.
 ///
-/// Split over 8 independent accumulator lanes (so LLVM can vectorize the
-/// reduction) with a **fixed** combine order: lanes 0..8 ascending, then the
-/// scalar tail. Every caller — tiled kernels, naive reference, any thread —
-/// therefore produces bit-identical sums for the same inputs.
+/// Split over 8 independent fused-multiply-add accumulator lanes with a
+/// **fixed** combine order: lanes 0..8 ascending, then a scalar `mul_add`
+/// tail. `f32::mul_add` is exactly rounded, and hardware FMA computes the
+/// identical bits, so the SIMD `dot_tile` microkernel, this scalar loop,
+/// and the soft-float fallback all produce the same sum — every caller
+/// (tiled kernels, naive reference, any thread, any CPU) is bit-identical
+/// for the same inputs.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -341,7 +344,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         let av = &a[c * LANES..(c + 1) * LANES];
         let bv = &b[c * LANES..(c + 1) * LANES];
         for l in 0..LANES {
-            acc[l] += av[l] * bv[l];
+            acc[l] = av[l].mul_add(bv[l], acc[l]);
         }
     }
     let mut sum = 0.0;
@@ -349,7 +352,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         sum += lane;
     }
     for i in chunks * LANES..a.len() {
-        sum += a[i] * b[i];
+        sum = a[i].mul_add(b[i], sum);
     }
     sum
 }

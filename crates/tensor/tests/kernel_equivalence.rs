@@ -107,6 +107,9 @@ fn adversarial_shapes_bitexact() {
         (kernels::MC + 1, kernels::KC + 1, kernels::NC + 1), // tile + 1
         (kernels::MC - 1, kernels::KC - 1, kernels::NC - 1), // tile - 1
         (2 * kernels::MC + 3, 7, 2 * kernels::NC + 5),       // multi-stripe
+        (kernels::MR - 1, 9, kernels::NR - 1),               // below one register tile
+        (kernels::MR + 1, 9, kernels::NR + 1),               // register tile + edge
+        (3 * kernels::MR, 33, 3 * kernels::NR + 7),          // tiles + ragged columns
     ];
     for (i, &(m, k, n)) in cases.iter().enumerate() {
         assert_all_variants_bitexact(m, k, n, 7_000 + i as u64);

@@ -73,7 +73,7 @@ use chimera::core::sync::place_sync;
 use chimera::core::unit_time::{execute, UnitCosts};
 use chimera::nn::{ModelConfig, ReferenceTrainer, Stage, SyntheticData};
 use chimera::obs::{
-    drift, load_comm_fits, profile, MetricsAggregator, MetricsPublisher, MetricsServer,
+    drift_with_costs, load_comm_fits, profile, MetricsAggregator, MetricsPublisher, MetricsServer,
 };
 use chimera::perf::planner::{best, plan_chimera, PlanScheme};
 use chimera::perf::{ClusterSpec, ModelSpec, TrainConfig};
@@ -90,7 +90,7 @@ use chimera::verify::{verify_span, verify_with_memory, VerifyReport};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat] [--json]\n  chimera-cli serve   [--addr a] [--http-addr a] [--workers n] [--queue-cap n]\n                      [--cache-cap n] [--no-floor]\n  chimera-cli query   [--addr a] [--model m --devices P] [--b-hat n] [--topology t]\n                      [--congestion-pct c] [--mem-budget-bytes b] [--schemes s,s]\n                      [--deadline-ms ms] [--stats] [--ping]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--liveness] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
+        "usage:\n  chimera-cli render  <scheme> [D] [N]\n  chimera-cli plan    <bert48|gpt2> [P] [B_hat] [--json]\n  chimera-cli serve   [--addr a] [--http-addr a] [--workers n] [--queue-cap n]\n                      [--cache-cap n] [--no-floor]\n  chimera-cli query   [--addr a] [--model m --devices P] [--b-hat n] [--topology t]\n                      [--congestion-pct c] [--mem-budget-bytes b] [--schemes s,s]\n                      [--deadline-ms ms] [--stats] [--ping]\n  chimera-cli simulate <scheme> <bert48|gpt2> <P> <D> <B> <B_hat>\n  chimera-cli train   [D] [N] [iters] [--trace file.jsonl]\n  chimera-cli launch  --workers P [--transport tcp|local] [--d D] [--n N] [--iters I]\n                      [--trace dir] [--metrics-every ms] [--metrics-out file] [--metrics-port p]\n                      [--ckpt-dir dir] [--ckpt-every k] [--max-respawns r] [--stats-dir dir]\n                      [--kill-rank R --kill-iter I]\n                      [--chaos-seed s] [--chaos-flaky p] [--chaos-dup p] [--chaos-reorder p]\n                      [--chaos-partition start:len] [--chaos-break frame]\n  chimera-cli verify  [scheme [D] [N]] [--liveness] [--json]\n  chimera-cli profile <trace.jsonl>... [--sim scheme D N] [--calibration kernels.json] [--json]\n  chimera-cli overhead-check [D] [N] [iters] [--repeats R]\n\nschemes: chimera | chimera-f2 | doubling | halving | dapple | gpipe | gems |\n         pipedream | pipedream-2bw"
     );
     std::process::exit(2);
 }
@@ -1132,13 +1132,26 @@ fn cmd_worker(args: std::env::Args) {
     drop(server);
 }
 
+/// Read `calibration.bwd_over_fwd` from a `fig_kernels` results artifact
+/// (`results/kernels.json` schema) and build the matching unit costs.
+fn load_calibrated_costs(path: &str) -> Result<UnitCosts, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let ratio = doc["calibration"]["bwd_over_fwd"]
+        .as_f64()
+        .ok_or("missing calibration.bwd_over_fwd (regenerate with fig_kernels)")?;
+    Ok(UnitCosts::calibrated(ratio))
+}
+
 /// Profile one or more trace files: exclusive bubble attribution, critical
-/// path, optional drift against the unit-cost simulation, and α-β comm
-/// residuals when the comm-overhead benchmark results are on disk.
+/// path, optional drift against the unit-cost simulation (optionally under
+/// kernel-calibrated costs), and α-β comm residuals when the comm-overhead
+/// benchmark results are on disk.
 fn cmd_profile(args: std::env::Args) {
     let mut paths = Vec::new();
     let mut json = false;
     let mut sim: Option<(String, u32, u32)> = None;
+    let mut calibration: Option<String> = None;
     let mut it = args;
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1152,6 +1165,9 @@ fn cmd_profile(args: std::env::Args) {
                     usage();
                 }
                 sim = Some((scheme, d, n));
+            }
+            "--calibration" => {
+                calibration = Some(it.next().unwrap_or_else(|| usage()));
             }
             other if other.starts_with("--") => {
                 eprintln!("unexpected flag: {other}");
@@ -1174,8 +1190,22 @@ fn cmd_profile(args: std::env::Args) {
             }
         }
     }
+    // A kernel-bench artifact (results/kernels.json) carries the measured
+    // bwd/fwd ratio of the packed kernels; drifting against calibrated
+    // costs asks "does the pipeline behave as *this machine's* kernels
+    // predict" instead of assuming the textbook 2x backward.
+    let costs = match &calibration {
+        Some(path) => match load_calibrated_costs(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("--calibration {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => UnitCosts::practical(),
+    };
     let drift_report = sim.map(|(scheme, d, n)| {
-        drift(&events, &scheme, d, n).unwrap_or_else(|e| {
+        drift_with_costs(&events, &scheme, d, n, costs).unwrap_or_else(|e| {
             eprintln!("drift: {e}");
             std::process::exit(1);
         })
